@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentsTiny(t *testing.T) {
+	// Exercise every experiment path on the tiny profile; output goes
+	// to stdout, the test asserts error-freeness of the full pipeline.
+	for _, exp := range []string{"1", "2", "3", "ablation"} {
+		if err := run(exp, "tiny", 2, 3, 0, 0); err != nil {
+			t.Errorf("exp %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	if err := run("2", "tiny", 1, 2, 777, 0); err != nil {
+		t.Errorf("seed override: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		frag string
+		call func() error
+	}{
+		{"bad profile", "unknown profile", func() error { return run("all", "giant", 5, 6, 0, 0) }},
+		{"bad datasets", "-datasets", func() error { return run("all", "tiny", 9, 6, 0, 0) }},
+		{"bad maxsize", "-maxsize", func() error { return run("all", "tiny", 5, 1, 0, 0) }},
+		{"bad exp", "unknown experiment", func() error { return run("9", "tiny", 1, 3, 0, 0) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil || !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error = %v, want containing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestRunInstanceCap(t *testing.T) {
+	// A tiny cap must abort cleanly instead of exhausting memory.
+	err := run("2", "tiny", 1, 3, 0, 5)
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("expected instance-cap error, got %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+// Command sesgen generates synthetic chemotherapy event relations (the
+// substitute for the paper's proprietary hospital dataset, see
+// DESIGN.md) and writes them as typed CSV files readable by sesmatch.
+//
+// Usage:
+//
+//	sesgen [-profile tiny|small|paper] [-patients N] [-cycles N]
+//	       [-noise F] [-seed N] [-dup K] [-o FILE] [-stats]
+//
+// With -dup K every event is duplicated K times, producing the
+// datasets D2..D5 of the evaluation. Without -o the CSV goes to
+// stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chemo"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "small", "base profile: tiny, small or paper")
+		patients = flag.Int("patients", 0, "override number of patients")
+		cycles   = flag.Int("cycles", 0, "override cycles per patient")
+		noise    = flag.Float64("noise", -1, "override noise events per patient per day")
+		seed     = flag.Int64("seed", 0, "override the PRNG seed")
+		dup      = flag.Int("dup", 1, "duplicate every event K times (datasets D2..D5)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		stats    = flag.Bool("stats", false, "print dataset statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(*profile, *patients, *cycles, *noise, *seed, *dup, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "sesgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, patients, cycles int, noise float64, seed int64, dup int, out string, stats bool) error {
+	var cfg chemo.Config
+	switch profile {
+	case "tiny":
+		cfg = chemo.Tiny()
+	case "small":
+		cfg = chemo.Small()
+	case "paper":
+		cfg = chemo.Paper()
+	default:
+		return fmt.Errorf("unknown profile %q (use tiny, small or paper)", profile)
+	}
+	if patients > 0 {
+		cfg.Patients = patients
+	}
+	if cycles > 0 {
+		cfg.CyclesPerPatient = cycles
+	}
+	if noise >= 0 {
+		cfg.NoisePerDay = noise
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if dup < 1 {
+		return fmt.Errorf("-dup must be at least 1, got %d", dup)
+	}
+
+	rel, err := chemo.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if dup > 1 {
+		rel = rel.Duplicate(dup)
+	}
+	if stats {
+		fmt.Fprintln(os.Stderr, chemo.Describe(rel))
+	}
+	if out == "" {
+		return store.Write(os.Stdout, rel)
+	}
+	return store.SaveFile(out, rel)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d1.csv")
+	if err := run("tiny", 0, 0, -1, 0, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := store.LoadFile(out, store.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Errorf("empty relation generated")
+	}
+	if got := rel.Schema().String(); got != "ID:int, L:string, V:float, U:string" {
+		t.Errorf("schema = %q", got)
+	}
+}
+
+func TestRunOverridesAndDup(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.csv")
+	dup := filepath.Join(dir, "dup.csv")
+	if err := run("tiny", 2, 1, 0.5, 99, 1, base, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("tiny", 2, 1, 0.5, 99, 3, dup, false); err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.LoadFile(base, store.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.LoadFile(dup, store.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3*b.Len() {
+		t.Errorf("dup=3 produced %d events, want %d", d.Len(), 3*b.Len())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  string
+		call func() error
+	}{
+		{"bad profile", "unknown profile", func() error { return run("huge", 0, 0, -1, 0, 1, "", false) }},
+		{"bad dup", "-dup", func() error { return run("tiny", 0, 0, -1, 0, 0, "", false) }},
+		{"bad dir", "", func() error { return run("tiny", 0, 0, -1, 0, 1, "/nonexistent/dir/x.csv", false) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil {
+				t.Fatalf("expected error")
+			}
+			if c.err != "" && !strings.Contains(err.Error(), c.err) {
+				t.Errorf("error = %v, want containing %q", err, c.err)
+			}
+		})
+	}
+}

@@ -1,0 +1,140 @@
+// Command sesmatch evaluates a SES pattern query over a CSV event
+// relation and prints the matching substitutions.
+//
+// Usage:
+//
+//	sesmatch -query 'PATTERN PERMUTE(c, p+, d) THEN (b) WHERE ... WITHIN 264h' events.csv
+//	sesmatch -query-file q1.ses -metrics -filter events.csv
+//
+// Flags:
+//
+//	-query / -query-file   the query text (one of the two is required)
+//	-filter                enable the event filtering optimisation
+//	-maximal               drop non-maximal matches on tied timestamps
+//	-metrics               print execution metrics to stderr
+//	-analyze               print the pattern's complexity classification
+//	-dot FILE              write the compiled automaton as Graphviz DOT
+//	-sort                  sort the input by time instead of failing
+//	-partition A           evaluate per partition of attribute A
+//	-limit N               print at most N matches (0 = all)
+//	-json                  print matches as JSON, one object per line
+//
+// Matches are printed one per line in the paper's substitution
+// notation, followed by the bound events when -verbose is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		queryText = flag.String("query", "", "query text")
+		queryFile = flag.String("query-file", "", "file containing the query text")
+		filter    = flag.Bool("filter", false, "enable the event filtering optimisation (Section 4.5)")
+		maximal   = flag.Bool("maximal", false, "drop non-maximal matches among tied timestamps")
+		metrics   = flag.Bool("metrics", false, "print execution metrics to stderr")
+		analyze   = flag.Bool("analyze", false, "print the complexity classification to stderr")
+		dotFile   = flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
+		sortInput = flag.Bool("sort", false, "sort the input by time instead of failing on disorder")
+		partition = flag.String("partition", "", "evaluate per partition of this attribute (the paper's \"for each patient\")")
+		limit     = flag.Int("limit", 0, "print at most N matches (0 = all)")
+		verbose   = flag.Bool("verbose", false, "print the bound events of every match")
+		asJSON    = flag.Bool("json", false, "print matches as JSON, one object per line")
+	)
+	flag.Parse()
+	if err := run(*queryText, *queryFile, *filter, *maximal, *metrics, *analyze,
+		*dotFile, *sortInput, *partition, *limit, *verbose, *asJSON, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "sesmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryText, queryFile string, filter, maximal, metrics, analyze bool,
+	dotFile string, sortInput bool, partition string, limit int, verbose, asJSON bool, args []string) error {
+
+	switch {
+	case queryText == "" && queryFile == "":
+		return fmt.Errorf("one of -query or -query-file is required")
+	case queryText != "" && queryFile != "":
+		return fmt.Errorf("-query and -query-file are mutually exclusive")
+	case queryFile != "":
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		queryText = string(b)
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one input CSV file, got %d arguments", len(args))
+	}
+
+	rel, err := ses.LoadCSVFile(args[0], ses.ReadOptions{Sort: sortInput})
+	if err != nil {
+		return err
+	}
+	q, err := ses.Compile(queryText, rel.Schema())
+	if err != nil {
+		return err
+	}
+	if analyze {
+		fmt.Fprint(os.Stderr, q.Explain())
+	}
+	if dotFile != "" {
+		f, err := os.Create(dotFile)
+		if err != nil {
+			return err
+		}
+		if err := q.WriteDOT(f, "ses"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	var matches []ses.Match
+	var m ses.Metrics
+	if partition != "" {
+		matches, m, err = q.MatchPartitioned(rel, partition, ses.WithFilter(filter))
+	} else {
+		matches, m, err = q.Match(rel, ses.WithFilter(filter))
+	}
+	if err != nil {
+		return err
+	}
+	if maximal {
+		matches = ses.FilterMaximal(matches)
+	}
+	for i, match := range matches {
+		if limit > 0 && i >= limit {
+			if !asJSON {
+				fmt.Printf("... and %d more matches\n", len(matches)-limit)
+			}
+			break
+		}
+		if asJSON {
+			b, err := ses.MatchJSON(match, rel.Schema())
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(b))
+			continue
+		}
+		fmt.Println(match)
+		if verbose {
+			for _, e := range match.Events() {
+				fmt.Printf("    %s\n", e)
+			}
+		}
+	}
+	if metrics {
+		fmt.Fprintf(os.Stderr, "%d events, %d matches, %s\n", rel.Len(), len(matches), m)
+	}
+	return nil
+}

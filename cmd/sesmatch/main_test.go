@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/paperdata"
+)
+
+// writeFixture saves the paper's Figure 1 relation as CSV and returns
+// its path.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.csv")
+	if err := ses.SaveCSVFile(path, paperdata.Relation()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueryOverCSV(t *testing.T) {
+	path := writeFixture(t)
+	dot := filepath.Join(t.TempDir(), "a.dot")
+	err := run(paperdata.QueryQ1Text, "", true, false, true, true, dot, false, "", 0, true, false, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "doublecircle") {
+		t.Errorf("DOT file content suspicious")
+	}
+}
+
+func TestRunQueryFromFile(t *testing.T) {
+	path := writeFixture(t)
+	qf := filepath.Join(t.TempDir(), "q.ses")
+	if err := os.WriteFile(qf, []byte(paperdata.QueryQ1Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", qf, false, true, false, false, "", false, "", 1, false, false, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	path := writeFixture(t)
+	cases := []struct {
+		name string
+		frag string
+		call func() error
+	}{
+		{"no query", "required", func() error {
+			return run("", "", false, false, false, false, "", false, "", 0, false, false, []string{path})
+		}},
+		{"both query sources", "mutually exclusive", func() error {
+			return run("x", "y", false, false, false, false, "", false, "", 0, false, false, []string{path})
+		}},
+		{"missing query file", "", func() error {
+			return run("", "/nonexistent.ses", false, false, false, false, "", false, "", 0, false, false, []string{path})
+		}},
+		{"no input", "exactly one input", func() error {
+			return run(paperdata.QueryQ1Text, "", false, false, false, false, "", false, "", 0, false, false, nil)
+		}},
+		{"missing input", "", func() error {
+			return run(paperdata.QueryQ1Text, "", false, false, false, false, "", false, "", 0, false, false, []string{"/nope.csv"})
+		}},
+		{"bad query", "query:", func() error {
+			return run("PATTERN", "", false, false, false, false, "", false, "", 0, false, false, []string{path})
+		}},
+		{"bad dot path", "", func() error {
+			return run(paperdata.QueryQ1Text, "", false, false, false, false, "/nonexistent/dir/a.dot", false, "", 0, false, false, []string{path})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil {
+				t.Fatalf("expected error")
+			}
+			if c.frag != "" && !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error = %v, want containing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestRunSortOption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "unsorted.csv")
+	csv := "T:time,ID:int,L:string,V:float,U:string\n10,1,B,0,x\n5,1,C,0,x\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := "PATTERN (c) WHERE c.L = 'C' WITHIN 1h"
+	if err := run(q, "", false, false, false, false, "", false, "", 0, false, false, []string{path}); err == nil {
+		t.Errorf("unsorted input should fail without -sort")
+	}
+	if err := run(q, "", false, false, false, false, "", true, "", 0, false, false, []string{path}); err != nil {
+		t.Errorf("-sort should accept unsorted input: %v", err)
+	}
+}
+
+func TestRunPartitioned(t *testing.T) {
+	path := writeFixture(t)
+	if err := run(paperdata.QueryQ1Text, "", true, false, false, false, "", false, "ID", 0, false, false, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(paperdata.QueryQ1Text, "", false, false, false, false, "", false, "NOPE", 0, false, false, []string{path}); err == nil {
+		t.Errorf("unknown partition attribute accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeFixture(t)
+	if err := run(paperdata.QueryQ1Text, "", true, false, false, false, "", false, "", 0, false, true, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Clickstream analysis: conversion-funnel mining with optional steps —
+// the click stream use case from the paper's introduction, exercising
+// the optional-variable extension (v?, v*) of this library.
+//
+// A converting session consists of one or more product views and an
+// add-to-cart in any order (shoppers bounce between product pages and
+// the cart), optionally applying a coupon somewhere in that phase,
+// followed by the checkout page and then a completed payment — all
+// within 30 minutes:
+//
+//	PATTERN PERMUTE(view+, cart, coupon?) THEN (checkout) THEN (pay)
+//	WITHIN 30m
+//
+// The report segments conversions by coupon usage — the greedy
+// optional binding guarantees the coupon is attributed whenever one
+// was used in the window.
+//
+// Run with:
+//
+//	go run ./examples/clickstream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	schema := ses.MustSchema(
+		ses.Field{Name: "Session", Type: ses.TypeString},
+		ses.Field{Name: "Action", Type: ses.TypeString},
+	)
+
+	q, err := ses.Compile(`
+		PATTERN PERMUTE(view+, cart, coupon?) THEN (checkout) THEN (pay)
+		WHERE view.Action = 'VIEW' AND cart.Action = 'ADD_CART'
+		  AND coupon.Action = 'COUPON' AND checkout.Action = 'CHECKOUT'
+		  AND pay.Action = 'PAY'
+		WITHIN 30m`, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("funnel query compiled into %d variant automata (%d states total)\n\n",
+		q.Variants(), q.States())
+
+	rel := buildClicks(schema)
+	parts, err := rel.Partition("Session")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var withCoupon, withoutCoupon, abandoned int
+	for _, part := range parts {
+		matches, _, err := q.Match(part, ses.WithFilter(true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(matches) == 0 {
+			abandoned++
+			continue
+		}
+		m := matches[0]
+		used := false
+		for _, b := range m.Bindings {
+			if b.Var == "coupon" {
+				used = true
+			}
+		}
+		if used {
+			withCoupon++
+		} else {
+			withoutCoupon++
+		}
+	}
+
+	total := len(parts)
+	fmt.Printf("sessions analysed: %d (%d click events)\n", total, rel.Len())
+	fmt.Printf("  converted with coupon:    %d\n", withCoupon)
+	fmt.Printf("  converted without coupon: %d\n", withoutCoupon)
+	fmt.Printf("  abandoned:                %d\n", abandoned)
+	fmt.Printf("conversion rate: %.0f%%\n", 100*float64(withCoupon+withoutCoupon)/float64(total))
+}
+
+// buildClicks synthesises 30 sessions: roughly half convert (some with
+// a coupon), the rest abandon before checkout or pay too late.
+func buildClicks(schema *ses.Schema) *ses.Relation {
+	rng := rand.New(rand.NewSource(2024))
+	rel := ses.NewRelation(schema)
+	t := ses.Time(0)
+	click := func(session, action string) {
+		t += ses.Time(5 + rng.Intn(90)) // global interleaved clock
+		rel.MustAppend(t, ses.String(session), ses.String(action))
+	}
+	for s := 1; s <= 30; s++ {
+		id := fmt.Sprintf("S%02d", s)
+		views := 1 + rng.Intn(4)
+		kind := rng.Intn(4) // 0: coupon convert, 1: plain convert, 2-3: abandon
+		// Browsing phase: views and the cart action interleave freely.
+		cartAt := rng.Intn(views + 1)
+		for v := 0; v <= views; v++ {
+			if v == cartAt {
+				click(id, "ADD_CART")
+			}
+			if v < views {
+				click(id, "VIEW")
+			}
+		}
+		switch kind {
+		case 0:
+			click(id, "COUPON")
+			click(id, "CHECKOUT")
+			click(id, "PAY")
+		case 1:
+			click(id, "CHECKOUT")
+			click(id, "PAY")
+		case 2:
+			// Abandons at checkout.
+			click(id, "CHECKOUT")
+		default:
+			// Pays, but hours later — outside the 30 minute window.
+			click(id, "CHECKOUT")
+			t += 4 * 3600
+			click(id, "PAY")
+		}
+	}
+	rel.SortByTime()
+	return rel
+}

@@ -1,0 +1,83 @@
+// Quickstart: match the paper's running example — Query Q1 over the
+// 14-event chemotherapy relation of Figure 1 (Cadonna, Gamper, Böhlen:
+// "Sequenced Event Set Pattern Matching", EDBT 2011).
+//
+// The query asks: for each patient, find one administration of
+// Ciclofosfamide (C), one or more of Prednisone (P) and one of
+// Doxorubicina (D) in any order, followed by a blood count (B), all
+// within eleven days.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// The event schema of the paper's Figure 1: patient ID, event type
+	// L, value V, unit U. The occurrence time T is implicit.
+	schema := ses.MustSchema(
+		ses.Field{Name: "ID", Type: ses.TypeInt},
+		ses.Field{Name: "L", Type: ses.TypeString},
+		ses.Field{Name: "V", Type: ses.TypeFloat},
+		ses.Field{Name: "U", Type: ses.TypeString},
+	)
+
+	rel := ses.NewRelation(schema)
+	at := func(day, hour int) ses.Time {
+		return ses.Time(time.Date(2010, time.July, day, hour, 0, 0, 0, time.UTC).Unix())
+	}
+	type row struct {
+		day, hour int
+		id        int64
+		l         string
+		v         float64
+		u         string
+	}
+	for _, e := range []row{ // e1..e14 of Figure 1
+		{3, 9, 1, "C", 1672.5, "mg"}, {3, 10, 1, "B", 0, "WHO-Tox"},
+		{3, 11, 1, "D", 84, "mgl"}, {4, 9, 1, "P", 111.5, "mg"},
+		{5, 9, 2, "B", 0, "WHO-Tox"}, {5, 10, 2, "P", 88, "mg"},
+		{5, 11, 2, "D", 84, "mgl"}, {6, 9, 2, "C", 1320, "mg"},
+		{6, 10, 1, "P", 111.5, "mg"}, {6, 11, 2, "P", 88, "mg"},
+		{7, 9, 2, "P", 88, "mg"}, {12, 9, 1, "B", 1, "WHO-Tox"},
+		{13, 9, 2, "B", 1, "WHO-Tox"}, {14, 9, 2, "B", 0, "WHO-Tox"},
+	} {
+		rel.MustAppend(at(e.day, e.hour),
+			ses.Int(e.id), ses.String(e.l), ses.Float(e.v), ses.String(e.u))
+	}
+
+	// Query Q1 in the textual pattern language. PERMUTE(c, p+, d)
+	// matches the three medications in any order (p+ binds one or more
+	// Prednisone events); THEN (b) requires the blood count strictly
+	// after all of them.
+	q, err := ses.Compile(`
+		PATTERN PERMUTE(c, p+, d) THEN (b)
+		WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+		  AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+		WITHIN 264h`, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	matches, metrics, err := q.Match(rel, ses.WithFilter(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pattern:\n%s\n\n", q.Pattern())
+	fmt.Printf("complexity: %s\n\n", ses.Analyze(q.Pattern()).Bound)
+	fmt.Printf("%d matching substitutions:\n", len(matches))
+	for _, m := range matches {
+		fmt.Printf("  %s  (patient %d, %d events)\n",
+			m, m.Events()[0].Attrs[0].Int64(), m.EventCount())
+	}
+	fmt.Printf("\nmetrics: %s\n", metrics)
+}

@@ -1,0 +1,73 @@
+package automaton
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the automaton in Graphviz DOT format in the style
+// of the paper's Figures 3-5: nodes are labelled with the
+// concatenation of their variables, edges with the bound variable and
+// its transition condition set; the start state has an incoming arrow
+// and the accepting state a double circle.
+func (a *Automaton) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "ses"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n")
+	b.WriteString("  __start [shape=point, style=invis];\n")
+	for _, st := range a.States {
+		shape := "circle"
+		if st.Accepting {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [label=%q, shape=%s];\n", st.ID, a.StateLabel(st.ID), shape)
+	}
+	fmt.Fprintf(&b, "  __start -> q%d;\n", a.Start)
+	for id, ts := range a.Out {
+		for _, t := range ts {
+			fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n",
+				id, t.Target, a.Vars[t.Var].String()+", "+condSetLabel(t.Conds))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// condSetLabel renders a transition condition set like the paper's
+// figures, e.g. "{c.L = \"C\", c.ID = d.ID}".
+func condSetLabel(conds []CondCheck) string {
+	if len(conds) == 0 {
+		return "{}"
+	}
+	parts := make([]string, 0, len(conds))
+	for _, c := range conds {
+		parts = append(parts, c.Source.String())
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// String summarises the automaton: counts plus a per-state transition
+// listing, for debugging and golden tests.
+func (a *Automaton) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SES automaton: %d states, %d transitions, start=%s, accept=%s, within=%s\n",
+		a.NumStates(), a.NumTransitions(), a.StateLabel(a.Start), a.StateLabel(a.Accept), a.Within)
+	for id, ts := range a.Out {
+		for _, t := range ts {
+			loop := ""
+			if t.Loop {
+				loop = " (loop)"
+			}
+			fmt.Fprintf(&b, "  %s --%s%s--> %s %s\n",
+				a.StateLabel(id), a.Vars[t.Var].String(), loop, a.StateLabel(t.Target), condSetLabel(t.Conds))
+		}
+	}
+	return b.String()
+}

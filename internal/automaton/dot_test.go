@@ -1,0 +1,38 @@
+package automaton
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/paperdata"
+)
+
+// TestDOTGolden pins the full DOT rendering of the running example's
+// automaton (Figure 5) against testdata/q1.dot. Regenerate the golden
+// with:
+//
+//	go test ./internal/automaton -run TestDOTGolden -update
+func TestDOTGolden(t *testing.T) {
+	a, err := Compile(paperdata.QueryQ1(), paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := a.WriteDOT(&b, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/q1.dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("DOT output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+	// Structural sanity independent of exact formatting: one edge per
+	// transition plus the start arrow.
+	edges := strings.Count(b.String(), "->") - 1
+	if edges != a.NumTransitions() {
+		t.Errorf("DOT has %d edges, automaton has %d transitions", edges, a.NumTransitions())
+	}
+}

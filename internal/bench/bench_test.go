@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chemo"
+	"repro/internal/pattern"
+)
+
+func tinyDatasets(t *testing.T, k int) []Dataset {
+	t.Helper()
+	ds, err := MakeDatasets(chemo.Tiny(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPatternBuilders(t *testing.T) {
+	for size := 1; size <= 6; size++ {
+		p, err := Exclusive(size)
+		if err != nil {
+			t.Fatalf("Exclusive(%d): %v", size, err)
+		}
+		a := pattern.Analyze(p)
+		if a.Sets[0].Case != pattern.Case1 {
+			t.Errorf("Exclusive(%d) V1 is %v, want case 1", size, a.Sets[0].Case)
+		}
+		o, err := Overlapping(size)
+		if err != nil {
+			t.Fatalf("Overlapping(%d): %v", size, err)
+		}
+		oa := pattern.Analyze(o)
+		if size >= 2 && oa.Sets[0].Case != pattern.Case2 {
+			t.Errorf("Overlapping(%d) V1 is %v, want case 2", size, oa.Sets[0].Case)
+		}
+	}
+	if _, err := Exclusive(0); err == nil {
+		t.Errorf("Exclusive(0) should fail")
+	}
+	if _, err := Overlapping(7); err == nil {
+		t.Errorf("Overlapping(7) should fail")
+	}
+
+	if a := pattern.Analyze(P3()); a.Sets[0].Case != pattern.Case3 {
+		t.Errorf("P3 is %v, want case 3", a.Sets[0].Case)
+	}
+	if a := pattern.Analyze(P4()); a.Sets[0].Case != pattern.Case2 {
+		t.Errorf("P4 is %v, want case 2", a.Sets[0].Case)
+	}
+	if a := pattern.Analyze(P5()); a.Sets[0].Case != pattern.Case1 {
+		t.Errorf("P5 is %v, want case 1", a.Sets[0].Case)
+	}
+	if a := pattern.Analyze(P6()); a.Sets[0].Case != pattern.Case3 {
+		t.Errorf("P6 is %v, want case 3", a.Sets[0].Case)
+	}
+}
+
+func TestMakeDatasets(t *testing.T) {
+	ds := tinyDatasets(t, 3)
+	if len(ds) != 3 || ds[0].Name != "D1" || ds[2].Name != "D3" {
+		t.Fatalf("datasets = %+v", ds)
+	}
+	for i, d := range ds {
+		if d.W != (i+1)*ds[0].W {
+			t.Errorf("%s W = %d, want %d", d.Name, d.W, (i+1)*ds[0].W)
+		}
+	}
+}
+
+func TestRunExp1Shape(t *testing.T) {
+	ds := tinyDatasets(t, 1)
+	rows, err := RunExp1(ds[0], []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Hypothesis 1 of the paper: SES never uses more simultaneous
+		// instances than brute force.
+		if r.SESMaxP1 > r.BFMaxP1 {
+			t.Errorf("|V1|=%d: SES P1 %d > BF %d", r.Size, r.SESMaxP1, r.BFMaxP1)
+		}
+		if r.SESMaxP2 > r.BFMaxP2 {
+			t.Errorf("|V1|=%d: SES P2 %d > BF %d", r.Size, r.SESMaxP2, r.BFMaxP2)
+		}
+		if r.SESMaxP1 <= 0 || r.BFMaxP1 <= 0 {
+			t.Errorf("|V1|=%d: zero instance counts: %+v", r.Size, r)
+		}
+	}
+	// The BF/SES gap must widen with the set size (Figure 11's trend).
+	if rows[1].RatioP1 < rows[0].RatioP1 {
+		t.Errorf("ratio not increasing: %v then %v", rows[0].RatioP1, rows[1].RatioP1)
+	}
+	if rows[0].BFAutomata != 2 || rows[1].BFAutomata != 6 {
+		t.Errorf("BF automata counts = %d, %d", rows[0].BFAutomata, rows[1].BFAutomata)
+	}
+	txt := Exp1Table(ds[0], rows) + Table1(rows)
+	for _, frag := range []string{"Figure 11", "Table 1", "(|V1|-1)!"} {
+		if !strings.Contains(txt, frag) {
+			t.Errorf("tables missing %q", frag)
+		}
+	}
+}
+
+func TestRunExp2Shape(t *testing.T) {
+	ds := tinyDatasets(t, 3)
+	rows, err := RunExp2(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].P3Max < rows[i-1].P3Max {
+			t.Errorf("P3 not monotone in W: %+v", rows)
+		}
+		if rows[i].P4Max < rows[i-1].P4Max {
+			t.Errorf("P4 not monotone in W: %+v", rows)
+		}
+	}
+	// Theorem 3 vs Theorem 2: the group-variable pattern grows at
+	// least as fast as the singleton pattern.
+	g3 := float64(rows[2].P3Max) / float64(rows[0].P3Max)
+	g4 := float64(rows[2].P4Max) / float64(rows[0].P4Max)
+	if g3 < g4 {
+		t.Errorf("P3 growth %.2f < P4 growth %.2f", g3, g4)
+	}
+	if !strings.Contains(Exp2Table(rows), "Figure 12") {
+		t.Errorf("table header missing")
+	}
+}
+
+func TestRunExp3Shape(t *testing.T) {
+	ds := tinyDatasets(t, 2)
+	rows, err := RunExp3(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The filter must reduce the machine-independent iteration
+		// count (wall-clock on tiny data is too noisy to assert).
+		if r.P5IterFilter >= r.P5IterNoFilter {
+			t.Errorf("%s: P5 iterations with filter %d >= without %d",
+				r.Dataset, r.P5IterFilter, r.P5IterNoFilter)
+		}
+		if r.P6IterFilter >= r.P6IterNoFilter {
+			t.Errorf("%s: P6 iterations with filter %d >= without %d",
+				r.Dataset, r.P6IterFilter, r.P6IterNoFilter)
+		}
+	}
+	if !strings.Contains(Exp3Table(rows), "Figure 13") {
+		t.Errorf("table header missing")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ds := tinyDatasets(t, 1)
+	frows, err := RunAblationFilter(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frows) != 1 || frows[0].Filtered == 0 {
+		t.Errorf("filter ablation rows = %+v", frows)
+	}
+	if frows[0].MatchesNoFilter != frows[0].MatchesFilter {
+		t.Errorf("filter changed match count: %+v", frows[0])
+	}
+	if !strings.Contains(AblationFilterTable(frows), "Ablation A1") {
+		t.Errorf("filter table header missing")
+	}
+
+	srows, capped, err := RunAblationStrategy(ds, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srows) != 1 {
+		t.Fatalf("strategy rows = %+v", srows)
+	}
+	if !capped[0] && srows[0].AnyMax < srows[0].NextMax {
+		t.Errorf("skip-till-any should never use fewer instances: %+v", srows[0])
+	}
+	if !strings.Contains(AblationStrategyTable(srows, capped, 200000), "Ablation A2") {
+		t.Errorf("strategy table header missing")
+	}
+
+	irows, err := RunAblationIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(irows) != 1 || !irows[0].MatchesEqualP5 || !irows[0].MatchesEqualP6 {
+		t.Errorf("index ablation rows = %+v", irows)
+	}
+	if irows[0].P5IterIndexed > irows[0].P5IterFilter {
+		t.Errorf("index should iterate no more than the filter on P5: %+v", irows[0])
+	}
+	if !strings.Contains(AblationIndexTable(irows), "Ablation A3") {
+		t.Errorf("index table header missing")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	for _, c := range []struct {
+		ns   int64
+		want string
+	}{
+		{1_500_000_000, "1.50s"},
+		{2_500_000, "2.5ms"},
+		{900, "0µs"},
+		{45_000, "45µs"},
+	} {
+		if got := fmtDur(durOf(c.ns)); got != c.want {
+			t.Errorf("fmtDur(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+// durOf converts nanoseconds for the fmtDur test.
+func durOf(ns int64) (d time.Duration) { return time.Duration(ns) }
+
+func TestFigures(t *testing.T) {
+	ds := tinyDatasets(t, 2)
+	rows1, err := RunExp1(ds[0], []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig := Exp1Figure(rows1); !strings.Contains(fig, "Figure 11") || !strings.Contains(fig, "log scale") {
+		t.Errorf("Exp1Figure:\n%s", fig)
+	}
+	rows2, err := RunExp2(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig := Exp2Figure(rows2); !strings.Contains(fig, "Figure 12") || !strings.Contains(fig, "SES with P4") {
+		t.Errorf("Exp2Figure:\n%s", fig)
+	}
+	rows3, err := RunExp3(ds[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig := Exp3Figure(rows3); !strings.Contains(fig, "Figure 13") || !strings.Contains(fig, "P6 w/o filter") {
+		t.Errorf("Exp3Figure:\n%s", fig)
+	}
+}

@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/bruteforce"
+	"repro/internal/chemo"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/textplot"
+)
+
+// Dataset is one of the evaluation datasets D1..D5 with its window
+// size W (Definition 5) for τ = 264 h.
+type Dataset struct {
+	Name string
+	Rel  *event.Relation
+	W    int
+}
+
+// MakeDatasets generates D1 from the chemo configuration and derives
+// D2..Dk by event duplication (Section 5.1).
+func MakeDatasets(cfg chemo.Config, k int) ([]Dataset, error) {
+	rels, err := chemo.Datasets(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Dataset, len(rels))
+	for i, r := range rels {
+		out[i] = Dataset{
+			Name: fmt.Sprintf("D%d", i+1),
+			Rel:  r,
+			W:    r.WindowSize(Within),
+		}
+	}
+	return out, nil
+}
+
+// runSES executes the SES automaton for p over rel and returns the
+// metrics. The Section 4.5 filter is enabled: it does not change the
+// number of automaton instances (the measured parameter of
+// Experiments 1 and 2), only the runtime.
+func runSES(p *pattern.Pattern, rel *event.Relation, opts ...engine.Option) (engine.Metrics, error) {
+	a, err := automaton.Compile(p, rel.Schema())
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	_, m, err := engine.Run(a, rel, opts...)
+	return m, err
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1 (Figure 11, Table 1): SES vs brute force, varying |V1|.
+
+// Exp1Row is one point of Figure 11: the maximal number of
+// simultaneous automaton instances for the SES algorithm and the brute
+// force algorithm, for the mutually exclusive pattern P1 and the
+// non-exclusive pattern P2 with |V1| = Size.
+type Exp1Row struct {
+	Size                int
+	SESMaxP1, BFMaxP1   int64
+	SESMaxP2, BFMaxP2   int64
+	BFAutomata          int // |V1|! sequence automata
+	RatioP1             float64
+	FactorialSizeMinus1 int64 // (|V1|-1)!, Table 1's reference column
+}
+
+// RunExp1 reproduces Experiment 1 on dataset d for the given |V1|
+// sizes (the paper uses 2..6).
+func RunExp1(d Dataset, sizes []int, opts ...engine.Option) ([]Exp1Row, error) {
+	var rows []Exp1Row
+	for _, size := range sizes {
+		row := Exp1Row{Size: size}
+		fact := int64(1)
+		for k := 2; k < size; k++ {
+			fact *= int64(k)
+		}
+		row.FactorialSizeMinus1 = fact
+
+		p1, err := Exclusive(size)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := Overlapping(size)
+		if err != nil {
+			return nil, err
+		}
+
+		m, err := runSES(p1, d.Rel, append([]engine.Option{engine.WithFilter(true)}, opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		row.SESMaxP1 = m.MaxSimultaneousInstances
+
+		m, err = runSES(p2, d.Rel, append([]engine.Option{engine.WithFilter(true)}, opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		row.SESMaxP2 = m.MaxSimultaneousInstances
+
+		for i, p := range []*pattern.Pattern{p1, p2} {
+			bf, err := bruteforce.Compile(p, d.Rel.Schema())
+			if err != nil {
+				return nil, err
+			}
+			_, bm, err := bf.Run(d.Rel, append([]engine.Option{engine.WithFilter(true)}, opts...)...)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				row.BFMaxP1 = bm.MaxSimultaneousInstances
+				row.BFAutomata = len(bf.Automata)
+			} else {
+				row.BFMaxP2 = bm.MaxSimultaneousInstances
+			}
+		}
+		if row.SESMaxP1 > 0 {
+			row.RatioP1 = float64(row.BFMaxP1) / float64(row.SESMaxP1)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Exp1Table renders Figure 11's series as a text table.
+func Exp1Table(d Dataset, rows []Exp1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 1 (Figure 11) — max. simultaneous automaton instances, %s (W=%d)\n", d.Name, d.W)
+	fmt.Fprintf(&b, "%-6s %12s %12s %14s %14s %12s\n",
+		"|V1|", "SES(P1)", "BF(P1)", "SES(P2)", "BF(P2)", "BF automata")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %12d %12d %14d %14d %12d\n",
+			r.Size, r.SESMaxP1, r.BFMaxP1, r.SESMaxP2, r.BFMaxP2, r.BFAutomata)
+	}
+	return b.String()
+}
+
+// Exp1Figure renders Figure 11 as an ASCII chart (log y axis, like
+// the paper's plot).
+func Exp1Figure(rows []Exp1Row) string {
+	ticks := make([]string, len(rows))
+	bfP1 := make([]float64, len(rows))
+	sesP1 := make([]float64, len(rows))
+	bfP2 := make([]float64, len(rows))
+	sesP2 := make([]float64, len(rows))
+	for i, r := range rows {
+		ticks[i] = fmt.Sprintf("%d", r.Size)
+		bfP1[i], sesP1[i] = float64(r.BFMaxP1), float64(r.SESMaxP1)
+		bfP2[i], sesP2[i] = float64(r.BFMaxP2), float64(r.SESMaxP2)
+	}
+	return textplot.Plot{
+		Title:  "Figure 11 — max. simultaneous automaton instances",
+		XLabel: "# of event variables |V1|",
+		YLabel: "# of automaton instances",
+		XTicks: ticks,
+		LogY:   true,
+		Width:  8,
+		Series: []textplot.Series{
+			{Name: "BF with P2", Y: bfP2},
+			{Name: "SES with P2", Y: sesP2},
+			{Name: "BF with P1", Y: bfP1},
+			{Name: "SES with P1", Y: sesP1},
+		},
+	}.Render()
+}
+
+// Table1 renders the paper's Table 1: the ratio of the maximal numbers
+// of automaton instances for P1 against the reference (|V1|-1)!.
+func Table1(rows []Exp1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1 — ratio of numbers of automaton instances (pattern P1)\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s %14s %14s\n", "|V1|", "|Ω|BF", "|Ω|SES", "BF/SES", "(|V1|-1)!")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %10d %10d %14.1f %14d\n",
+			r.Size, r.BFMaxP1, r.SESMaxP1, r.RatioP1, r.FactorialSizeMinus1)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2 (Figure 12): instance growth with the window size W.
+
+// Exp2Row is one x-position of Figure 12: the maximal number of
+// simultaneous instances for P3 (group variable, Theorem 3) and P4
+// (singletons, Theorem 2) on one dataset.
+type Exp2Row struct {
+	Dataset      string
+	W            int
+	P3Max, P4Max int64
+}
+
+// RunExp2 reproduces Experiment 2 over the datasets (the paper uses
+// D1..D5).
+func RunExp2(datasets []Dataset, opts ...engine.Option) ([]Exp2Row, error) {
+	p3, p4 := P3(), P4()
+	var rows []Exp2Row
+	for _, d := range datasets {
+		row := Exp2Row{Dataset: d.Name, W: d.W}
+		m, err := runSES(p3, d.Rel, append([]engine.Option{engine.WithFilter(true)}, opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		row.P3Max = m.MaxSimultaneousInstances
+		m, err = runSES(p4, d.Rel, append([]engine.Option{engine.WithFilter(true)}, opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		row.P4Max = m.MaxSimultaneousInstances
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Exp2Table renders Figure 12's series as a text table, including the
+// growth factor between consecutive window sizes (linear for P4,
+// super-linear for P3).
+func Exp2Table(rows []Exp2Row) string {
+	var b strings.Builder
+	b.WriteString("Experiment 2 (Figure 12) — max. simultaneous automaton instances vs window size\n")
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s %10s %10s\n", "dataset", "W", "SES(P3)", "SES(P4)", "P3 ×", "P4 ×")
+	for i, r := range rows {
+		g3, g4 := "", ""
+		if i > 0 && rows[i-1].P3Max > 0 && rows[i-1].P4Max > 0 {
+			g3 = fmt.Sprintf("%.2f", float64(r.P3Max)/float64(rows[i-1].P3Max))
+			g4 = fmt.Sprintf("%.2f", float64(r.P4Max)/float64(rows[i-1].P4Max))
+		}
+		fmt.Fprintf(&b, "%-8s %8d %12d %12d %10s %10s\n", r.Dataset, r.W, r.P3Max, r.P4Max, g3, g4)
+	}
+	return b.String()
+}
+
+// Exp2Figure renders Figure 12 as an ASCII chart (linear axes, like
+// the paper's plot).
+func Exp2Figure(rows []Exp2Row) string {
+	ticks := make([]string, len(rows))
+	p3 := make([]float64, len(rows))
+	p4 := make([]float64, len(rows))
+	for i, r := range rows {
+		ticks[i] = fmt.Sprintf("%d", r.W)
+		p3[i], p4[i] = float64(r.P3Max), float64(r.P4Max)
+	}
+	return textplot.Plot{
+		Title:  "Figure 12 — max. simultaneous automaton instances vs window size",
+		XLabel: "window size W",
+		YLabel: "# of automaton instances",
+		XTicks: ticks,
+		Width:  10,
+		Series: []textplot.Series{
+			{Name: "SES with P3", Y: p3},
+			{Name: "SES with P4", Y: p4},
+		},
+	}.Render()
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 3 (Figure 13): effect of event filtering on runtime.
+
+// Exp3Row is one x-position of Figure 13: execution time with and
+// without the Section 4.5 event filter for P5 (mutually exclusive) and
+// P6 (non-exclusive). InstanceIterations are recorded alongside as the
+// machine-independent cost proxy the filter actually reduces.
+type Exp3Row struct {
+	Dataset                      string
+	W                            int
+	P5NoFilter, P5Filter         time.Duration
+	P6NoFilter, P6Filter         time.Duration
+	P5IterNoFilter, P5IterFilter int64
+	P6IterNoFilter, P6IterFilter int64
+}
+
+// RunExp3 reproduces Experiment 3 over the datasets.
+func RunExp3(datasets []Dataset, opts ...engine.Option) ([]Exp3Row, error) {
+	p5, p6 := P5(), P6()
+	var rows []Exp3Row
+	for _, d := range datasets {
+		row := Exp3Row{Dataset: d.Name, W: d.W}
+		run := func(p *pattern.Pattern, filter bool) (time.Duration, int64, error) {
+			start := time.Now()
+			m, err := runSES(p, d.Rel, append([]engine.Option{engine.WithFilter(filter)}, opts...)...)
+			return time.Since(start), m.InstanceIterations, err
+		}
+		var err error
+		if row.P5NoFilter, row.P5IterNoFilter, err = run(p5, false); err != nil {
+			return nil, err
+		}
+		if row.P5Filter, row.P5IterFilter, err = run(p5, true); err != nil {
+			return nil, err
+		}
+		if row.P6NoFilter, row.P6IterNoFilter, err = run(p6, false); err != nil {
+			return nil, err
+		}
+		if row.P6Filter, row.P6IterFilter, err = run(p6, true); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Exp3Table renders Figure 13's series as a text table with speedups.
+func Exp3Table(rows []Exp3Row) string {
+	var b strings.Builder
+	b.WriteString("Experiment 3 (Figure 13) — execution time with and without event filtering\n")
+	fmt.Fprintf(&b, "%-8s %8s %14s %14s %8s %14s %14s %8s\n",
+		"dataset", "W", "P5 w/o", "P5 with", "×", "P6 w/o", "P6 with", "×")
+	for _, r := range rows {
+		s5 := speedup(r.P5NoFilter, r.P5Filter)
+		s6 := speedup(r.P6NoFilter, r.P6Filter)
+		fmt.Fprintf(&b, "%-8s %8d %14s %14s %8s %14s %14s %8s\n",
+			r.Dataset, r.W,
+			fmtDur(r.P5NoFilter), fmtDur(r.P5Filter), s5,
+			fmtDur(r.P6NoFilter), fmtDur(r.P6Filter), s6)
+	}
+	b.WriteString("\ninstance iterations over Ω (machine-independent cost the filter removes)\n")
+	fmt.Fprintf(&b, "%-8s %8s %14s %14s %14s %14s\n",
+		"dataset", "W", "P5 w/o", "P5 with", "P6 w/o", "P6 with")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %14d %14d %14d %14d\n",
+			r.Dataset, r.W, r.P5IterNoFilter, r.P5IterFilter, r.P6IterNoFilter, r.P6IterFilter)
+	}
+	return b.String()
+}
+
+// Exp3Figure renders Figure 13 as an ASCII chart (log y axis, like
+// the paper's plot).
+func Exp3Figure(rows []Exp3Row) string {
+	ticks := make([]string, len(rows))
+	series := make([][]float64, 4)
+	for i := range series {
+		series[i] = make([]float64, len(rows))
+	}
+	for i, r := range rows {
+		ticks[i] = fmt.Sprintf("%d", r.W)
+		series[0][i] = r.P6NoFilter.Seconds()
+		series[1][i] = r.P6Filter.Seconds()
+		series[2][i] = r.P5NoFilter.Seconds()
+		series[3][i] = r.P5Filter.Seconds()
+	}
+	return textplot.Plot{
+		Title:  "Figure 13 — execution time",
+		XLabel: "window size W",
+		YLabel: "execution time [s]",
+		XTicks: ticks,
+		LogY:   true,
+		Width:  10,
+		Series: []textplot.Series{
+			{Name: "P6 w/o filter", Y: series[0]},
+			{Name: "P6 with filter", Y: series[1]},
+			{Name: "P5 w/o filter", Y: series[2]},
+			{Name: "P5 with filter", Y: series[3]},
+		},
+	}.Render()
+}
+
+func speedup(without, with time.Duration) string {
+	if with <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(without)/float64(with))
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d/time.Microsecond)
+	}
+}

@@ -1,0 +1,113 @@
+// Package bench reproduces the evaluation of Section 5: the query
+// patterns P1..P6, the datasets D1..D5, and runners that regenerate
+// Figure 11 and Table 1 (Experiment 1), Figure 12 (Experiment 2) and
+// Figure 13 (Experiment 3), plus two ablations specific to this
+// reproduction.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/chemo"
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Within is the τ used by every evaluation query: 264 hours.
+const Within = 264 * event.Hour
+
+// varNames are the event variable names of Experiment 1, bound to the
+// medication types of the same letter.
+var varNames = []string{"c", "d", "p", "v", "r", "l"}
+
+// varType maps each variable name to its distinct medication type for
+// the mutually exclusive condition sets (Θ1).
+var varType = map[string]string{
+	"c": "C", "d": "D", "p": "P", "v": "V", "r": "R", "l": "L",
+}
+
+// Exclusive builds the P1 family of Experiment 1:
+//
+//	P1 = (⟨V1, {b}⟩, Θ1, 264h)
+//
+// where V1 holds `size` singleton variables from {c,d,p,v,r,l}, each
+// constrained to a distinct medication type (pairwise mutually
+// exclusive, complexity case 1). Like the paper's Θ1, the condition
+// sets contain only type constraints — no patient joins — so the
+// instance counts depend purely on event-type densities.
+func Exclusive(size int) (*pattern.Pattern, error) {
+	if size < 1 || size > len(varNames) {
+		return nil, fmt.Errorf("bench: size must be in 1..%d, got %d", len(varNames), size)
+	}
+	meds := varNames[:size]
+	b := pattern.New()
+	var vars []pattern.Variable
+	for _, n := range meds {
+		vars = append(vars, pattern.Var(n))
+		b.WhereConst(n, "L", pattern.Eq, event.String(varType[n]))
+	}
+	b.Set(vars...).Set(pattern.Var("b"))
+	b.WhereConst("b", "L", pattern.Eq, event.String(chemo.BloodCount))
+	return b.Within(Within).Build()
+}
+
+// Overlapping builds the P2 family of Experiment 1:
+//
+//	P2 = (⟨V1, {b}⟩, Θ2, 264h)
+//
+// identical to Exclusive except that every variable in V1 matches the
+// same medication type (Prednisone, the daily administration), so the
+// variables are not mutually exclusive (complexity case 2).
+func Overlapping(size int) (*pattern.Pattern, error) {
+	if size < 1 || size > len(varNames) {
+		return nil, fmt.Errorf("bench: size must be in 1..%d, got %d", len(varNames), size)
+	}
+	meds := varNames[:size]
+	b := pattern.New()
+	var vars []pattern.Variable
+	for _, n := range meds {
+		vars = append(vars, pattern.Var(n))
+		b.WhereConst(n, "L", pattern.Eq, event.String("P"))
+	}
+	b.Set(vars...).Set(pattern.Var("b"))
+	b.WhereConst("b", "L", pattern.Eq, event.String(chemo.BloodCount))
+	return b.Within(Within).Build()
+}
+
+// groupPattern builds ⟨{c, d, p or p+}, {b}⟩ with either exclusive
+// (Θ1-style) or overlapping (Θ2-style) conditions.
+func groupPattern(group, exclusive bool) *pattern.Pattern {
+	b := pattern.New()
+	pv := pattern.Var("p")
+	if group {
+		pv = pattern.Plus("p")
+	}
+	b.Set(pattern.Var("c"), pattern.Var("d"), pv).Set(pattern.Var("b"))
+	for _, n := range []string{"c", "d", "p"} {
+		typ := "P"
+		if exclusive {
+			typ = varType[n]
+		}
+		b.WhereConst(n, "L", pattern.Eq, event.String(typ))
+	}
+	b.WhereConst("b", "L", pattern.Eq, event.String(chemo.BloodCount))
+	return b.Within(Within).MustBuild()
+}
+
+// P3 is Experiment 2's group-variable pattern:
+// (⟨{c,d,p+},{b}⟩, Θ, 264h) with all V1 variables matching the same
+// medication type (complexity case 3, Theorem 3).
+func P3() *pattern.Pattern { return groupPattern(true, false) }
+
+// P4 is Experiment 2's singleton pattern:
+// (⟨{c,d,p},{b}⟩, Θ, 264h) with all V1 variables matching the same
+// medication type (complexity case 2, Theorem 2).
+func P4() *pattern.Pattern { return groupPattern(false, false) }
+
+// P5 is Experiment 3's mutually exclusive pattern:
+// (⟨{c,d,p+},{b}⟩, Θ1, 264h).
+func P5() *pattern.Pattern { return groupPattern(true, true) }
+
+// P6 is Experiment 3's non-exclusive pattern:
+// (⟨{c,d,p+},{b}⟩, Θ2, 264h); structurally identical to P3.
+func P6() *pattern.Pattern { return groupPattern(true, false) }

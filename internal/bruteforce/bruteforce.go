@@ -1,0 +1,174 @@
+// Package bruteforce implements the baseline of Section 5.2 of
+// Cadonna, Gamper, Böhlen: "Sequenced Event Set Pattern Matching"
+// (EDBT 2011): instead of one SES automaton that matches sequences of
+// sets, it enumerates every possible ordering of the pattern's event
+// variables — the product of the permutations of each event set
+// pattern, |V1|!·|V2|!·…·|Vm|! sequences — creates one sequence
+// automaton per ordering, and executes all of them in parallel over
+// the input. This corresponds to expressing a SES pattern in systems
+// without a PERMUTE operator (DejaVu, SASE+, Cayuga).
+//
+// Like those systems, the baseline cannot express group (Kleene plus)
+// variables inside a set: a sequence fixes one slot for the group
+// variable and cannot interleave its repetitions with the other
+// members of the set. Compile therefore rejects patterns with group
+// variables.
+package bruteforce
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Baseline is the compiled set of sequence automata for one SES
+// pattern.
+type Baseline struct {
+	Pattern *pattern.Pattern
+	// Orders lists, per automaton, the global ordering of variable
+	// names it matches.
+	Orders [][]string
+	// Automata are the sequence automata, one per ordering, each built
+	// as a SES automaton whose event set patterns are all singletons.
+	Automata []*automaton.Automaton
+}
+
+// NumSequences returns |V1|!·…·|Vm|! without compiling, or an error
+// for patterns the baseline cannot express.
+func NumSequences(p *pattern.Pattern) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.HasGroupVariables() {
+		return 0, fmt.Errorf("bruteforce: pattern contains group variables, which sequence automata cannot express")
+	}
+	n := 1
+	for _, set := range p.Sets {
+		for k := 2; k <= len(set); k++ {
+			n *= k
+			if n > 1<<24 {
+				return 0, fmt.Errorf("bruteforce: more than %d sequences required", 1<<24)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Compile enumerates all orderings of p's variables and builds one
+// sequence automaton per ordering.
+func Compile(p *pattern.Pattern, schema *event.Schema) (*Baseline, error) {
+	if _, err := NumSequences(p); err != nil {
+		return nil, err
+	}
+	b := &Baseline{Pattern: p.Clone()}
+	perms := make([][][]string, len(p.Sets))
+	for i, set := range p.Sets {
+		names := make([]string, len(set))
+		for j, v := range set {
+			names[j] = v.Name
+		}
+		perms[i] = Permutations(names)
+	}
+	var build func(i int, prefix []string) error
+	build = func(i int, prefix []string) error {
+		if i == len(perms) {
+			order := append([]string(nil), prefix...)
+			seq := &pattern.Pattern{Window: p.Window, Conds: append([]pattern.Condition(nil), p.Conds...)}
+			for _, name := range order {
+				seq.Sets = append(seq.Sets, []pattern.Variable{pattern.Var(name)})
+			}
+			a, err := automaton.Compile(seq, schema)
+			if err != nil {
+				return err
+			}
+			b.Orders = append(b.Orders, order)
+			b.Automata = append(b.Automata, a)
+			return nil
+		}
+		for _, perm := range perms[i] {
+			if err := build(i+1, append(prefix, perm...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(0, nil); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Permutations returns all permutations of names in lexicographic
+// generation order (Heap's algorithm output order is not stable across
+// runs; this uses simple recursive selection, which is deterministic).
+func Permutations(names []string) [][]string {
+	if len(names) == 0 {
+		return [][]string{{}}
+	}
+	var out [][]string
+	for i := range names {
+		rest := make([]string, 0, len(names)-1)
+		rest = append(rest, names[:i]...)
+		rest = append(rest, names[i+1:]...)
+		for _, tail := range Permutations(rest) {
+			perm := make([]string, 0, len(names))
+			perm = append(perm, names[i])
+			perm = append(perm, tail...)
+			out = append(out, perm)
+		}
+	}
+	return out
+}
+
+// Run executes every sequence automaton of the baseline over the
+// relation, stepping all of them per input event like the paper's
+// brute-force algorithm. It returns the deduplicated union of matches
+// and the aggregated metrics; MaxSimultaneousInstances is the maximum,
+// over time, of the *total* number of instances across all automata
+// (the |Ω| the brute-force bars of Figure 11 report).
+func (b *Baseline) Run(rel *event.Relation, opts ...engine.Option) ([]engine.Match, engine.Metrics, error) {
+	if !rel.Sorted() {
+		return nil, engine.Metrics{}, fmt.Errorf("bruteforce: relation is not sorted by time")
+	}
+	runners := make([]*engine.Runner, len(b.Automata))
+	for i, a := range b.Automata {
+		runners[i] = engine.New(a, opts...)
+	}
+	var matches []engine.Match
+	var maxTotal int64
+	for i := 0; i < rel.Len(); i++ {
+		e := rel.Event(i)
+		// |Ω| after line 4 of Algorithm 1, summed over all automata:
+		// the surviving instances plus one fresh start instance per
+		// automaton. Measured before consumption, exactly like the
+		// single-automaton metric.
+		total := int64(len(runners))
+		for _, r := range runners {
+			total += int64(r.ActiveInstances())
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		for _, r := range runners {
+			ms, err := r.Step(e)
+			if err != nil {
+				return nil, engine.Metrics{}, err
+			}
+			matches = append(matches, ms...)
+		}
+	}
+	for _, r := range runners {
+		matches = append(matches, r.Flush()...)
+	}
+	var agg engine.Metrics
+	for _, r := range runners {
+		agg.Add(r.Metrics())
+	}
+	agg.MaxSimultaneousInstances = maxTotal
+	matches = engine.Dedup(matches)
+	agg.Matches = int64(len(matches))
+	return matches, agg, nil
+}

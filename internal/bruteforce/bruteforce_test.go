@@ -1,0 +1,319 @@
+package bruteforce
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/pattern"
+)
+
+func simpleSchema() *event.Schema {
+	return event.MustSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+		event.Field{Name: "V", Type: event.TypeFloat},
+	)
+}
+
+// figure10Pattern is the all-singleton modification of the running
+// example used in Example 11: (⟨{c,p,d},{b}⟩, Θ, 264h).
+func figure10Pattern(t *testing.T) *pattern.Pattern {
+	t.Helper()
+	return pattern.New().
+		Set(pattern.Var("c"), pattern.Var("p"), pattern.Var("d")).
+		Set(pattern.Var("b")).
+		WhereConst("c", "L", pattern.Eq, event.String("C")).
+		WhereConst("d", "L", pattern.Eq, event.String("D")).
+		WhereConst("p", "L", pattern.Eq, event.String("P")).
+		WhereConst("b", "L", pattern.Eq, event.String("B")).
+		WhereVars("c", "ID", pattern.Eq, "p", "ID").
+		WhereVars("c", "ID", pattern.Eq, "d", "ID").
+		WhereVars("d", "ID", pattern.Eq, "b", "ID").
+		Within(264 * event.Hour).MustBuild()
+}
+
+func TestPermutations(t *testing.T) {
+	perms := Permutations([]string{"a", "b", "c"})
+	if len(perms) != 6 {
+		t.Fatalf("got %d permutations", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		seen[strings.Join(p, "")] = true
+	}
+	for _, want := range []string{"abc", "acb", "bac", "bca", "cab", "cba"} {
+		if !seen[want] {
+			t.Errorf("missing permutation %s", want)
+		}
+	}
+	if got := Permutations(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("Permutations(nil) = %v", got)
+	}
+}
+
+// TestFigure10Enumeration pins Example 11: the six sequences
+// P1..P6 and one automaton per sequence, each a five-state chain.
+func TestFigure10Enumeration(t *testing.T) {
+	b, err := Compile(figure10Pattern(t), paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Automata) != 6 || len(b.Orders) != 6 {
+		t.Fatalf("got %d automata", len(b.Automata))
+	}
+	want := map[string]bool{
+		"c,p,d,b": true, "c,d,p,b": true, "p,c,d,b": true,
+		"p,d,c,b": true, "d,c,p,b": true, "d,p,c,b": true,
+	}
+	for _, o := range b.Orders {
+		key := strings.Join(o, ",")
+		if !want[key] {
+			t.Errorf("unexpected order %s", key)
+		}
+		delete(want, key)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing orders: %v", want)
+	}
+	for i, a := range b.Automata {
+		// A sequence of 4 singleton sets: 2^1 + 3·(2^1-1) = 5 states.
+		if a.NumStates() != 5 {
+			t.Errorf("automaton %d has %d states, want 5", i, a.NumStates())
+		}
+		if a.NumTransitions() != 4 {
+			t.Errorf("automaton %d has %d transitions, want 4", i, a.NumTransitions())
+		}
+	}
+}
+
+func TestNumSequences(t *testing.T) {
+	n, err := NumSequences(figure10Pattern(t))
+	if err != nil || n != 6 {
+		t.Errorf("NumSequences = %d, %v; want 6", n, err)
+	}
+	// ⟨{6 vars},{1 var}⟩ → 720 sequences (Experiment 1's largest point).
+	b := pattern.New()
+	var vars []pattern.Variable
+	for _, n := range []string{"c", "d", "p", "v", "r", "l"} {
+		vars = append(vars, pattern.Var(n))
+	}
+	p := b.Set(vars...).Set(pattern.Var("b2")).Within(100).MustBuild()
+	n, err = NumSequences(p)
+	if err != nil || n != 720 {
+		t.Errorf("NumSequences(6,1) = %d, %v; want 720", n, err)
+	}
+}
+
+func TestGroupVariablesRejected(t *testing.T) {
+	p := paperdata.QueryQ1()
+	if _, err := NumSequences(p); err == nil || !strings.Contains(err.Error(), "group") {
+		t.Errorf("NumSequences should reject group variables: %v", err)
+	}
+	if _, err := Compile(p, paperdata.Schema()); err == nil {
+		t.Errorf("Compile should reject group variables")
+	}
+}
+
+// TestBFMatchesRunningExample: on the all-singleton pattern the union
+// of the sequence automata finds the same substitutions as the SES
+// automaton.
+func TestBFMatchesRunningExample(t *testing.T) {
+	p := figure10Pattern(t)
+	rel := paperdata.Relation()
+
+	sesA, err := automaton.Compile(p, paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sesMatches, _, err := engine.Run(sesA, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bf, err := Compile(p, paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfMatches, bfMetrics, err := bf.Run(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !sameMatchSet(engine.Dedup(sesMatches), bfMatches) {
+		t.Errorf("SES %v != BF %v", matchStrings(sesMatches), matchStrings(bfMatches))
+	}
+	if bfMetrics.MaxSimultaneousInstances == 0 {
+		t.Errorf("BF metrics empty")
+	}
+}
+
+// TestSESSubsetOfBFRandomised: the central cross-validation property.
+// On random all-singleton patterns over inputs with strictly increasing
+// timestamps, every match of the SES automaton is also found by the
+// brute-force union of sequence automata. The converse does NOT hold:
+// a sequence automaton may skip an event its next slot cannot bind,
+// whereas the SES automaton's skip-till-next-match semantics forces it
+// to consume any event that fires a transition. The brute-force extras
+// are exactly the substitutions that violate condition 4 of
+// Definition 2 (they skip events that match some variable), so the SES
+// automaton is the more faithful implementation of the declared
+// semantics; see DESIGN.md.
+func TestSESSubsetOfBFRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	types := []string{"A", "B", "C"}
+	for trial := 0; trial < 80; trial++ {
+		b := pattern.New()
+		name := 'a'
+		nsets := 1 + rng.Intn(2)
+		for i := 0; i < nsets; i++ {
+			var vars []pattern.Variable
+			nvars := 1 + rng.Intn(3)
+			for j := 0; j < nvars; j++ {
+				v := pattern.Var(string(name))
+				vars = append(vars, v)
+				b.WhereConst(v.Name, "L", pattern.Eq, event.String(types[rng.Intn(len(types))]))
+				name++
+			}
+			b.Set(vars...)
+		}
+		p := b.Within(event.Duration(3 + rng.Intn(12))).MustBuild()
+
+		r := event.NewRelation(simpleSchema())
+		tt := event.Time(0)
+		for n := 0; n < 12; n++ {
+			tt += event.Time(1 + rng.Intn(2))
+			r.MustAppend(tt, event.Int(1), event.String(types[rng.Intn(len(types))]), event.Float(0))
+		}
+		r.SortByTime()
+
+		sesA, err := automaton.Compile(p, simpleSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sesMatches, _, err := engine.Run(sesA, r, engine.WithMaxInstances(1_000_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := Compile(p, simpleSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfMatches, _, err := bf.Run(r, engine.WithMaxInstances(1_000_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfSet := map[string]bool{}
+		for _, m := range bfMatches {
+			bfSet[m.String()] = true
+		}
+		for _, m := range engine.Dedup(sesMatches) {
+			if !bfSet[m.String()] {
+				t.Fatalf("trial %d: SES match %s not found by brute force\npattern:\n%s\nSES: %v\nBF:  %v",
+					trial, m, p, matchStrings(engine.Dedup(sesMatches)), matchStrings(bfMatches))
+			}
+		}
+	}
+}
+
+// TestBFInstanceBlowup demonstrates the mechanism behind Table 1: with
+// mutually exclusive variables, (|V1|-1)! brute-force automata start an
+// instance on the same event where SES starts one.
+func TestBFInstanceBlowup(t *testing.T) {
+	mk := func(size int) *pattern.Pattern {
+		names := []string{"c", "d", "p", "v", "r", "l"}[:size]
+		typesOf := map[string]string{"c": "C", "d": "D", "p": "P", "v": "V", "r": "R", "l": "L"}
+		b := pattern.New()
+		var vars []pattern.Variable
+		for _, n := range names {
+			vars = append(vars, pattern.Var(n))
+			b.WhereConst(n, "L", pattern.Eq, event.String(typesOf[n]))
+		}
+		return b.Set(vars...).Within(1000).MustBuild()
+	}
+	// A single C event: SES keeps 1 derived instance, BF keeps
+	// (size-1)! (all automata whose sequence starts with c).
+	r := event.NewRelation(simpleSchema())
+	r.MustAppend(0, event.Int(1), event.String("C"), event.Float(0))
+
+	for _, size := range []int{2, 3, 4} {
+		p := mk(size)
+		sesA, err := automaton.Compile(p, simpleSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sesR := engine.New(sesA)
+		if _, err := sesR.Step(r.Event(0)); err != nil {
+			t.Fatal(err)
+		}
+		bf, err := Compile(p, simpleSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfAlive := 0
+		for _, a := range bf.Automata {
+			runner := engine.New(a)
+			if _, err := runner.Step(r.Event(0)); err != nil {
+				t.Fatal(err)
+			}
+			bfAlive += runner.ActiveInstances()
+		}
+		fact := 1
+		for k := 2; k < size; k++ {
+			fact *= k
+		}
+		if sesR.ActiveInstances() != 1 {
+			t.Errorf("size %d: SES kept %d instances, want 1", size, sesR.ActiveInstances())
+		}
+		if bfAlive != fact {
+			t.Errorf("size %d: BF kept %d instances, want (size-1)! = %d", size, bfAlive, fact)
+		}
+	}
+}
+
+func TestBFRunValidation(t *testing.T) {
+	bf, err := Compile(figure10Pattern(t), paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := event.NewRelation(paperdata.Schema())
+	r.MustAppend(5, event.Int(1), event.String("C"), event.Float(0), event.String("mg"))
+	r.MustAppend(1, event.Int(1), event.String("D"), event.Float(0), event.String("mg"))
+	if _, _, err := bf.Run(r); err == nil {
+		t.Errorf("unsorted relation accepted")
+	}
+}
+
+func sameMatchSet(a, b []engine.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[string]int{}
+	for _, m := range a {
+		set[m.String()]++
+	}
+	for _, m := range b {
+		set[m.String()]--
+	}
+	for _, n := range set {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func matchStrings(ms []engine.Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
+var _ = fmt.Sprintf // keep fmt for debug helpers

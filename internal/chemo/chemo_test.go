@@ -1,0 +1,134 @@
+package chemo
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Tiny())
+	b := MustGenerate(Tiny())
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		x, y := a.Event(i), b.Event(i)
+		if x.Time != y.Time {
+			t.Fatalf("event %d times differ", i)
+		}
+		for j := range x.Attrs {
+			if !x.Attrs[j].Equal(y.Attrs[j]) {
+				t.Fatalf("event %d attr %d differ: %v vs %v", i, j, x.Attrs[j], y.Attrs[j])
+			}
+		}
+	}
+	c := MustGenerate(Config{Patients: 3, CyclesPerPatient: 2, CycleGapDays: 21,
+		StartSpreadDays: 10, NoisePerDay: 1.0, NoiseTypes: 4, Seed: 8})
+	same := c.Len() == a.Len()
+	if same {
+		for i := 0; i < a.Len(); i++ {
+			if a.Event(i).Time != c.Event(i).Time {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical relations")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := Small()
+	rel := MustGenerate(cfg)
+	if !rel.Sorted() {
+		t.Fatalf("relation not sorted")
+	}
+	s := Describe(rel)
+	if s.Patients != cfg.Patients {
+		t.Errorf("patients = %d, want %d", s.Patients, cfg.Patients)
+	}
+	// Per cycle: C, D, V, R, L once and P five times.
+	wantPerCycle := map[string]int{"C": 1, "D": 1, "V": 1, "R": 1, "L": 1, "P": 5}
+	cycles := cfg.Patients * cfg.CyclesPerPatient
+	for typ, per := range wantPerCycle {
+		if got := s.PerType[typ]; got != per*cycles {
+			t.Errorf("%s events = %d, want %d", typ, got, per*cycles)
+		}
+	}
+	if got := s.PerType[BloodCount]; got != 3*cycles {
+		t.Errorf("B events = %d, want %d", got, 3*cycles)
+	}
+	if s.NoiseEvents == 0 {
+		t.Errorf("no noise events generated")
+	}
+	// The filtering experiment needs noise to dominate.
+	if frac := float64(s.NoiseEvents) / float64(s.Events); frac < 0.5 {
+		t.Errorf("noise fraction = %.2f, want > 0.5 (%s)", frac, s)
+	}
+	if s.WindowSize < 50 {
+		t.Errorf("window size suspiciously small: %s", s)
+	}
+}
+
+func TestDatasetsScaleWindow(t *testing.T) {
+	ds, err := Datasets(Tiny(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5 {
+		t.Fatalf("got %d datasets", len(ds))
+	}
+	w1 := ds[0].WindowSize(264 * event.Hour)
+	for i, d := range ds {
+		k := i + 1
+		if d.Len() != k*ds[0].Len() {
+			t.Errorf("D%d has %d events, want %d", k, d.Len(), k*ds[0].Len())
+		}
+		if got := d.WindowSize(264 * event.Hour); got != k*w1 {
+			t.Errorf("D%d window = %d, want %d", k, got, k*w1)
+		}
+	}
+	if _, err := Datasets(Tiny(), 0); err == nil {
+		t.Errorf("Datasets(0) should fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Patients: 0, CyclesPerPatient: 1, CycleGapDays: 21},
+		{Patients: 1, CyclesPerPatient: 0, CycleGapDays: 21},
+		{Patients: 1, CyclesPerPatient: 1, CycleGapDays: 3},
+		{Patients: 1, CyclesPerPatient: 1, CycleGapDays: 21, StartSpreadDays: -1},
+		{Patients: 1, CyclesPerPatient: 1, CycleGapDays: 21, NoisePerDay: -1},
+		{Patients: 1, CyclesPerPatient: 1, CycleGapDays: 21, NoisePerDay: 1, NoiseTypes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail: %+v", i, c)
+		}
+	}
+	if err := Small().Validate(); err != nil {
+		t.Errorf("Small() invalid: %v", err)
+	}
+	if err := Paper().Validate(); err != nil {
+		t.Errorf("Paper() invalid: %v", err)
+	}
+	if _, err := Generate(bad[0]); err == nil {
+		t.Errorf("Generate with invalid config should fail")
+	}
+}
+
+func TestDescribeString(t *testing.T) {
+	s := Describe(MustGenerate(Tiny())).String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("Describe string too short: %q", s)
+	}
+}
+
+func TestSchemaMatchesPaper(t *testing.T) {
+	if got := Schema().String(); got != "ID:int, L:string, V:float, U:string" {
+		t.Errorf("schema = %q", got)
+	}
+}

@@ -1,0 +1,379 @@
+// Package engine executes SES automata over event relations and
+// streams, implementing Algorithms 1 (SESExec) and 2 (ConsumeEvent) of
+// Cadonna, Gamper, Böhlen: "Sequenced Event Set Pattern Matching"
+// (EDBT 2011), the automaton-instance model of Definition 4, the
+// skip-till-next-match / MAXIMAL semantics of Definition 2, and the
+// event filtering optimisation of Section 4.5.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/automaton"
+	"repro/internal/event"
+)
+
+// Strategy selects the event selection strategy.
+type Strategy uint8
+
+const (
+	// SkipTillNext is the paper's strategy (Definition 2, condition 4):
+	// when at least one transition fires for an instance, the instance
+	// moves (branching on non-determinism) and never also stays behind;
+	// events firing no transition are skipped.
+	SkipTillNext Strategy = iota
+	// SkipTillAny is the NFA^b-style extension in which an instance may
+	// also ignore an event that fires transitions: the original
+	// instance is retained alongside its children. It explores all
+	// combinations and can explode combinatorially; it exists for the
+	// ablation study and is not part of the paper's semantics.
+	SkipTillAny
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == SkipTillAny {
+		return "skip-till-any-match"
+	}
+	return "skip-till-next-match"
+}
+
+// TraceStep describes one fired transition, for execution tracing
+// (cf. the paper's Figure 6).
+type TraceStep struct {
+	Event     *event.Event
+	FromState int
+	ToState   int
+	Var       int
+	Loop      bool
+	// Buffer is the new instance's match buffer rendered as
+	// "{v1/e0, v2/e3, ...}" in binding order.
+	Buffer string
+}
+
+// config holds the runner options.
+type config struct {
+	filter       bool
+	strategy     Strategy
+	maxInstances int
+	trace        func(TraceStep)
+	emitOnAccept bool
+}
+
+// Option configures a Runner.
+type Option func(*config)
+
+// WithFilter enables the event filtering optimisation of Section 4.5:
+// events that cannot satisfy the constant conditions of any variable
+// are skipped without iterating over the automaton instances.
+func WithFilter(on bool) Option { return func(c *config) { c.filter = on } }
+
+// WithStrategy selects the event selection strategy (default:
+// SkipTillNext, the paper's semantics).
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithMaxInstances sets a safety cap on simultaneous automaton
+// instances; Step fails when the cap would be exceeded. 0 (default)
+// means unlimited.
+func WithMaxInstances(n int) Option { return func(c *config) { c.maxInstances = n } }
+
+// WithTrace installs a hook invoked for every fired transition.
+func WithTrace(f func(TraceStep)) Option { return func(c *config) { c.trace = f } }
+
+// WithEmitOnAccept switches from the paper's MAXIMAL emission (matches
+// surface when an accepting instance expires or at end of input, with
+// every greedy binding collected) to first-match alerting: a match is
+// emitted the moment an instance reaches the accepting state, and the
+// instance terminates. Group variables in the last event set pattern
+// therefore bind only the events consumed up to acceptance. Useful
+// when detection latency matters more than maximality.
+func WithEmitOnAccept(on bool) Option { return func(c *config) { c.emitOnAccept = on } }
+
+// node is one binding v/e in a match buffer β. Buffers are persistent
+// singly-linked lists so that branching instances share their common
+// prefix in O(1).
+type node struct {
+	varIdx int32
+	ev     *event.Event
+	prev   *node
+}
+
+// instance is an automaton instance (qc, β) of Definition 4, extended
+// with cached aggregates used by the expiry check and the inter-set
+// time constraints of the concatenation (Section 4.2.2).
+type instance struct {
+	state       int32
+	curSet      int32      // highest event set pattern with a binding
+	buf         *node      // match buffer β; nil in the start state
+	minT        event.Time // earliest bound event time (minT(β))
+	maxT        event.Time // latest bound event time
+	prevSetsMax event.Time // max event time over sets < curSet
+}
+
+const noTime = event.Time(math.MinInt64)
+
+// Runner executes one SES automaton incrementally. It is not safe for
+// concurrent use; create one Runner per goroutine.
+type Runner struct {
+	a       *automaton.Automaton
+	cfg     config
+	insts   []instance
+	scratch []instance
+	metrics Metrics
+	done    bool
+	err     error // set by Stream on abnormal termination
+
+	// stepMatches collects matches emitted mid-consume under the
+	// WithEmitOnAccept mode; drained by Step (and by IndexedRunner).
+	stepMatches []Match
+}
+
+// New creates a Runner for the automaton.
+func New(a *automaton.Automaton, opts ...Option) *Runner {
+	r := &Runner{a: a}
+	for _, o := range opts {
+		o(&r.cfg)
+	}
+	return r
+}
+
+// Automaton returns the automaton the runner executes.
+func (r *Runner) Automaton() *automaton.Automaton { return r.a }
+
+// Metrics returns the execution metrics collected so far.
+func (r *Runner) Metrics() Metrics { return r.metrics }
+
+// ActiveInstances returns |Ω|, the number of automaton instances
+// currently alive (excluding the per-event fresh start instance).
+func (r *Runner) ActiveInstances() int { return len(r.insts) }
+
+// Reset discards all instances and metrics, making the runner ready
+// for a new input.
+func (r *Runner) Reset() {
+	r.insts = r.insts[:0]
+	r.metrics = Metrics{}
+	r.done = false
+	r.err = nil
+}
+
+// Step consumes the next input event, which must not precede any
+// previously consumed event in time, and returns the matches completed
+// by this step (instances that expired in the accepting state).
+// The returned matches reference e; the pointer must stay valid.
+func (r *Runner) Step(e *event.Event) ([]Match, error) {
+	if r.done {
+		return nil, fmt.Errorf("engine: Step after Flush")
+	}
+	r.metrics.EventsProcessed++
+	if r.cfg.filter && !r.a.PassesFilter(e) {
+		r.metrics.EventsFiltered++
+		return nil, nil
+	}
+
+	// Line 4 of Algorithm 1: a fresh instance in the start state joins
+	// Ω for every (unfiltered) input event.
+	r.metrics.StartInstances++
+	if omega := int64(len(r.insts)) + 1; omega > r.metrics.MaxSimultaneousInstances {
+		r.metrics.MaxSimultaneousInstances = omega
+	}
+
+	var matches []Match
+	out := r.scratch[:0]
+	fresh := instance{state: int32(r.a.Start), minT: noTime, maxT: noTime, prevSetsMax: noTime}
+
+	consumeAll := func(inst *instance) {
+		r.metrics.InstanceIterations++
+		if inst.buf != nil && event.Duration(e.Time-inst.minT) > r.a.Within {
+			// The instance expires: the time interval spanned by the
+			// earliest buffered event and the current event exceeds τ.
+			r.metrics.ExpiredInstances++
+			if int(inst.state) == r.a.Accept {
+				matches = append(matches, r.buildMatch(inst))
+			}
+			return
+		}
+		out = r.consume(inst, e, out)
+	}
+
+	for i := range r.insts {
+		consumeAll(&r.insts[i])
+	}
+	consumeAll(&fresh)
+	if len(r.stepMatches) > 0 {
+		matches = append(matches, r.stepMatches...)
+		r.stepMatches = r.stepMatches[:0]
+	}
+
+	r.insts, r.scratch = out, r.insts
+	if r.cfg.maxInstances > 0 && len(r.insts) > r.cfg.maxInstances {
+		return matches, fmt.Errorf("engine: %d simultaneous automaton instances exceed the cap of %d",
+			len(r.insts), r.cfg.maxInstances)
+	}
+	r.metrics.Matches += int64(len(matches))
+	return matches, nil
+}
+
+// consume implements Algorithm 2 for one instance: it tries every
+// outgoing transition of the instance's current state against e and
+// appends the resulting instances to out, which it returns.
+func (r *Runner) consume(inst *instance, e *event.Event, out []instance) []instance {
+	fired := 0
+	for ti := range r.a.Out[inst.state] {
+		t := &r.a.Out[inst.state][ti]
+		r.metrics.TransitionsAttempted++
+		if !r.eval(t, inst, e) {
+			continue
+		}
+		fired++
+		r.metrics.TransitionsFired++
+		r.metrics.InstancesCreated++
+		child := instance{
+			state: int32(t.Target),
+			buf:   &node{varIdx: int32(t.Var), ev: e, prev: inst.buf},
+			minT:  inst.minT,
+			maxT:  e.Time,
+		}
+		if child.minT == noTime {
+			child.minT = e.Time
+		}
+		vset := int32(r.a.Vars[t.Var].Set)
+		if inst.buf == nil {
+			child.curSet, child.prevSetsMax = vset, noTime
+		} else if vset > inst.curSet {
+			child.curSet, child.prevSetsMax = vset, inst.maxT
+		} else {
+			child.curSet, child.prevSetsMax = inst.curSet, inst.prevSetsMax
+		}
+		if inst.maxT > child.maxT {
+			child.maxT = inst.maxT
+		}
+		if r.cfg.trace != nil {
+			r.cfg.trace(TraceStep{
+				Event:     e,
+				FromState: int(inst.state),
+				ToState:   t.Target,
+				Var:       t.Var,
+				Loop:      t.Loop,
+				Buffer:    r.bufferString(child.buf),
+			})
+		}
+		if r.cfg.emitOnAccept && t.Target == r.a.Accept {
+			// First-match alerting: emit immediately and terminate the
+			// lineage instead of waiting for expiry.
+			r.stepMatches = append(r.stepMatches, r.buildMatch(&child))
+			continue
+		}
+		out = append(out, child)
+	}
+	if fired == 0 {
+		// No transition fired: the event is skipped. Instances still in
+		// the start state die (only the per-event fresh instance sits
+		// there); all others wait for the next matching event
+		// (skip-till-next-match).
+		if int(inst.state) != r.a.Start {
+			out = append(out, *inst)
+		}
+		return out
+	}
+	if r.cfg.strategy == SkipTillAny && int(inst.state) != r.a.Start {
+		// Extension: the instance may also ignore the event.
+		out = append(out, *inst)
+	}
+	return out
+}
+
+// eval checks a transition's conditions plus the structural inter-set
+// time constraint for binding event e on instance inst.
+func (r *Runner) eval(t *automaton.Transition, inst *instance, e *event.Event) bool {
+	// Concatenation constraint (Section 4.2.2): every event bound to a
+	// variable of event set pattern Vj must occur strictly after all
+	// events bound to variables of V1..V(j-1).
+	if vset := int32(r.a.Vars[t.Var].Set); vset > 0 && inst.buf != nil {
+		prevMax := inst.prevSetsMax
+		if vset > inst.curSet {
+			prevMax = inst.maxT
+		}
+		if prevMax != noTime && e.Time <= prevMax {
+			return false
+		}
+	}
+	for ci := range t.Conds {
+		c := &t.Conds[ci]
+		left := e.Attrs[c.BindAttr]
+		switch {
+		case c.OtherVar < 0:
+			cmp, err := event.Compare(left, c.Const)
+			if err != nil || !c.Op.Eval(cmp) {
+				return false
+			}
+		case c.SelfOnly:
+			// v.A φ v.A': per the decomposition semantics each
+			// decomposed substitution holds one binding per variable,
+			// so the condition relates attributes of the same event.
+			cmp, err := event.Compare(left, e.Attrs[c.OtherAttr])
+			if err != nil || !c.Op.Eval(cmp) {
+				return false
+			}
+		default:
+			// The new event must satisfy the condition against every
+			// existing binding of the other variable (group variables
+			// may hold several).
+			for n := inst.buf; n != nil; n = n.prev {
+				if int(n.varIdx) != c.OtherVar {
+					continue
+				}
+				cmp, err := event.Compare(left, n.ev.Attrs[c.OtherAttr])
+				if err != nil || !c.Op.Eval(cmp) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Flush ends the input and returns the matches of all remaining
+// instances that reached the accepting state. Algorithm 1 only emits
+// on expiry; a complete implementation must also emit the accepting
+// instances alive at end of input.
+func (r *Runner) Flush() []Match {
+	if r.done {
+		return nil
+	}
+	r.done = true
+	var matches []Match
+	for i := range r.insts {
+		if int(r.insts[i].state) == r.a.Accept {
+			matches = append(matches, r.buildMatch(&r.insts[i]))
+		}
+	}
+	r.metrics.Matches += int64(len(matches))
+	r.insts = r.insts[:0]
+	return matches
+}
+
+// Run executes the automaton over a complete, time-sorted relation and
+// returns all matching substitutions plus execution metrics. When the
+// maximality filter option is requested via opts it is applied to the
+// full result set.
+func Run(a *automaton.Automaton, rel *event.Relation, opts ...Option) ([]Match, Metrics, error) {
+	if !rel.Sorted() {
+		return nil, Metrics{}, fmt.Errorf("engine: relation is not sorted by time")
+	}
+	if !rel.Schema().Equal(a.Schema) {
+		return nil, Metrics{}, fmt.Errorf("engine: relation schema (%s) differs from automaton schema (%s)",
+			rel.Schema(), a.Schema)
+	}
+	r := New(a, opts...)
+	var matches []Match
+	for i := 0; i < rel.Len(); i++ {
+		ms, err := r.Step(rel.Event(i))
+		if err != nil {
+			return nil, r.Metrics(), err
+		}
+		matches = append(matches, ms...)
+	}
+	matches = append(matches, r.Flush()...)
+	return matches, r.Metrics(), nil
+}

@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/event"
+)
+
+// IndexedRunner is an alternative evaluator implementing the instance
+// indexing the paper's conclusion names as future work ("study space
+// and runtime optimizations for our algorithm, including indexing
+// techniques for automaton instances [Cayuga]").
+//
+// Instances are bucketed by automaton state. For each input event the
+// runner first determines the candidate variables — those whose
+// constant conditions the event satisfies — and then visits only the
+// buckets of states with an outgoing transition on a candidate
+// variable. Instances in other buckets are untouched: no transition of
+// theirs could fire (their constant checks would fail), and under
+// skip-till-next-match an instance that fires nothing just waits, so
+// skipping the visit is behaviour-preserving. Expiry of unvisited
+// instances is detected lazily (on their next visit, during periodic
+// sweeps, and at Flush), which postpones match emission but never
+// changes the match set — mirroring how the Section 4.5 filter already
+// postpones expiry for filtered events.
+//
+// The payoff grows with the selectivity of the pattern's constant
+// conditions: for case-1 patterns (mutually exclusive variables) an
+// event of one type only touches the states still waiting for that
+// type.
+type IndexedRunner struct {
+	a   *automaton.Automaton
+	cfg config
+
+	// buckets holds the live instances per state ID.
+	buckets [][]instance
+	total   int
+
+	// statesByVar[v] lists the states with an outgoing transition on
+	// variable v, ascending.
+	statesByVar [][]int
+
+	// candidateVars and candidateStates are per-event scratch space.
+	candidateVars   []bool
+	candidateStates []bool
+	visitOrder      []int
+
+	metrics    Metrics
+	sweepEvery int64
+	lastSweep  int64
+	done       bool
+
+	// helper is a plain Runner sharing this runner's automaton and
+	// config; it provides consume/eval/buildMatch (Algorithm 2) and
+	// accumulates the transition counters.
+	helper *Runner
+}
+
+// NewIndexed creates an IndexedRunner. The SkipTillAny strategy is not
+// supported (retained originals would need re-bucketing bookkeeping
+// that defeats the index); use the plain Runner for it.
+func NewIndexed(a *automaton.Automaton, opts ...Option) (*IndexedRunner, error) {
+	r := &IndexedRunner{a: a, sweepEvery: 512}
+	for _, o := range opts {
+		o(&r.cfg)
+	}
+	if r.cfg.strategy != SkipTillNext {
+		return nil, fmt.Errorf("engine: IndexedRunner supports only skip-till-next-match")
+	}
+	r.buckets = make([][]instance, a.NumStates())
+	r.statesByVar = make([][]int, a.NumVars())
+	for id, ts := range a.Out {
+		seen := make(map[int]bool)
+		for _, t := range ts {
+			if !seen[t.Var] {
+				seen[t.Var] = true
+				r.statesByVar[t.Var] = append(r.statesByVar[t.Var], id)
+			}
+		}
+	}
+	r.candidateVars = make([]bool, a.NumVars())
+	r.candidateStates = make([]bool, a.NumStates())
+	return r, nil
+}
+
+// ActiveInstances returns the number of live (possibly lazily expired)
+// instances across all buckets.
+func (r *IndexedRunner) ActiveInstances() int { return r.total }
+
+// Metrics returns the execution counters collected so far.
+func (r *IndexedRunner) Metrics() Metrics { return r.metrics }
+
+// Step consumes the next input event and returns completed matches.
+func (r *IndexedRunner) Step(e *event.Event) ([]Match, error) {
+	if r.done {
+		return nil, fmt.Errorf("engine: Step after Flush")
+	}
+	r.metrics.EventsProcessed++
+	if r.cfg.filter && !r.a.PassesFilter(e) {
+		r.metrics.EventsFiltered++
+		return nil, nil
+	}
+	r.metrics.StartInstances++
+	if omega := int64(r.total) + 1; omega > r.metrics.MaxSimultaneousInstances {
+		r.metrics.MaxSimultaneousInstances = omega
+	}
+
+	// Candidate variables: constant conditions satisfied by e
+	// (vacuously for variables without constant conditions).
+	visit := r.visitOrder[:0]
+	for vi := range r.a.Vars {
+		ok := true
+		for _, c := range r.a.Vars[vi].ConstChecks {
+			if !c.Eval(e) {
+				ok = false
+				break
+			}
+		}
+		r.candidateVars[vi] = ok
+		if ok {
+			for _, sid := range r.statesByVar[vi] {
+				if !r.candidateStates[sid] {
+					r.candidateStates[sid] = true
+					visit = append(visit, sid)
+				}
+			}
+		}
+	}
+	r.visitOrder = visit
+
+	var matches []Match
+	helper := runnerFor(r)
+
+	// Visit candidate buckets plus the fresh start instance.
+	var moved []instance
+	for _, sid := range visit {
+		bucket := r.buckets[sid]
+		kept := bucket[:0]
+		for i := range bucket {
+			inst := &bucket[i]
+			r.metrics.InstanceIterations++
+			if event.Duration(e.Time-inst.minT) > r.a.Within {
+				r.metrics.ExpiredInstances++
+				if int(inst.state) == r.a.Accept {
+					matches = append(matches, helper.buildMatch(inst))
+				}
+				r.total--
+				continue
+			}
+			before := len(moved)
+			moved = helper.consume(inst, e, moved)
+			// consume returns either children (instance moved) or the
+			// instance itself (nothing fired). Instances that stayed in
+			// place keep their bucket slot to avoid re-appending.
+			if len(moved) == before+1 && moved[before].state == inst.state && moved[before].buf == inst.buf {
+				kept = append(kept, *inst)
+				moved = moved[:before]
+			} else {
+				r.total--
+			}
+		}
+		r.buckets[sid] = kept
+		r.candidateStates[sid] = false
+	}
+	if r.candidateStateStart() {
+		fresh := instance{state: int32(r.a.Start), minT: noTime, maxT: noTime, prevSetsMax: noTime}
+		moved = helper.consume(&fresh, e, moved)
+	}
+	for _, inst := range moved {
+		r.buckets[inst.state] = append(r.buckets[inst.state], inst)
+		r.total++
+	}
+	if len(helper.stepMatches) > 0 {
+		matches = append(matches, helper.stepMatches...)
+		helper.stepMatches = helper.stepMatches[:0]
+	}
+	r.metrics.TransitionsAttempted = helper.metrics.TransitionsAttempted
+	r.metrics.TransitionsFired = helper.metrics.TransitionsFired
+	r.metrics.InstancesCreated = helper.metrics.InstancesCreated
+
+	// Periodic sweep: reclaim lazily expired instances bucket by
+	// bucket so memory stays proportional to the live window.
+	if r.metrics.EventsProcessed-r.lastSweep >= r.sweepEvery {
+		r.lastSweep = r.metrics.EventsProcessed
+		matches = append(matches, r.sweep(e.Time)...)
+	}
+
+	if r.cfg.maxInstances > 0 && r.total > r.cfg.maxInstances {
+		return matches, fmt.Errorf("engine: %d simultaneous automaton instances exceed the cap of %d",
+			r.total, r.cfg.maxInstances)
+	}
+	r.metrics.Matches += int64(len(matches))
+	return matches, nil
+}
+
+// candidateStateStart reports whether the start state had a candidate
+// transition for the current event (the fresh instance can only fire
+// first-variable transitions).
+func (r *IndexedRunner) candidateStateStart() bool {
+	for _, t := range r.a.Out[r.a.Start] {
+		if r.candidateVars[t.Var] {
+			return true
+		}
+	}
+	return false
+}
+
+// sweep removes expired instances from every bucket, emitting matches
+// for the accepting ones.
+func (r *IndexedRunner) sweep(now event.Time) []Match {
+	helper := runnerFor(r)
+	var matches []Match
+	for sid := range r.buckets {
+		bucket := r.buckets[sid]
+		kept := bucket[:0]
+		for i := range bucket {
+			inst := &bucket[i]
+			if event.Duration(now-inst.minT) > r.a.Within {
+				r.metrics.ExpiredInstances++
+				if int(inst.state) == r.a.Accept {
+					matches = append(matches, helper.buildMatch(inst))
+				}
+				r.total--
+				continue
+			}
+			kept = append(kept, *inst)
+		}
+		r.buckets[sid] = kept
+	}
+	return matches
+}
+
+// Flush ends the input and emits the remaining accepting instances.
+func (r *IndexedRunner) Flush() []Match {
+	if r.done {
+		return nil
+	}
+	r.done = true
+	helper := runnerFor(r)
+	var matches []Match
+	for sid := range r.buckets {
+		for i := range r.buckets[sid] {
+			if int(r.buckets[sid][i].state) == r.a.Accept {
+				matches = append(matches, helper.buildMatch(&r.buckets[sid][i]))
+			}
+		}
+		r.buckets[sid] = nil
+	}
+	r.total = 0
+	r.metrics.Matches += int64(len(matches))
+	return matches
+}
+
+// runnerFor returns the cached plain-Runner adapter whose
+// consume/eval/buildMatch implement Algorithm 2.
+func runnerFor(r *IndexedRunner) *Runner {
+	if r.helper == nil {
+		r.helper = &Runner{a: r.a, cfg: r.cfg}
+	}
+	return r.helper
+}
+
+// RunIndexed executes the automaton over a complete relation with the
+// indexed evaluator, returning matches and metrics like Run.
+func RunIndexed(a *automaton.Automaton, rel *event.Relation, opts ...Option) ([]Match, Metrics, error) {
+	if !rel.Sorted() {
+		return nil, Metrics{}, fmt.Errorf("engine: relation is not sorted by time")
+	}
+	if !rel.Schema().Equal(a.Schema) {
+		return nil, Metrics{}, fmt.Errorf("engine: relation schema (%s) differs from automaton schema (%s)",
+			rel.Schema(), a.Schema)
+	}
+	r, err := NewIndexed(a, opts...)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	var matches []Match
+	for i := 0; i < rel.Len(); i++ {
+		ms, err := r.Step(rel.Event(i))
+		if err != nil {
+			return nil, r.Metrics(), err
+		}
+		matches = append(matches, ms...)
+	}
+	matches = append(matches, r.Flush()...)
+	return matches, r.Metrics(), nil
+}

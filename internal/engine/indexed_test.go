@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/pattern"
+)
+
+// TestIndexedMatchesPlainOnRunningExample: the indexed evaluator finds
+// exactly the plain evaluator's matches on the paper's example.
+func TestIndexedMatchesPlainOnRunningExample(t *testing.T) {
+	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
+	rel := paperdata.Relation()
+	plain, _, err := Run(a, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, im, err := RunIndexed(a, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatchSet(plain, indexed) {
+		t.Errorf("indexed %v != plain %v", matchStrings(indexed), matchStrings(plain))
+	}
+	if im.EventsProcessed != 14 {
+		t.Errorf("EventsProcessed = %d", im.EventsProcessed)
+	}
+}
+
+// TestIndexedEquivalenceRandomised is the central property: on random
+// patterns (singletons and groups, exclusive and overlapping
+// conditions, with and without joins) over random inputs, indexed and
+// plain evaluation produce identical match sets.
+func TestIndexedEquivalenceRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	types := []string{"A", "B", "C"}
+	for trial := 0; trial < 100; trial++ {
+		b := pattern.New()
+		name := 'a'
+		nsets := 1 + rng.Intn(2)
+		withJoin := rng.Intn(2) == 0
+		var first string
+		for i := 0; i < nsets; i++ {
+			var vars []pattern.Variable
+			nvars := 1 + rng.Intn(3)
+			for j := 0; j < nvars; j++ {
+				v := pattern.Var(string(name))
+				if rng.Intn(3) == 0 {
+					v = pattern.Plus(string(name))
+				}
+				vars = append(vars, v)
+				if rng.Intn(4) != 0 { // some variables stay unconstrained
+					b.WhereConst(v.Name, "L", pattern.Eq, event.String(types[rng.Intn(len(types))]))
+				}
+				if first == "" {
+					first = v.Name
+				} else if withJoin {
+					b.WhereVars(first, "ID", pattern.Eq, v.Name, "ID")
+				}
+				name++
+			}
+			b.Set(vars...)
+		}
+		p := b.Within(event.Duration(2 + rng.Intn(10))).MustBuild()
+		a := compile(t, p, simpleSchema())
+
+		r := event.NewRelation(simpleSchema())
+		tt := event.Time(0)
+		for n := 0; n < 20; n++ {
+			tt += event.Time(rng.Intn(3)) // ties included
+			r.MustAppend(tt, event.Int(1+int64(rng.Intn(2))),
+				event.String(types[rng.Intn(len(types))]), event.Float(0))
+		}
+		r.SortByTime()
+
+		for _, filter := range []bool{false, true} {
+			plain, _, err := Run(a, r, WithFilter(filter), WithMaxInstances(500000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			indexed, _, err := RunIndexed(a, r, WithFilter(filter), WithMaxInstances(500000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMatchSet(plain, indexed) {
+				t.Fatalf("trial %d (filter=%v): indexed and plain disagree\npattern:\n%s\nplain:   %v\nindexed: %v",
+					trial, filter, p, matchStrings(plain), matchStrings(indexed))
+			}
+		}
+	}
+}
+
+// TestIndexedSweep: lazily expired instances are reclaimed by the
+// periodic sweep, keeping memory bounded, and their matches are
+// emitted.
+func TestIndexedSweep(t *testing.T) {
+	a := compile(t, seqPattern(t, 10), simpleSchema())
+	r, err := NewIndexed(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sweepEvery = 8
+	var matches []Match
+	// One complete episode, then a long tail of A events that never
+	// complete; the B-waiting instances from the tail expire and the
+	// sweep must reclaim them.
+	tt := event.Time(0)
+	feed := func(l string) {
+		tt += 5
+		e := event.Event{Seq: int(tt), Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+		ms, err := r.Step(&e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches = append(matches, ms...)
+	}
+	feed("A")
+	feed("B")
+	for i := 0; i < 40; i++ {
+		feed("A")
+	}
+	if r.ActiveInstances() > 8 {
+		t.Errorf("sweep did not bound instances: %d alive", r.ActiveInstances())
+	}
+	if len(matches) != 1 {
+		t.Errorf("matches = %v", matchStrings(matches))
+	}
+	matches = append(matches, r.Flush()...)
+	if len(matches) != 1 {
+		t.Errorf("flush added unexpected matches: %v", matchStrings(matches))
+	}
+}
+
+// TestIndexedSkipsUnrelatedBuckets: an event whose type only fires
+// transitions of a few states must not iterate instances parked in
+// other states.
+func TestIndexedSkipsUnrelatedBuckets(t *testing.T) {
+	// Exclusive two-set pattern: instances waiting for B sit in state
+	// {x}; further A events must not touch them.
+	a := compile(t, seqPattern(t, 1000), simpleSchema())
+	r, err := NewIndexed(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := event.Time(0)
+	feed := func(l string) {
+		tt++
+		e := event.Event{Seq: int(tt), Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+		if _, err := r.Step(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed("A") // one instance now waits in state {x} for a B
+	iterBefore := r.Metrics().InstanceIterations
+	for i := 0; i < 10; i++ {
+		feed("A") // A fires only from the start state
+	}
+	delta := r.Metrics().InstanceIterations - iterBefore
+	if delta != 0 {
+		t.Errorf("A events iterated %d parked instances; the index should skip them", delta)
+	}
+	plainR := New(a)
+	tt = 0
+	feedPlain := func(l string) {
+		tt++
+		e := event.Event{Seq: int(tt), Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+		if _, err := plainR.Step(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 11; i++ {
+		feedPlain("A")
+	}
+	if plainR.Metrics().InstanceIterations <= delta {
+		t.Errorf("plain runner should iterate more: %d", plainR.Metrics().InstanceIterations)
+	}
+}
+
+func TestIndexedValidation(t *testing.T) {
+	a := compile(t, seqPattern(t, 10), simpleSchema())
+	if _, err := NewIndexed(a, WithStrategy(SkipTillAny)); err == nil {
+		t.Errorf("skip-till-any should be rejected")
+	}
+	unsorted := event.NewRelation(simpleSchema())
+	unsorted.MustAppend(5, event.Int(1), event.String("A"), event.Float(0))
+	unsorted.MustAppend(1, event.Int(1), event.String("B"), event.Float(0))
+	if _, _, err := RunIndexed(a, unsorted); err == nil {
+		t.Errorf("unsorted relation accepted")
+	}
+	other := event.NewRelation(event.MustSchema(event.Field{Name: "x", Type: event.TypeInt}))
+	if _, _, err := RunIndexed(a, other); err == nil {
+		t.Errorf("schema mismatch accepted")
+	}
+	r, err := NewIndexed(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	e := event.Event{Attrs: []event.Value{event.Int(1), event.String("A"), event.Float(0)}}
+	if _, err := r.Step(&e); err == nil {
+		t.Errorf("Step after Flush should fail")
+	}
+}
+
+func TestIndexedInstanceCap(t *testing.T) {
+	p := pattern.New().
+		Set(pattern.Var("x"), pattern.Var("y"), pattern.Var("z")).
+		WhereConst("x", "L", pattern.Eq, event.String("P")).
+		WhereConst("y", "L", pattern.Eq, event.String("P")).
+		WhereConst("z", "L", pattern.Eq, event.String("P")).
+		Within(1000).MustBuild()
+	a := compile(t, p, simpleSchema())
+	r := event.NewRelation(simpleSchema())
+	for i := 0; i < 12; i++ {
+		r.MustAppend(event.Time(i), event.Int(1), event.String("P"), event.Float(0))
+	}
+	if _, _, err := RunIndexed(a, r, WithMaxInstances(10)); err == nil {
+		t.Errorf("instance cap not enforced")
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"encoding/json"
+
+	"repro/internal/event"
+)
+
+// JSON serialisation of matches for tooling (sesmatch -json). The
+// shape is stable:
+//
+//	{
+//	  "first": 1278147600, "last": 1278925200,
+//	  "bindings": [
+//	    {"var": "c", "events": [{"seq": 0, "time": 1278147600,
+//	      "attrs": {"ID": 1, "L": "C", "V": 1672.5, "U": "mg"}}]},
+//	    {"var": "p", "group": true, "events": [...]}
+//	  ]
+//	}
+//
+// Attribute maps need the schema, which events do not carry; use
+// MatchJSON with the relation's schema.
+
+// matchJSON mirrors Match for encoding.
+type matchJSON struct {
+	First    event.Time    `json:"first"`
+	Last     event.Time    `json:"last"`
+	Bindings []bindingJSON `json:"bindings"`
+}
+
+type bindingJSON struct {
+	Var    string      `json:"var"`
+	Group  bool        `json:"group,omitempty"`
+	Events []eventJSON `json:"events"`
+}
+
+type eventJSON struct {
+	Seq   int            `json:"seq"`
+	Time  event.Time     `json:"time"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// MatchJSON encodes a match using the schema for attribute names.
+func MatchJSON(m Match, schema *event.Schema) ([]byte, error) {
+	out := matchJSON{First: m.First, Last: m.Last}
+	for _, b := range m.Bindings {
+		bj := bindingJSON{Var: b.Var, Group: b.Group}
+		for _, e := range b.Events {
+			ej := eventJSON{Seq: e.Seq, Time: e.Time, Attrs: make(map[string]any, len(e.Attrs))}
+			for i, v := range e.Attrs {
+				ej.Attrs[schema.Field(i).Name] = valueJSON(v)
+			}
+			bj.Events = append(bj.Events, ej)
+		}
+		out.Bindings = append(out.Bindings, bj)
+	}
+	return json.Marshal(out)
+}
+
+// valueJSON converts a Value into its natural JSON representation.
+func valueJSON(v event.Value) any {
+	switch v.Kind() {
+	case event.KindString:
+		return v.Str()
+	case event.KindInt:
+		return v.Int64()
+	case event.KindFloat:
+		return v.Float64()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/paperdata"
+)
+
+func TestMatchJSON(t *testing.T) {
+	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
+	matches, _, err := Run(a, paperdata.Relation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		b, err := MatchJSON(m, paperdata.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded struct {
+			First    int64 `json:"first"`
+			Last     int64 `json:"last"`
+			Bindings []struct {
+				Var    string `json:"var"`
+				Group  bool   `json:"group"`
+				Events []struct {
+					Seq   int            `json:"seq"`
+					Time  int64          `json:"time"`
+					Attrs map[string]any `json:"attrs"`
+				} `json:"events"`
+			} `json:"bindings"`
+		}
+		if err := json.Unmarshal(b, &decoded); err != nil {
+			t.Fatalf("invalid JSON %s: %v", b, err)
+		}
+		if decoded.First != int64(m.First) || decoded.Last != int64(m.Last) {
+			t.Errorf("first/last mismatch in %s", b)
+		}
+		if len(decoded.Bindings) != len(m.Bindings) {
+			t.Fatalf("bindings = %d, want %d", len(decoded.Bindings), len(m.Bindings))
+		}
+		for _, bd := range decoded.Bindings {
+			for _, e := range bd.Events {
+				if _, ok := bd.Events[0].Attrs["L"]; !ok {
+					t.Errorf("missing attribute L in %v", e)
+				}
+				if _, ok := bd.Events[0].Attrs["ID"]; !ok {
+					t.Errorf("missing attribute ID in %v", e)
+				}
+			}
+		}
+	}
+}
+
+func TestValueJSONKinds(t *testing.T) {
+	if valueJSON(paperdata.Relation().Event(0).Attrs[1]) != "C" {
+		t.Errorf("string value")
+	}
+	if valueJSON(paperdata.Relation().Event(0).Attrs[0]) != int64(1) {
+		t.Errorf("int value")
+	}
+	if valueJSON(paperdata.Relation().Event(0).Attrs[2]) != 1672.5 {
+		t.Errorf("float value")
+	}
+}

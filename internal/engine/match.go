@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Binding is the set of events bound to one event variable in a
+// matching substitution. Singleton variables hold exactly one event,
+// group variables one or more, ordered chronologically.
+type Binding struct {
+	Var    string
+	Group  bool
+	Events []*event.Event
+}
+
+// Match is a matching substitution γ = {v1/e1, ..., vn/en}
+// (Definition 2). Bindings appear in pattern variable order.
+type Match struct {
+	Bindings []Binding
+	First    event.Time // minT(γ)
+	Last     event.Time // time of the chronologically last event
+}
+
+// EventCount returns the total number of bound events.
+func (m Match) EventCount() int {
+	n := 0
+	for _, b := range m.Bindings {
+		n += len(b.Events)
+	}
+	return n
+}
+
+// Events returns all bound events ordered by sequence number.
+func (m Match) Events() []*event.Event {
+	var out []*event.Event
+	for _, b := range m.Bindings {
+		out = append(out, b.Events...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// String renders the substitution like the paper, e.g.
+// "{c/e0, d/e2, p+/e3, p+/e8, b/e11}" with 0-based event sequence
+// numbers, in chronological binding order.
+func (m Match) String() string {
+	type pair struct {
+		label string
+		seq   int
+	}
+	var pairs []pair
+	for _, b := range m.Bindings {
+		label := b.Var
+		if b.Group {
+			label += "+"
+		}
+		for _, e := range b.Events {
+			pairs = append(pairs, pair{label + "/e" + fmt.Sprint(e.Seq), e.Seq})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].seq < pairs[j].seq })
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p.label
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// buildMatch materialises an instance's buffer chain into a Match.
+func (r *Runner) buildMatch(inst *instance) Match {
+	perVar := make([][]*event.Event, len(r.a.Vars))
+	for n := inst.buf; n != nil; n = n.prev {
+		perVar[n.varIdx] = append(perVar[n.varIdx], n.ev)
+	}
+	m := Match{First: inst.minT, Last: inst.maxT}
+	for i, evs := range perVar {
+		if len(evs) == 0 {
+			continue
+		}
+		// The chain stores bindings newest-first; restore chronology.
+		for l, h := 0, len(evs)-1; l < h; l, h = l+1, h-1 {
+			evs[l], evs[h] = evs[h], evs[l]
+		}
+		m.Bindings = append(m.Bindings, Binding{
+			Var:    r.a.Vars[i].Name,
+			Group:  r.a.Vars[i].Group,
+			Events: evs,
+		})
+	}
+	return m
+}
+
+// signature returns a canonical text form of the binding set, used for
+// deduplication and subset tests.
+func signature(m Match) string {
+	var keys []string
+	for _, b := range m.Bindings {
+		for _, e := range b.Events {
+			keys = append(keys, fmt.Sprintf("%s/%d", b.Var, e.Seq))
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// Dedup removes duplicate matches (identical binding sets), keeping
+// first occurrences in order. The brute-force baseline needs this when
+// several sequence automata find the same substitution.
+func Dedup(matches []Match) []Match {
+	seen := make(map[string]bool, len(matches))
+	out := matches[:0:0]
+	for _, m := range matches {
+		sig := signature(m)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+// FilterMaximal enforces condition 5 of Definition 2 (MAXIMAL mode
+// with greedy quantifier) on a complete result set: a match is dropped
+// when another match with the same start time contains a proper
+// superset of its bindings. The operational algorithm already
+// guarantees this property (divergent instances always differ in at
+// least one binding), so this filter is a correctness guard; it
+// returns the surviving matches in their original order.
+func FilterMaximal(matches []Match) []Match {
+	type entry struct {
+		keys map[string]bool
+	}
+	byStart := make(map[event.Time][]int)
+	keysOf := func(m Match) map[string]bool {
+		ks := make(map[string]bool)
+		for _, b := range m.Bindings {
+			for _, e := range b.Events {
+				ks[fmt.Sprintf("%s/%d", b.Var, e.Seq)] = true
+			}
+		}
+		return ks
+	}
+	entries := make([]entry, len(matches))
+	for i, m := range matches {
+		entries[i] = entry{keys: keysOf(m)}
+		byStart[m.First] = append(byStart[m.First], i)
+	}
+	subset := func(a, b map[string]bool) bool {
+		if len(a) >= len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	drop := make([]bool, len(matches))
+	for _, idxs := range byStart {
+		for _, i := range idxs {
+			for _, j := range idxs {
+				if i != j && subset(entries[i].keys, entries[j].keys) {
+					drop[i] = true
+					break
+				}
+			}
+		}
+	}
+	out := matches[:0:0]
+	for i, m := range matches {
+		if !drop[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// bufferString renders a buffer chain like the paper's Figure 6,
+// oldest binding first.
+func (r *Runner) bufferString(buf *node) string {
+	var parts []string
+	for n := buf; n != nil; n = n.prev {
+		label := r.a.Vars[n.varIdx].String()
+		parts = append(parts, fmt.Sprintf("%s/e%d", label, n.ev.Seq))
+	}
+	for l, h := 0, len(parts)-1; l < h; l, h = l+1, h-1 {
+		parts[l], parts[h] = parts[h], parts[l]
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics collects the execution counters used throughout the paper's
+// evaluation (Section 5), most importantly MaxSimultaneousInstances,
+// the measured parameter of Experiments 1 and 2 (|Ω| in Algorithm 1).
+type Metrics struct {
+	// EventsProcessed counts the input events seen by Step.
+	EventsProcessed int64
+	// EventsFiltered counts events skipped by the Section 4.5 filter.
+	EventsFiltered int64
+	// StartInstances counts the fresh instances added in the start
+	// state, one per unfiltered event (Algorithm 1, line 4).
+	StartInstances int64
+	// InstancesCreated counts the instances produced by firing
+	// transitions (Algorithm 2, line 5), including plain moves.
+	InstancesCreated int64
+	// MaxSimultaneousInstances is the maximum of |Ω| observed after
+	// line 4 of Algorithm 1, i.e. surviving instances plus the fresh
+	// start instance.
+	MaxSimultaneousInstances int64
+	// TransitionsAttempted and TransitionsFired count condition
+	// evaluations per outgoing transition and the successful ones.
+	TransitionsAttempted int64
+	TransitionsFired     int64
+	// InstanceIterations counts iterations over Ω (the inner loop of
+	// Algorithm 1); the Section 4.5 filter reduces exactly this number.
+	InstanceIterations int64
+	// ExpiredInstances counts instances removed by the τ expiry check.
+	ExpiredInstances int64
+	// Matches counts the emitted matching substitutions.
+	Matches int64
+}
+
+// Add accumulates o into m (used by the brute-force baseline to
+// aggregate over its automata set).
+func (m *Metrics) Add(o Metrics) {
+	m.EventsProcessed += o.EventsProcessed
+	m.EventsFiltered += o.EventsFiltered
+	m.StartInstances += o.StartInstances
+	m.InstancesCreated += o.InstancesCreated
+	m.MaxSimultaneousInstances += o.MaxSimultaneousInstances
+	m.TransitionsAttempted += o.TransitionsAttempted
+	m.TransitionsFired += o.TransitionsFired
+	m.InstanceIterations += o.InstanceIterations
+	m.ExpiredInstances += o.ExpiredInstances
+	m.Matches += o.Matches
+}
+
+// String renders the metrics as a compact single-line report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d filtered=%d maxΩ=%d created=%d fired=%d/%d iter=%d expired=%d matches=%d",
+		m.EventsProcessed, m.EventsFiltered, m.MaxSimultaneousInstances,
+		m.InstancesCreated, m.TransitionsFired, m.TransitionsAttempted,
+		m.InstanceIterations, m.ExpiredInstances, m.Matches)
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Reorderer absorbs bounded out-of-order arrival in event streams — a
+// stream imperfection in the sense of CEDR [Barga et al.], which the
+// paper's model (a totally ordered relation) assumes away. It buffers
+// incoming events and releases them in timestamp order once they are
+// older than the newest event seen minus the slack: an event may
+// arrive at most Slack time units later than any event with a greater
+// timestamp. Events that violate the bound are reported to the Late
+// callback (or silently dropped) rather than breaking the downstream
+// runner's order requirement.
+type Reorderer struct {
+	// Slack is the maximal tolerated lateness.
+	Slack event.Duration
+	// Late, when non-nil, receives events that arrive beyond Slack.
+	Late func(event.Event)
+
+	buf     eventHeap
+	maxSeen event.Time
+	seen    bool
+}
+
+// NewReorderer creates a reorderer with the given lateness bound.
+func NewReorderer(slack event.Duration) *Reorderer {
+	if slack < 0 {
+		panic("engine: negative reorder slack")
+	}
+	return &Reorderer{Slack: slack}
+}
+
+// Push accepts the next arriving event and returns the events that
+// have become releasable, in timestamp order (ties in arrival order).
+// A nil return means the event was buffered (or dropped as too late).
+func (r *Reorderer) Push(e event.Event) []event.Event {
+	if r.seen && e.Time < r.maxSeen-event.Time(r.Slack) {
+		if r.Late != nil {
+			r.Late(e)
+		}
+		return nil
+	}
+	heap.Push(&r.buf, e)
+	if !r.seen || e.Time > r.maxSeen {
+		r.maxSeen, r.seen = e.Time, true
+	}
+	return r.release(r.maxSeen - event.Time(r.Slack))
+}
+
+// Drain releases all buffered events in timestamp order.
+func (r *Reorderer) Drain() []event.Event {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	return r.release(r.maxSeen + 1)
+}
+
+// Pending returns the number of buffered events.
+func (r *Reorderer) Pending() int { return len(r.buf) }
+
+// release pops every buffered event with Time < watermark.
+func (r *Reorderer) release(watermark event.Time) []event.Event {
+	var out []event.Event
+	for len(r.buf) > 0 && r.buf[0].Time < watermark {
+		out = append(out, heap.Pop(&r.buf).(event.Event))
+	}
+	return out
+}
+
+// eventHeap is a min-heap on (Time, arrival order). The arrival order
+// tie-break keeps the reorderer deterministic and stable.
+type eventHeap []event.Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Seq < h[j].Seq // Seq doubles as arrival counter here
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event.Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// StreamReordered evaluates the runner over a channel of possibly
+// out-of-order events: arrivals are buffered by a Reorderer with the
+// given slack, released in timestamp order into the runner, and
+// matches stream out as usual. Events later than the slack are counted
+// and reported through the returned late counter after the output
+// channel closes.
+func (r *Runner) StreamReordered(ctx context.Context, in <-chan event.Event, slack event.Duration) (<-chan Match, *int64) {
+	out := make(chan Match)
+	late := new(int64)
+	ro := NewReorderer(slack)
+	ro.Late = func(event.Event) { *late++ }
+	go func() {
+		defer close(out)
+		arrival := 0
+		emit := func(ms []Match) bool {
+			for _, m := range ms {
+				select {
+				case out <- m:
+				case <-ctx.Done():
+					r.err = ctx.Err()
+					return false
+				}
+			}
+			return true
+		}
+		feed := func(evs []event.Event) bool {
+			for i := range evs {
+				ev := evs[i]
+				ev.Seq = int(r.metrics.EventsProcessed)
+				ms, err := r.Step(&ev)
+				if err != nil {
+					r.err = err
+					return false
+				}
+				if !emit(ms) {
+					return false
+				}
+			}
+			return true
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				r.err = ctx.Err()
+				return
+			case e, ok := <-in:
+				if !ok {
+					if !feed(ro.Drain()) {
+						return
+					}
+					emit(r.Flush())
+					return
+				}
+				e.Seq = arrival // arrival order for stable tie-breaks
+				arrival++
+				if !feed(ro.Push(e)) {
+					return
+				}
+			}
+		}
+	}()
+	return out, late
+}
+
+// SortStream is a convenience for batch use: it reads the whole
+// channel, reorders within the slack, and returns a sorted relation
+// over the given schema plus the number of events dropped as too late.
+func SortStream(in <-chan event.Event, schema *event.Schema, slack event.Duration) (*event.Relation, int, error) {
+	rel := event.NewRelation(schema)
+	ro := NewReorderer(slack)
+	dropped := 0
+	ro.Late = func(event.Event) { dropped++ }
+	arrival := 0
+	appendAll := func(evs []event.Event) error {
+		for _, e := range evs {
+			if err := rel.Append(e.Time, e.Attrs...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for e := range in {
+		e.Seq = arrival
+		arrival++
+		if err := appendAll(ro.Push(e)); err != nil {
+			return nil, dropped, fmt.Errorf("engine: %w", err)
+		}
+	}
+	if err := appendAll(ro.Drain()); err != nil {
+		return nil, dropped, fmt.Errorf("engine: %w", err)
+	}
+	return rel, dropped, nil
+}

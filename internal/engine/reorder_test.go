@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/paperdata"
+)
+
+func mkEvent(tt event.Time, l string) event.Event {
+	return event.Event{Time: tt, Attrs: []event.Value{
+		event.Int(1), event.String(l), event.Float(0),
+	}}
+}
+
+func TestReordererBasic(t *testing.T) {
+	r := NewReorderer(5)
+	var out []event.Event
+	push := func(tt event.Time) {
+		out = append(out, r.Push(mkEvent(tt, "A"))...)
+	}
+	push(10)
+	push(8) // within slack, buffered
+	push(12)
+	push(20) // watermark 15 releases 8, 10, 12
+	if len(out) != 3 || out[0].Time != 8 || out[1].Time != 10 || out[2].Time != 12 {
+		t.Fatalf("released = %v", out)
+	}
+	out = append(out, r.Drain()...)
+	if len(out) != 4 || out[3].Time != 20 {
+		t.Fatalf("drain = %v", out)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("Pending = %d", r.Pending())
+	}
+}
+
+func TestReordererLateDrop(t *testing.T) {
+	r := NewReorderer(3)
+	var late []event.Event
+	r.Late = func(e event.Event) { late = append(late, e) }
+	r.Push(mkEvent(100, "A"))
+	if got := r.Push(mkEvent(90, "A")); got != nil {
+		t.Errorf("too-late event released: %v", got)
+	}
+	if len(late) != 1 || late[0].Time != 90 {
+		t.Errorf("late = %v", late)
+	}
+}
+
+// TestReordererRandomisedSortedOutput: any arrival sequence whose
+// lateness stays within the slack is restored to exact timestamp
+// order.
+func TestReordererRandomisedSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		slack := event.Duration(1 + rng.Intn(10))
+		n := 50
+		times := make([]event.Time, n)
+		tt := event.Time(0)
+		for i := range times {
+			tt += event.Time(rng.Intn(4))
+			times[i] = tt
+		}
+		// Perturb arrival order within the slack: each event may be
+		// delayed past later events as long as its timestamp stays
+		// within slack of the running maximum.
+		arrival := append([]event.Time(nil), times...)
+		for i := 1; i < n; i++ {
+			j := i - 1 - rng.Intn(3)
+			if j >= 0 && arrival[i]-arrival[j] <= event.Time(slack) && arrival[j]-arrival[i] <= event.Time(slack) {
+				arrival[i], arrival[j] = arrival[j], arrival[i]
+			}
+		}
+		r := NewReorderer(slack)
+		dropped := 0
+		r.Late = func(event.Event) { dropped++ }
+		var out []event.Event
+		for i, at := range arrival {
+			e := mkEvent(at, "A")
+			e.Seq = i
+			out = append(out, r.Push(e)...)
+		}
+		out = append(out, r.Drain()...)
+		if len(out)+dropped != n {
+			t.Fatalf("trial %d: %d released + %d dropped != %d", trial, len(out), dropped, n)
+		}
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Time < out[j].Time }) {
+			t.Fatalf("trial %d: output not sorted", trial)
+		}
+	}
+}
+
+// TestStreamReorderedMatchesBatch: shuffling the Figure 1 relation
+// within a generous slack and streaming it through StreamReordered
+// yields the same matches as batch evaluation of the sorted relation.
+func TestStreamReorderedMatchesBatch(t *testing.T) {
+	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
+	rel := paperdata.Relation()
+	batch, _, err := Run(a, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap a few adjacent events to simulate disorder.
+	events := append([]event.Event(nil), rel.Events()...)
+	events[2], events[3] = events[3], events[2]
+	events[6], events[7] = events[7], events[6]
+	events[10], events[11] = events[11], events[10]
+
+	r := New(a)
+	in := make(chan event.Event)
+	out, late := r.StreamReordered(context.Background(), in, 7*24*event.Hour)
+	go func() {
+		for _, e := range events {
+			in <- e
+		}
+		close(in)
+	}()
+	var streamed []Match
+	for m := range out {
+		streamed = append(streamed, m)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if *late != 0 {
+		t.Errorf("late = %d", *late)
+	}
+	if !sameMatchSet(batch, streamed) {
+		t.Errorf("reordered stream %v != batch %v", matchStrings(streamed), matchStrings(batch))
+	}
+}
+
+func TestStreamReorderedCancellation(t *testing.T) {
+	a := compile(t, seqPattern(t, 100), simpleSchema())
+	r := New(a)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan event.Event)
+	out, _ := r.StreamReordered(ctx, in, 10)
+	cancel()
+	for range out {
+	}
+	if r.Err() != context.Canceled {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestSortStream(t *testing.T) {
+	in := make(chan event.Event, 8)
+	in <- mkEvent(5, "A")
+	in <- mkEvent(3, "B")
+	in <- mkEvent(9, "C")
+	in <- mkEvent(1, "D") // beyond slack 4 relative to 9? 9-4=5 > 1 → late
+	close(in)
+	rel, dropped, err := SortStream(in, simpleSchema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if rel.Len() != 3 || !rel.Sorted() {
+		t.Fatalf("rel = %v", rel.Events())
+	}
+	if rel.Event(0).Time != 3 || rel.Event(2).Time != 9 {
+		t.Errorf("order = %v", rel.Events())
+	}
+}
+
+func TestReordererNegativeSlackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewReorderer(-1)
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Stream evaluates the automaton over a channel of events and sends
+// completed matches on the returned channel. Events must arrive in
+// non-decreasing time order (the discrete ordered time domain of
+// Section 3.1). The output channel is closed after the input channel
+// closes and the end-of-input flush ran, or when ctx is cancelled.
+//
+// A Runner must not be shared: Stream takes ownership of r until the
+// output channel is closed. Errors (e.g. the instance cap or an
+// out-of-order event) terminate the stream; they are reported through
+// r.Err after the output channel closes.
+//
+// Stream owns a copy of every received event and assigns consecutive
+// sequence numbers to the copies (starting after any events already
+// consumed via Step), so callers may leave Event.Seq zero.
+func (r *Runner) Stream(ctx context.Context, in <-chan event.Event) <-chan Match {
+	out := make(chan Match)
+	go func() {
+		defer close(out)
+		var last event.Time
+		first := true
+		for {
+			select {
+			case <-ctx.Done():
+				r.err = ctx.Err()
+				return
+			case e, ok := <-in:
+				if !ok {
+					for _, m := range r.Flush() {
+						select {
+						case out <- m:
+						case <-ctx.Done():
+							r.err = ctx.Err()
+							return
+						}
+					}
+					return
+				}
+				if !first && e.Time < last {
+					r.err = fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last)
+					return
+				}
+				first, last = false, e.Time
+				ev := e // heap copy owned by the runner's buffers
+				ev.Seq = int(r.metrics.EventsProcessed)
+				matches, err := r.Step(&ev)
+				if err != nil {
+					r.err = err
+					return
+				}
+				for _, m := range matches {
+					select {
+					case out <- m:
+					case <-ctx.Done():
+						r.err = ctx.Err()
+						return
+					}
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// Err reports the error that terminated a Stream, if any. It must only
+// be read after the stream's output channel has been closed.
+func (r *Runner) Err() error { return r.err }

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/paperdata"
+)
+
+// TestStreamMatchesRun: channel evaluation produces exactly the
+// matches of batch evaluation on the running example.
+func TestStreamMatchesRun(t *testing.T) {
+	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
+	relation := paperdata.Relation()
+
+	batch, _, err := Run(a, relation)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(a)
+	in := make(chan event.Event)
+	out := r.Stream(context.Background(), in)
+	go func() {
+		for i := 0; i < relation.Len(); i++ {
+			in <- *relation.Event(i)
+		}
+		close(in)
+	}()
+	var streamed []Match
+	for m := range out {
+		streamed = append(streamed, m)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatchSet(batch, streamed) {
+		t.Errorf("stream %v != batch %v", matchStrings(streamed), matchStrings(batch))
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	a := compile(t, seqPattern(t, 100), simpleSchema())
+	r := New(a)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan event.Event)
+	out := r.Stream(ctx, in)
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				if r.Err() != context.Canceled {
+					t.Errorf("Err() = %v, want context.Canceled", r.Err())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not terminate after cancellation")
+		}
+	}
+}
+
+func TestStreamOutOfOrder(t *testing.T) {
+	a := compile(t, seqPattern(t, 100), simpleSchema())
+	r := New(a)
+	in := make(chan event.Event, 2)
+	mk := func(tt event.Time, l string) event.Event {
+		return event.Event{Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+	}
+	in <- mk(10, "A")
+	in <- mk(5, "B")
+	close(in)
+	out := r.Stream(context.Background(), in)
+	for range out {
+	}
+	if err := r.Err(); err == nil {
+		t.Errorf("out-of-order input should fail the stream")
+	}
+}
+
+func TestStreamEmitsIncrementally(t *testing.T) {
+	a := compile(t, seqPattern(t, 10), simpleSchema())
+	r := New(a)
+	in := make(chan event.Event)
+	out := r.Stream(context.Background(), in)
+	mk := func(tt event.Time, l string) event.Event {
+		return event.Event{Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+	}
+	in <- mk(0, "A")
+	in <- mk(1, "B")
+	// The accepted instance expires when an event far in the future
+	// arrives; the match must surface before the input closes.
+	in <- mk(1000, "A")
+	select {
+	case m := <-out:
+		if m.String() != "{x/e0, y/e0}" && m.EventCount() != 2 {
+			t.Errorf("unexpected match %v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no incremental match emitted")
+	}
+	close(in)
+	for range out {
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

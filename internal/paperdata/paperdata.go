@@ -1,0 +1,90 @@
+// Package paperdata provides the worked examples of Cadonna, Gamper,
+// Böhlen: "Sequenced Event Set Pattern Matching" (EDBT 2011) as ready
+// fixtures: the 14-event chemotherapy relation of Figure 1 and the
+// running-example query Q1 (Example 2). Multiple packages test against
+// these goldens.
+package paperdata
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Schema is the Event relation schema of Figure 1: patient ID, event
+// type L, value V with measurement unit U. The occurrence time T is
+// the implicit temporal attribute.
+func Schema() *event.Schema {
+	return event.MustSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+		event.Field{Name: "V", Type: event.TypeFloat},
+		event.Field{Name: "U", Type: event.TypeString},
+	)
+}
+
+// at returns the canonical timestamp for "hour am, day July 2010".
+func at(day, hour int) event.Time {
+	return event.FromGoTime(time.Date(2010, time.July, day, hour, 0, 0, 0, time.UTC))
+}
+
+// Relation returns the 14 events e1..e14 of Figure 1 in relation
+// order. Sequence numbers are 0-based, so the paper's e1 is Seq 0.
+func Relation() *event.Relation {
+	r := event.NewRelation(Schema())
+	add := func(day, hour int, id int64, l string, v float64, u string) {
+		r.MustAppend(at(day, hour), event.Int(id), event.String(l), event.Float(v), event.String(u))
+	}
+	add(3, 9, 1, "C", 1672.5, "mg")  // e1
+	add(3, 10, 1, "B", 0, "WHO-Tox") // e2
+	add(3, 11, 1, "D", 84, "mgl")    // e3
+	add(4, 9, 1, "P", 111.5, "mg")   // e4
+	add(5, 9, 2, "B", 0, "WHO-Tox")  // e5
+	add(5, 10, 2, "P", 88, "mg")     // e6
+	add(5, 11, 2, "D", 84, "mgl")    // e7
+	add(6, 9, 2, "C", 1320, "mg")    // e8
+	add(6, 10, 1, "P", 111.5, "mg")  // e9
+	add(6, 11, 2, "P", 88, "mg")     // e10
+	add(7, 9, 2, "P", 88, "mg")      // e11
+	add(12, 9, 1, "B", 1, "WHO-Tox") // e12
+	add(13, 9, 2, "B", 1, "WHO-Tox") // e13
+	add(14, 9, 2, "B", 0, "WHO-Tox") // e14
+	return r
+}
+
+// Within is the duration of Query Q1: 264 hours (eleven days).
+const Within = 264 * event.Hour
+
+// QueryQ1 returns the SES pattern of Example 2:
+//
+//	P = (⟨{c, p+, d}, {b}⟩, Θ, 264h)
+//
+// with Θ = {c.L='C', d.L='D', p+.L='P', b.L='B',
+// c.ID=p+.ID, c.ID=d.ID, d.ID=b.ID}.
+func QueryQ1() *pattern.Pattern {
+	p, err := pattern.New().
+		Set(pattern.Var("c"), pattern.Plus("p"), pattern.Var("d")).
+		Set(pattern.Var("b")).
+		WhereConst("c", "L", pattern.Eq, event.String("C")).
+		WhereConst("d", "L", pattern.Eq, event.String("D")).
+		WhereConst("p", "L", pattern.Eq, event.String("P")).
+		WhereConst("b", "L", pattern.Eq, event.String("B")).
+		WhereVars("c", "ID", pattern.Eq, "p", "ID").
+		WhereVars("c", "ID", pattern.Eq, "d", "ID").
+		WhereVars("d", "ID", pattern.Eq, "b", "ID").
+		Within(Within).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// QueryQ1Text is Query Q1 in the textual pattern language accepted by
+// internal/query.
+const QueryQ1Text = `
+PATTERN PERMUTE(c, p+, d) THEN (b)
+WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+  AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+WITHIN 264h`

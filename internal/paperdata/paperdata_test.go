@@ -1,0 +1,70 @@
+package paperdata
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestFigure1Shape pins the sample relation against the paper's
+// Figure 1.
+func TestFigure1Shape(t *testing.T) {
+	r := Relation()
+	if r.Len() != 14 {
+		t.Fatalf("Len = %d, want 14", r.Len())
+	}
+	if !r.Sorted() {
+		t.Fatalf("relation not in time order")
+	}
+	wantL := []string{"C", "B", "D", "P", "B", "P", "D", "C", "P", "P", "P", "B", "B", "B"}
+	wantID := []int64{1, 1, 1, 1, 2, 2, 2, 2, 1, 2, 2, 1, 2, 2}
+	for i := 0; i < r.Len(); i++ {
+		e := r.Event(i)
+		if e.Attrs[1].Str() != wantL[i] {
+			t.Errorf("e%d L = %s, want %s", i+1, e.Attrs[1].Str(), wantL[i])
+		}
+		if e.Attrs[0].Int64() != wantID[i] {
+			t.Errorf("e%d ID = %d, want %d", i+1, e.Attrs[0].Int64(), wantID[i])
+		}
+	}
+	// e1 is the 1672.5 mg Ciclofosfamide administration of Example 1.
+	if r.Event(0).Attrs[2].Float64() != 1672.5 || r.Event(0).Attrs[3].Str() != "mg" {
+		t.Errorf("e1 = %v", r.Event(0))
+	}
+}
+
+// TestFigure2TimeSpan pins the 191-hour span between e6 and e13 shown
+// in Figure 2.
+func TestFigure2TimeSpan(t *testing.T) {
+	r := Relation()
+	span := event.Duration(r.Event(12).Time - r.Event(5).Time)
+	if span != 191*event.Hour {
+		t.Errorf("span(e6, e13) = %v, want 191h", span)
+	}
+	if span > Within {
+		t.Errorf("Figure 2 span must fit in τ = %v", event.Duration(Within))
+	}
+}
+
+// TestExample9WindowSize pins W = 14 for τ = 264 h.
+func TestExample9WindowSize(t *testing.T) {
+	if w := Relation().WindowSize(Within); w != 14 {
+		t.Errorf("W = %d, want 14 (Example 9)", w)
+	}
+}
+
+func TestQueryQ1Shape(t *testing.T) {
+	p := QueryQ1()
+	if len(p.Sets) != 2 || len(p.Sets[0]) != 3 || len(p.Sets[1]) != 1 {
+		t.Fatalf("sets = %v", p.Sets)
+	}
+	if len(p.Conds) != 7 {
+		t.Errorf("|Θ| = %d, want 7", len(p.Conds))
+	}
+	if p.Window != 264*event.Hour {
+		t.Errorf("τ = %v", p.Window)
+	}
+	if err := p.ValidateSchema(Schema()); err != nil {
+		t.Errorf("Q1 invalid against its own schema: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// This file implements the static analysis backing the complexity
+// results of Section 4.4: mutual exclusivity of event variables
+// (Definition 6, Lemma 1) and the classification of event set patterns
+// into the three cases of Theorems 1-3, with the corresponding upper
+// bounds on the number of simultaneous automaton instances |Ω|.
+
+// MutuallyExclusive reports whether two variables of p are mutually
+// exclusive per Definition 6: there exist constant conditions
+// v.A φ C and v'.A φ' C' in Θ such that no single event can satisfy
+// both. The check is conservative — it returns true only when
+// disjointness is certain (dense-domain interval reasoning), which is
+// the safe direction for Lemma 1.
+func (p *Pattern) MutuallyExclusive(v, v2 string) bool {
+	if v == v2 {
+		return false
+	}
+	for _, c1 := range p.ConstConds(v) {
+		for _, c2 := range p.ConstConds(v2) {
+			if c1.Left.Attr == c2.Left.Attr && disjointConsts(c1.Op, c1.Const, c2.Op, c2.Const) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PairwiseMutuallyExclusive reports whether all variables in the i-th
+// event set pattern are pairwise mutually exclusive.
+func (p *Pattern) PairwiseMutuallyExclusive(set int) bool {
+	vars := p.Sets[set]
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			if !p.MutuallyExclusive(vars[i].Name, vars[j].Name) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// disjointConsts reports whether the constraints (x op1 c1) and
+// (x op2 c2) are certainly unsatisfiable together. Reasoning is over a
+// dense domain, which is conservative for discrete domains: whenever it
+// reports true, the conjunction is empty in every ordered domain.
+func disjointConsts(op1 Op, c1 event.Value, op2 Op, c2 event.Value) bool {
+	cmp, err := event.Compare(c1, c2)
+	if err != nil {
+		return false // incomparable constants: cannot conclude anything
+	}
+	// Equality constraints are handled directly.
+	switch {
+	case op1 == Eq && op2 == Eq:
+		return cmp != 0
+	case op1 == Eq:
+		return !op2.Eval(cmp) // x = c1 must also satisfy c1 op2 c2
+	case op2 == Eq:
+		return !op1.Eval(-cmp) // x = c2 must also satisfy c2 op1 c1
+	case op1 == Ne || op2 == Ne:
+		return false // x != c excludes a single point only
+	}
+	// Both are inequalities: intersect the two half-lines.
+	lo, loStrict, hi, hiStrict := false, false, false, false // bounds present?
+	var loV, hiV event.Value
+	add := func(op Op, c event.Value) {
+		switch op {
+		case Lt, Le:
+			if !hi || mustLess(c, hiV) || (c.Equal(hiV) && op == Lt) {
+				hi, hiV, hiStrict = true, c, op == Lt
+			}
+		case Gt, Ge:
+			if !lo || mustLess(loV, c) || (c.Equal(loV) && op == Gt) {
+				lo, loV, loStrict = true, c, op == Gt
+			}
+		}
+	}
+	add(op1, c1)
+	add(op2, c2)
+	if !lo || !hi {
+		return false // still a half-line, never empty on a dense domain
+	}
+	c, err := event.Compare(loV, hiV)
+	if err != nil {
+		return false
+	}
+	if c > 0 {
+		return true
+	}
+	if c == 0 && (loStrict || hiStrict) {
+		return true
+	}
+	return false
+}
+
+// mustLess reports a < b, treating incomparable values as false.
+func mustLess(a, b event.Value) bool {
+	c, err := event.Compare(a, b)
+	return err == nil && c < 0
+}
+
+// Case identifies which of the three complexity cases of Section 4.4
+// an event set pattern falls into.
+type Case uint8
+
+// The three cases of the complexity analysis.
+const (
+	// Case1: all event variables pairwise mutually exclusive.
+	// Theorem 1: |Ω| per start instance is O(1).
+	Case1 Case = 1
+	// Case2: not pairwise mutually exclusive, no group variables.
+	// Theorem 2: |Ω| per start instance is O(|V1|!).
+	Case2 Case = 2
+	// Case3: not pairwise mutually exclusive, k >= 1 group variables.
+	// Theorem 3: O((|V1|-1)!·W^|V1|) for k = 1,
+	// O(k·(|V1|-1)!·k^(W·|V1|)) for k > 1.
+	Case3 Case = 3
+)
+
+// String names the case.
+func (c Case) String() string { return fmt.Sprintf("case %d", uint8(c)) }
+
+// SetAnalysis classifies one event set pattern.
+type SetAnalysis struct {
+	SetIndex          int  // 0-based index of the event set pattern
+	Size              int  // |Vi|
+	GroupVars         int  // k, the number of group variables in Vi
+	MutuallyExclusive bool // all variables pairwise mutually exclusive
+	Case              Case
+	Bound             string // upper bound on |Ω| from the matching theorem
+}
+
+// Analysis is the result of classifying a full SES pattern.
+type Analysis struct {
+	Sets []SetAnalysis
+	// Bound is the overall upper bound O(W·(|Ω|max)^n) where |Ω|max is
+	// the worst bound among the event set patterns (end of Section 4.4).
+	Bound string
+	// Deterministic reports whether Lemma 1 applies to every event set
+	// pattern, i.e. non-determinism cannot occur anywhere.
+	Deterministic bool
+}
+
+// Analyze classifies the pattern per Section 4.4 and derives the upper
+// bounds of Theorems 1-3.
+func Analyze(p *Pattern) Analysis {
+	a := Analysis{Deterministic: true}
+	worst := 0 // 0: case1, 1: case2, 2: case3 k=1, 3: case3 k>1
+	worstSize, worstK := 0, 0
+	for i, set := range p.Sets {
+		sa := SetAnalysis{SetIndex: i, Size: len(set)}
+		for _, v := range set {
+			if v.Group {
+				sa.GroupVars++
+			}
+		}
+		sa.MutuallyExclusive = p.PairwiseMutuallyExclusive(i)
+		switch {
+		case sa.MutuallyExclusive:
+			sa.Case = Case1
+			sa.Bound = "O(1)"
+		case sa.GroupVars == 0:
+			sa.Case = Case2
+			sa.Bound = fmt.Sprintf("O(|V%d|!) = O(%s)", i+1, factorialString(sa.Size))
+			a.Deterministic = false
+		case sa.GroupVars == 1:
+			sa.Case = Case3
+			sa.Bound = fmt.Sprintf("O((|V%d|-1)! · W^%d) = O(%s · W^%d)",
+				i+1, sa.Size, factorialString(sa.Size-1), sa.Size)
+			a.Deterministic = false
+		default:
+			sa.Case = Case3
+			sa.Bound = fmt.Sprintf("O(%d · (|V%d|-1)! · %d^(W·%d)) = O(%d · %s · %d^(W·%d))",
+				sa.GroupVars, i+1, sa.GroupVars, sa.Size,
+				sa.GroupVars, factorialString(sa.Size-1), sa.GroupVars, sa.Size)
+			a.Deterministic = false
+		}
+		rank := rankOf(sa)
+		if rank > worst || (rank == worst && sa.Size > worstSize) {
+			worst, worstSize, worstK = rank, sa.Size, sa.GroupVars
+		}
+		a.Sets = append(a.Sets, sa)
+	}
+	n := len(p.Sets)
+	switch worst {
+	case 0:
+		a.Bound = fmt.Sprintf("O(W · 1^%d) = O(W)", n)
+	case 1:
+		a.Bound = fmt.Sprintf("O(W · (%s)^%d)", factorialString(worstSize), n)
+	case 2:
+		a.Bound = fmt.Sprintf("O(W · (%s · W^%d)^%d)", factorialString(worstSize-1), worstSize, n)
+	default:
+		a.Bound = fmt.Sprintf("O(W · (%d · %s · %d^(W·%d))^%d)",
+			worstK, factorialString(worstSize-1), worstK, worstSize, n)
+	}
+	return a
+}
+
+func rankOf(sa SetAnalysis) int {
+	switch {
+	case sa.Case == Case1:
+		return 0
+	case sa.Case == Case2:
+		return 1
+	case sa.GroupVars == 1:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// factorialString renders n! as a number when it fits, else as "n!".
+func factorialString(n int) string {
+	if n <= 0 {
+		return "1"
+	}
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+		if f > math.MaxInt64/2 {
+			return fmt.Sprintf("%d!", n)
+		}
+	}
+	return fmt.Sprintf("%d", int64(f))
+}
+
+// EstimateInstances evaluates the set's theorem bound numerically for
+// a window size W: Theorem 1 gives 1, Theorem 2 |Vi|!, Theorem 3
+// (|Vi|−1)!·W^|Vi| for one group variable and k·(|Vi|−1)!·k^(W·|Vi|)
+// for k > 1 (which overflows to +Inf for any realistic W — the
+// theorem's point). The result bounds the instances descending from
+// ONE start instance.
+func (sa SetAnalysis) EstimateInstances(w int) float64 {
+	switch {
+	case sa.Case == Case1:
+		return 1
+	case sa.Case == Case2:
+		return factorialFloat(sa.Size)
+	case sa.GroupVars == 1:
+		return factorialFloat(sa.Size-1) * math.Pow(float64(w), float64(sa.Size))
+	default:
+		k := float64(sa.GroupVars)
+		return k * factorialFloat(sa.Size-1) * math.Pow(k, float64(w*sa.Size))
+	}
+}
+
+// EstimateInstances evaluates the overall bound O(W·(|Ω|max)^n) of
+// Section 4.4 numerically: W start instances, each multiplied by the
+// worst per-set bound raised to the number of event set patterns.
+// Values beyond float64 range return +Inf.
+func (a Analysis) EstimateInstances(w int) float64 {
+	worst := 0.0
+	for _, sa := range a.Sets {
+		if b := sa.EstimateInstances(w); b > worst {
+			worst = b
+		}
+	}
+	return float64(w) * math.Pow(worst, float64(len(a.Sets)))
+}
+
+// factorialFloat returns n! as float64 (+Inf on overflow).
+func factorialFloat(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// String renders the analysis as a short multi-line report.
+func (a Analysis) String() string {
+	var b strings.Builder
+	for _, sa := range a.Sets {
+		me := "not mutually exclusive"
+		if sa.MutuallyExclusive {
+			me = "pairwise mutually exclusive"
+		}
+		fmt.Fprintf(&b, "V%d: |V|=%d, group vars=%d, %s → %s, bound %s\n",
+			sa.SetIndex+1, sa.Size, sa.GroupVars, me, sa.Case, sa.Bound)
+	}
+	fmt.Fprintf(&b, "overall: %s", a.Bound)
+	return b.String()
+}

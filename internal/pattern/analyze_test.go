@@ -1,0 +1,272 @@
+package pattern
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestDisjointConsts(t *testing.T) {
+	s := event.String
+	i := event.Int
+	cases := []struct {
+		op1  Op
+		c1   event.Value
+		op2  Op
+		c2   event.Value
+		want bool
+	}{
+		// Equality pairs.
+		{Eq, s("C"), Eq, s("D"), true},
+		{Eq, s("C"), Eq, s("C"), false},
+		{Eq, i(1), Eq, i(2), true},
+		// Eq vs inequalities.
+		{Eq, i(5), Lt, i(5), true},  // x=5 ∧ x<5
+		{Eq, i(4), Lt, i(5), false}, // x=4 ∧ x<5
+		{Eq, i(5), Le, i(5), false}, // x=5 ∧ x<=5
+		{Eq, i(6), Le, i(5), true},  // x=6 ∧ x<=5
+		{Eq, i(5), Gt, i(5), true},  // x=5 ∧ x>5
+		{Eq, i(5), Ge, i(6), true},  // x=5 ∧ x>=6
+		{Eq, i(6), Ge, i(6), false}, // x=6 ∧ x>=6
+		{Lt, i(5), Eq, i(5), true},  // symmetric orientation
+		{Ge, i(6), Eq, i(5), true},  // x>=6 ∧ x=5
+		{Le, i(6), Eq, i(5), false}, // x<=6 ∧ x=5
+		// Ne never proves disjointness with inequalities.
+		{Ne, i(5), Lt, i(5), false},
+		{Ne, i(5), Ne, i(5), false},
+		{Eq, i(5), Ne, i(5), true},
+		{Ne, i(5), Eq, i(5), true},
+		{Eq, i(5), Ne, i(4), false},
+		// Interval pairs.
+		{Lt, i(5), Gt, i(5), true},  // x<5 ∧ x>5
+		{Lt, i(5), Gt, i(4), false}, // 4<x<5 dense: satisfiable (conservative)
+		{Lt, i(5), Ge, i(5), true},  // x<5 ∧ x>=5
+		{Le, i(5), Ge, i(5), false}, // x=5 works
+		{Le, i(4), Ge, i(5), true},  // x<=4 ∧ x>=5
+		{Gt, i(5), Ge, i(7), false}, // same direction, never disjoint
+		{Lt, i(5), Le, i(7), false},
+		{Gt, i(3), Lt, i(2), true}, // x>3 ∧ x<2
+		// Strings under inequalities.
+		{Lt, s("b"), Gt, s("c"), true},
+		{Lt, s("c"), Gt, s("b"), false},
+		// Incomparable constants: never disjoint.
+		{Eq, s("5"), Eq, i(5), false},
+	}
+	for _, c := range cases {
+		if got := disjointConsts(c.op1, c.c1, c.op2, c.c2); got != c.want {
+			t.Errorf("disjoint(x %s %v, x %s %v) = %v, want %v", c.op1, c.c1, c.op2, c.c2, got, c.want)
+		}
+		// Disjointness is symmetric.
+		if got := disjointConsts(c.op2, c.c2, c.op1, c.c1); got != c.want {
+			t.Errorf("disjoint symmetric(x %s %v, x %s %v) = %v, want %v", c.op2, c.c2, c.op1, c.c1, got, c.want)
+		}
+	}
+}
+
+// exclusivePattern builds ⟨{c,d,p},{b}⟩ with distinct type conditions
+// (Experiment 1's Θ1 shape).
+func exclusivePattern(t *testing.T) *Pattern {
+	t.Helper()
+	return New().
+		Set(Var("c"), Var("d"), Var("p")).
+		Set(Var("b")).
+		WhereConst("c", "L", Eq, event.String("C")).
+		WhereConst("d", "L", Eq, event.String("D")).
+		WhereConst("p", "L", Eq, event.String("P")).
+		WhereConst("b", "L", Eq, event.String("B")).
+		Within(264 * event.Hour).MustBuild()
+}
+
+// overlappingPattern builds the same shape with all variables matching
+// the same type (Experiment 1's Θ2 shape).
+func overlappingPattern(t *testing.T, group bool) *Pattern {
+	t.Helper()
+	pv := Var("p")
+	if group {
+		pv = Plus("p")
+	}
+	return New().
+		Set(Var("c"), Var("d"), pv).
+		Set(Var("b")).
+		WhereConst("c", "L", Eq, event.String("P")).
+		WhereConst("d", "L", Eq, event.String("P")).
+		WhereConst("p", "L", Eq, event.String("P")).
+		WhereConst("b", "L", Eq, event.String("B")).
+		Within(264 * event.Hour).MustBuild()
+}
+
+func TestMutuallyExclusive(t *testing.T) {
+	p := exclusivePattern(t)
+	if !p.MutuallyExclusive("c", "d") {
+		t.Errorf("c and d should be mutually exclusive (Example 10)")
+	}
+	if p.MutuallyExclusive("c", "c") {
+		t.Errorf("a variable is never exclusive with itself")
+	}
+	if !p.PairwiseMutuallyExclusive(0) || !p.PairwiseMutuallyExclusive(1) {
+		t.Errorf("all sets of the exclusive pattern should be pairwise exclusive")
+	}
+
+	o := overlappingPattern(t, false)
+	if o.MutuallyExclusive("c", "d") {
+		t.Errorf("same-type variables must not be exclusive")
+	}
+	if o.PairwiseMutuallyExclusive(0) {
+		t.Errorf("overlapping set misclassified")
+	}
+	// b is exclusive with the medication variables.
+	if !o.MutuallyExclusive("c", "b") {
+		t.Errorf("P vs B should be exclusive")
+	}
+}
+
+func TestMutuallyExclusiveNeedsSameAttribute(t *testing.T) {
+	p := New().Set(Var("a"), Var("b2")).
+		WhereConst("a", "L", Eq, event.String("x")).
+		WhereConst("b2", "M", Eq, event.String("y")).
+		Within(1).MustBuild()
+	if p.MutuallyExclusive("a", "b2") {
+		t.Errorf("conditions on different attributes cannot prove exclusivity")
+	}
+}
+
+func TestAnalyzeCase1(t *testing.T) {
+	a := Analyze(exclusivePattern(t))
+	if !a.Deterministic {
+		t.Errorf("case-1 pattern should be deterministic (Lemma 1)")
+	}
+	if a.Sets[0].Case != Case1 || a.Sets[1].Case != Case1 {
+		t.Errorf("cases = %+v", a.Sets)
+	}
+	if a.Sets[0].Bound != "O(1)" {
+		t.Errorf("bound = %q", a.Sets[0].Bound)
+	}
+	if !strings.Contains(a.Bound, "O(W)") {
+		t.Errorf("overall bound = %q", a.Bound)
+	}
+}
+
+func TestAnalyzeCase2(t *testing.T) {
+	a := Analyze(overlappingPattern(t, false))
+	if a.Deterministic {
+		t.Errorf("case-2 pattern cannot be deterministic")
+	}
+	if a.Sets[0].Case != Case2 {
+		t.Errorf("V1 case = %v", a.Sets[0].Case)
+	}
+	if !strings.Contains(a.Sets[0].Bound, "O(|V1|!) = O(6)") {
+		t.Errorf("V1 bound = %q", a.Sets[0].Bound)
+	}
+	if a.Sets[1].Case != Case1 {
+		t.Errorf("V2 = {b} should be case 1, got %v", a.Sets[1].Case)
+	}
+}
+
+func TestAnalyzeCase3SingleGroup(t *testing.T) {
+	a := Analyze(overlappingPattern(t, true))
+	if a.Sets[0].Case != Case3 || a.Sets[0].GroupVars != 1 {
+		t.Errorf("V1 = %+v", a.Sets[0])
+	}
+	if !strings.Contains(a.Sets[0].Bound, "W^3") {
+		t.Errorf("k=1 bound = %q", a.Sets[0].Bound)
+	}
+	if !strings.Contains(a.Bound, "O(W · (") {
+		t.Errorf("overall bound = %q", a.Bound)
+	}
+}
+
+func TestAnalyzeCase3MultiGroup(t *testing.T) {
+	p := New().
+		Set(Plus("x"), Plus("y"), Var("z")).
+		WhereConst("x", "L", Eq, event.String("P")).
+		WhereConst("y", "L", Eq, event.String("P")).
+		WhereConst("z", "L", Eq, event.String("P")).
+		Within(10).MustBuild()
+	a := Analyze(p)
+	if a.Sets[0].Case != Case3 || a.Sets[0].GroupVars != 2 {
+		t.Fatalf("set analysis = %+v", a.Sets[0])
+	}
+	if !strings.Contains(a.Sets[0].Bound, "2^(W·3)") {
+		t.Errorf("k=2 bound = %q", a.Sets[0].Bound)
+	}
+}
+
+func TestAnalyzeStringReport(t *testing.T) {
+	s := Analyze(overlappingPattern(t, true)).String()
+	for _, frag := range []string{"V1:", "V2:", "case 3", "case 1", "overall:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFactorialString(t *testing.T) {
+	if factorialString(0) != "1" || factorialString(1) != "1" ||
+		factorialString(5) != "120" || factorialString(6) != "720" {
+		t.Errorf("factorialString small values wrong: %s %s %s",
+			factorialString(1), factorialString(5), factorialString(6))
+	}
+	if factorialString(30) != "30!" {
+		t.Errorf("factorialString(30) = %q, want symbolic", factorialString(30))
+	}
+}
+
+// TestLemma1Shape checks the statement of Lemma 1 on the level of the
+// analysis: a pattern whose variables all carry pairwise disjoint
+// constant conditions is classified deterministic.
+func TestLemma1Shape(t *testing.T) {
+	p := New().
+		Set(Var("a"), Var("b2"), Var("c"), Var("d"), Var("e2"), Var("f")).
+		WhereConst("a", "V", Lt, event.Float(1)).
+		WhereConst("b2", "V", Ge, event.Float(1)).
+		WhereConst("b2", "V", Lt, event.Float(2)).
+		WhereConst("c", "V", Ge, event.Float(2)).
+		WhereConst("c", "V", Lt, event.Float(3)).
+		WhereConst("d", "V", Ge, event.Float(3)).
+		WhereConst("d", "V", Lt, event.Float(4)).
+		WhereConst("e2", "V", Ge, event.Float(4)).
+		WhereConst("e2", "V", Lt, event.Float(5)).
+		WhereConst("f", "V", Ge, event.Float(5)).
+		Within(100).MustBuild()
+	a := Analyze(p)
+	if !a.Deterministic {
+		t.Errorf("interval-partitioned variables should be pairwise exclusive:\n%s", a)
+	}
+}
+
+func TestEstimateInstances(t *testing.T) {
+	// Case 1: constant per start; overall O(W).
+	a1 := Analyze(exclusivePattern(t))
+	if got := a1.Sets[0].EstimateInstances(100); got != 1 {
+		t.Errorf("case-1 estimate = %g", got)
+	}
+	if got := a1.EstimateInstances(100); got != 100 {
+		t.Errorf("case-1 overall = %g, want 100 (W·1^n)", got)
+	}
+	// Case 2: |V1|! per start.
+	a2 := Analyze(overlappingPattern(t, false))
+	if got := a2.Sets[0].EstimateInstances(100); got != 6 {
+		t.Errorf("case-2 estimate = %g, want 3! = 6", got)
+	}
+	// Case 3, k = 1: (|V1|-1)!·W^|V1|.
+	a3 := Analyze(overlappingPattern(t, true))
+	if got := a3.Sets[0].EstimateInstances(10); got != 2*1000 {
+		t.Errorf("case-3 estimate = %g, want 2·10^3", got)
+	}
+	// Overall: W · (bound)^n with n = 2 sets.
+	if got := a3.EstimateInstances(10); got != 10*2000*2000 {
+		t.Errorf("case-3 overall = %g", got)
+	}
+	// Case 3, k > 1 explodes to +Inf for any realistic window.
+	p := New().
+		Set(Plus("x"), Plus("y"), Var("z")).
+		WhereConst("x", "L", Eq, event.String("P")).
+		WhereConst("y", "L", Eq, event.String("P")).
+		WhereConst("z", "L", Eq, event.String("P")).
+		Within(10).MustBuild()
+	if got := Analyze(p).Sets[0].EstimateInstances(1000); !math.IsInf(got, 1) {
+		t.Errorf("k=2 estimate should overflow, got %g", got)
+	}
+}

@@ -1,0 +1,80 @@
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Builder assembles a Pattern fluently. Errors are accumulated and
+// reported by Build, so call chains need no intermediate checks:
+//
+//	p, err := pattern.New().
+//	    Set(pattern.Var("c"), pattern.Plus("p"), pattern.Var("d")).
+//	    Set(pattern.Var("b")).
+//	    WhereConst("c", "L", pattern.Eq, event.String("C")).
+//	    WhereVars("c", "ID", pattern.Eq, "d", "ID").
+//	    Within(264 * event.Hour).
+//	    Build()
+type Builder struct {
+	p   Pattern
+	err error
+}
+
+// New returns an empty pattern builder.
+func New() *Builder { return &Builder{} }
+
+// Set appends an event set pattern Vi with the given variables.
+func (b *Builder) Set(vars ...Variable) *Builder {
+	if b.err == nil && len(vars) == 0 {
+		b.err = fmt.Errorf("pattern: Set requires at least one variable")
+		return b
+	}
+	b.p.Sets = append(b.p.Sets, append([]Variable(nil), vars...))
+	return b
+}
+
+// Where appends an arbitrary condition.
+func (b *Builder) Where(c Condition) *Builder {
+	b.p.Conds = append(b.p.Conds, c)
+	return b
+}
+
+// WhereConst appends the constant condition v.attr op c.
+func (b *Builder) WhereConst(v, attr string, op Op, c event.Value) *Builder {
+	return b.Where(ConstCond(v, attr, op, c))
+}
+
+// WhereVars appends the variable condition v.attr op v2.attr2.
+func (b *Builder) WhereVars(v, attr string, op Op, v2, attr2 string) *Builder {
+	return b.Where(VarCond(v, attr, op, v2, attr2))
+}
+
+// Within sets the maximal duration τ between the chronologically first
+// and last event of a match.
+func (b *Builder) Within(d event.Duration) *Builder {
+	b.p.Window = d
+	return b
+}
+
+// Build validates and returns the assembled pattern.
+func (b *Builder) Build() (*Pattern, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.p.Clone()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known
+// patterns in tests and examples.
+func (b *Builder) MustBuild() *Pattern {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+package pattern
+
+import "fmt"
+
+// This file extends SES patterns beyond the paper's class — one of the
+// future-work directions named in its conclusion ("enhance SES
+// automata to support a broader class of SES patterns"): optional
+// variables.
+//
+//	v   singleton      exactly one binding
+//	v+  group          one or more bindings
+//	v?  optional       zero or one binding
+//	v*  optional group zero or more bindings
+//
+// Optional variables are evaluated by variant expansion: a pattern
+// with k optional variables denotes the union of up to 2^k plain SES
+// patterns, one per subset of included optionals (ExpandOptionals).
+// Conditions mentioning an excluded variable are dropped — with zero
+// bindings they hold vacuously under the substitution semantics of
+// Section 3.2. The MAXIMAL semantics across variants (prefer binding
+// an optional variable when possible) is enforced by the engine's
+// FilterMaximal pass over the union of the variants' matches.
+
+// Opt constructs an optional singleton variable (v?).
+func Opt(name string) Variable { return Variable{Name: name, Optional: true} }
+
+// Star constructs an optional group variable (v*), zero or more
+// bindings.
+func Star(name string) Variable { return Variable{Name: name, Group: true, Optional: true} }
+
+// MaxOptionalVariables caps the optional variables per pattern, since
+// expansion is exponential in their number.
+const MaxOptionalVariables = 12
+
+// HasOptionalVariables reports whether any variable is optional.
+func (p *Pattern) HasOptionalVariables() bool {
+	for _, set := range p.Sets {
+		for _, v := range set {
+			if v.Optional {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validateOptionals extends Validate for the optional-variable
+// extension: at least one variable must be non-optional (a pattern
+// whose every variable can bind nothing denotes the empty match), and
+// the expansion must stay tractable.
+func (p *Pattern) validateOptionals() error {
+	optionals := 0
+	required := 0
+	for _, set := range p.Sets {
+		for _, v := range set {
+			if v.Optional {
+				optionals++
+			} else {
+				required++
+			}
+		}
+	}
+	if optionals > 0 && required == 0 {
+		return fmt.Errorf("pattern: at least one variable must be non-optional")
+	}
+	if optionals > MaxOptionalVariables {
+		return fmt.Errorf("pattern: %d optional variables exceed the supported maximum of %d",
+			optionals, MaxOptionalVariables)
+	}
+	return nil
+}
+
+// ExpandOptionals expands the pattern into plain SES patterns (without
+// optional variables), one per subset of included optional variables.
+// Variants whose event set patterns all become empty are dropped; an
+// event set pattern that becomes empty is removed from its variant's
+// sequence. A pattern without optional variables expands to itself.
+func ExpandOptionals(p *Pattern) ([]*Pattern, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.HasOptionalVariables() {
+		return []*Pattern{p.Clone()}, nil
+	}
+	var optionals []string
+	for _, set := range p.Sets {
+		for _, v := range set {
+			if v.Optional {
+				optionals = append(optionals, v.Name)
+			}
+		}
+	}
+
+	var variants []*Pattern
+	for mask := 0; mask < 1<<len(optionals); mask++ {
+		excluded := make(map[string]bool)
+		for i, name := range optionals {
+			if mask&(1<<i) == 0 {
+				excluded[name] = true
+			}
+		}
+		v := &Pattern{Window: p.Window}
+		for _, set := range p.Sets {
+			var vars []Variable
+			for _, sv := range set {
+				if excluded[sv.Name] {
+					continue
+				}
+				vars = append(vars, Variable{Name: sv.Name, Group: sv.Group})
+			}
+			if len(vars) > 0 {
+				v.Sets = append(v.Sets, vars)
+			}
+		}
+		if len(v.Sets) == 0 {
+			continue
+		}
+		for _, c := range p.Conds {
+			if excluded[c.Left.Var] || (!c.HasConst && excluded[c.Right.Var]) {
+				continue // vacuously true with zero bindings
+			}
+			v.Conds = append(v.Conds, c)
+		}
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("pattern: expansion produced an invalid variant: %w", err)
+		}
+		variants = append(variants, v)
+	}
+	return variants, nil
+}

@@ -1,0 +1,161 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestOptionalConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Variable
+		want string
+	}{
+		{Var("a"), "a"},
+		{Plus("a"), "a+"},
+		{Opt("a"), "a?"},
+		{Star("a"), "a*"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !Opt("a").Optional || Opt("a").Group {
+		t.Errorf("Opt flags wrong")
+	}
+	if !Star("a").Optional || !Star("a").Group {
+		t.Errorf("Star flags wrong")
+	}
+}
+
+func TestHasOptionalVariables(t *testing.T) {
+	p := New().Set(Var("a"), Opt("b2")).Within(1).MustBuild()
+	if !p.HasOptionalVariables() {
+		t.Errorf("HasOptionalVariables = false")
+	}
+	q := New().Set(Var("a"), Plus("b2")).Within(1).MustBuild()
+	if q.HasOptionalVariables() {
+		t.Errorf("plain pattern reported optionals")
+	}
+}
+
+func TestValidateAllOptionalRejected(t *testing.T) {
+	p := &Pattern{Sets: [][]Variable{{Opt("a"), Star("b2")}}, Window: 1}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "non-optional") {
+		t.Errorf("all-optional pattern accepted: %v", err)
+	}
+}
+
+func TestValidateOptionalCap(t *testing.T) {
+	vars := []Variable{Var("anchor")}
+	for i := 0; i < MaxOptionalVariables+1; i++ {
+		vars = append(vars, Opt(strings.Repeat("o", i+1)))
+	}
+	p := &Pattern{Sets: [][]Variable{vars}, Window: 1}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "optional") {
+		t.Errorf("%d optionals accepted: %v", MaxOptionalVariables+1, err)
+	}
+}
+
+func TestExpandOptionalsPlainPattern(t *testing.T) {
+	p := New().Set(Var("a"), Plus("b2")).Within(5).MustBuild()
+	vs, err := ExpandOptionals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].String() != p.String() {
+		t.Errorf("plain expansion = %v", vs)
+	}
+	// Expansion must not alias the input.
+	vs[0].Sets[0][0] = Var("mutated")
+	if p.Sets[0][0].Name != "a" {
+		t.Errorf("expansion aliases the input pattern")
+	}
+}
+
+func TestExpandOptionalsVariants(t *testing.T) {
+	p := New().
+		Set(Var("a"), Opt("o"), Star("s")).
+		Set(Var("z")).
+		WhereConst("a", "L", Eq, event.String("A")).
+		WhereConst("o", "L", Eq, event.String("O")).
+		WhereConst("s", "L", Eq, event.String("S")).
+		WhereConst("z", "L", Eq, event.String("Z")).
+		WhereVars("o", "ID", Eq, "a", "ID").
+		Within(10).MustBuild()
+	vs, err := ExpandOptionals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("got %d variants", len(vs))
+	}
+	var shapes []string
+	for _, v := range vs {
+		var names []string
+		for _, set := range v.Sets {
+			for _, sv := range set {
+				names = append(names, sv.String())
+				if sv.Optional {
+					t.Errorf("variant still contains optional %s", sv)
+				}
+			}
+		}
+		shapes = append(shapes, strings.Join(names, ","))
+		// Conditions mentioning excluded variables must be gone.
+		for _, c := range v.Conds {
+			if _, _, ok := v.Lookup(c.Left.Var); !ok {
+				t.Errorf("variant keeps condition on excluded %s", c.Left.Var)
+			}
+			if !c.HasConst {
+				if _, _, ok := v.Lookup(c.Right.Var); !ok {
+					t.Errorf("variant keeps condition on excluded %s", c.Right.Var)
+				}
+			}
+		}
+	}
+	sort.Strings(shapes)
+	want := []string{"a,o,s+,z", "a,o,z", "a,s+,z", "a,z"}
+	if strings.Join(shapes, ";") != strings.Join(want, ";") {
+		t.Errorf("variant shapes = %v, want %v", shapes, want)
+	}
+}
+
+func TestExpandOptionalsDropsEmptySets(t *testing.T) {
+	p := New().
+		Set(Opt("o")).
+		Set(Var("z")).
+		Within(10).MustBuild()
+	vs, err := ExpandOptionals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d variants", len(vs))
+	}
+	sizes := map[int]bool{}
+	for _, v := range vs {
+		sizes[len(v.Sets)] = true
+	}
+	if !sizes[1] || !sizes[2] {
+		t.Errorf("expected one 1-set and one 2-set variant, got %v", vs)
+	}
+}
+
+func TestExpandOptionalsInvalidInput(t *testing.T) {
+	bad := &Pattern{Window: 0}
+	if _, err := ExpandOptionals(bad); err == nil {
+		t.Errorf("invalid pattern accepted")
+	}
+}
+
+func TestOptionalPatternString(t *testing.T) {
+	p := New().Set(Var("a"), Opt("o"), Star("s")).Within(10).MustBuild()
+	s := p.String()
+	if !strings.Contains(s, "o?") || !strings.Contains(s, "s*") {
+		t.Errorf("String() = %q", s)
+	}
+}

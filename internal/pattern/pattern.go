@@ -1,0 +1,351 @@
+// Package pattern defines sequenced event set (SES) patterns following
+// Definition 1 of Cadonna, Gamper, Böhlen: "Sequenced Event Set Pattern
+// Matching" (EDBT 2011).
+//
+// A SES pattern is a triple P = (⟨V1,...,Vm⟩, Θ, τ) where each Vi is a
+// set of event variables (singleton or Kleene-plus group variables), Θ
+// is a set of conditions of the form v.A φ C or v.A φ v'.A', and τ is
+// the maximal duration spanned by the events of a match.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Variable is an event variable of an event set pattern. A singleton
+// variable binds exactly one event; a group variable (Kleene plus, v+)
+// binds one or more events. Optional variables (v?, v* — an extension
+// beyond the paper, see optional.go) may bind nothing.
+type Variable struct {
+	Name     string
+	Group    bool
+	Optional bool
+}
+
+// Var constructs a singleton event variable.
+func Var(name string) Variable { return Variable{Name: name} }
+
+// Plus constructs a group event variable (v+).
+func Plus(name string) Variable { return Variable{Name: name, Group: true} }
+
+// String renders the variable with its quantifier suffix: v, v+, v?
+// or v*.
+func (v Variable) String() string {
+	switch {
+	case v.Group && v.Optional:
+		return v.Name + "*"
+	case v.Group:
+		return v.Name + "+"
+	case v.Optional:
+		return v.Name + "?"
+	default:
+		return v.Name
+	}
+}
+
+// Op is a comparison operator φ ∈ {=, !=, <, <=, >, >=}.
+type Op uint8
+
+// The comparison operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator in the query language's syntax.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Flip returns the operator with its operands swapped, so that
+// a φ b  ⇔  b φ.Flip() a.
+func (o Op) Flip() Op {
+	switch o {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default: // Eq, Ne are symmetric
+		return o
+	}
+}
+
+// Eval applies the operator to a three-way comparison result
+// (cmp < 0, == 0, > 0 for a < b, a == b, a > b).
+func (o Op) Eval(cmp int) bool {
+	switch o {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Ref names an attribute of the events bound to a variable, v.A.
+type Ref struct {
+	Var  string
+	Attr string
+}
+
+// String renders the reference as "v.A".
+func (r Ref) String() string { return r.Var + "." + r.Attr }
+
+// Condition is a single condition θ ∈ Θ: either v.A φ C (a constant
+// condition, HasConst true) or v.A φ v'.A' (a variable condition).
+type Condition struct {
+	Left     Ref
+	Op       Op
+	Right    Ref // valid when !HasConst
+	Const    event.Value
+	HasConst bool
+}
+
+// ConstCond constructs a constant condition v.A φ C.
+func ConstCond(v, attr string, op Op, c event.Value) Condition {
+	return Condition{Left: Ref{v, attr}, Op: op, Const: c, HasConst: true}
+}
+
+// VarCond constructs a variable condition v.A φ v'.A'.
+func VarCond(v, attr string, op Op, v2, attr2 string) Condition {
+	return Condition{Left: Ref{v, attr}, Op: op, Right: Ref{v2, attr2}}
+}
+
+// String renders the condition in the query language's syntax.
+func (c Condition) String() string {
+	if c.HasConst {
+		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Const)
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Mentions reports whether the condition references variable name.
+func (c Condition) Mentions(name string) bool {
+	return c.Left.Var == name || (!c.HasConst && c.Right.Var == name)
+}
+
+// Pattern is a SES pattern P = (⟨V1..Vm⟩, Θ, τ).
+type Pattern struct {
+	Sets   [][]Variable
+	Conds  []Condition
+	Window event.Duration // τ
+}
+
+// MaxVariables bounds the total number of event variables in a pattern
+// so that variable sets fit in a 64-bit mask during compilation.
+const MaxVariables = 64
+
+// Validate checks the structural well-formedness of the pattern:
+// at least one non-empty event set pattern, globally unique variable
+// names (Vi ∩ Vj = ∅), conditions referencing declared variables only,
+// a positive window, and at most MaxVariables variables.
+func (p *Pattern) Validate() error {
+	if len(p.Sets) == 0 {
+		return fmt.Errorf("pattern: needs at least one event set pattern")
+	}
+	if p.Window <= 0 {
+		return fmt.Errorf("pattern: window duration must be positive, got %d", p.Window)
+	}
+	seen := make(map[string]bool)
+	total := 0
+	for i, set := range p.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("pattern: event set pattern %d is empty", i+1)
+		}
+		for _, v := range set {
+			if v.Name == "" {
+				return fmt.Errorf("pattern: event set pattern %d contains an unnamed variable", i+1)
+			}
+			if seen[v.Name] {
+				return fmt.Errorf("pattern: variable %q declared more than once", v.Name)
+			}
+			seen[v.Name] = true
+			total++
+		}
+	}
+	if total > MaxVariables {
+		return fmt.Errorf("pattern: %d variables exceed the supported maximum of %d", total, MaxVariables)
+	}
+	for _, c := range p.Conds {
+		if !seen[c.Left.Var] {
+			return fmt.Errorf("pattern: condition %q references undeclared variable %q", c, c.Left.Var)
+		}
+		if !c.HasConst && !seen[c.Right.Var] {
+			return fmt.Errorf("pattern: condition %q references undeclared variable %q", c, c.Right.Var)
+		}
+		if c.Left.Attr == "" || (!c.HasConst && c.Right.Attr == "") {
+			return fmt.Errorf("pattern: condition %q references an empty attribute", c)
+		}
+	}
+	return p.validateOptionals()
+}
+
+// ValidateSchema checks the pattern's conditions against an event
+// schema: referenced attributes must exist and the operand types must
+// be comparable under the condition's operator.
+func (p *Pattern) ValidateSchema(s *event.Schema) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	typeOf := func(r Ref) (event.Type, error) {
+		i, ok := s.Index(r.Attr)
+		if !ok {
+			return 0, fmt.Errorf("pattern: attribute %q of condition operand %s not in schema (%s)", r.Attr, r, s)
+		}
+		return s.Field(i).Type, nil
+	}
+	for _, c := range p.Conds {
+		lt, err := typeOf(c.Left)
+		if err != nil {
+			return err
+		}
+		if c.HasConst {
+			if !event.Comparable(event.ZeroOf(lt), c.Const) {
+				return fmt.Errorf("pattern: condition %q compares %s attribute with %s constant", c, lt, c.Const.Kind())
+			}
+			continue
+		}
+		rt, err := typeOf(c.Right)
+		if err != nil {
+			return err
+		}
+		if !event.Comparable(event.ZeroOf(lt), event.ZeroOf(rt)) {
+			return fmt.Errorf("pattern: condition %q compares %s attribute with %s attribute", c, lt, rt)
+		}
+	}
+	return nil
+}
+
+// Variables returns all event variables of the pattern in set order
+// (V = V1 ∪ ... ∪ Vm).
+func (p *Pattern) Variables() []Variable {
+	var out []Variable
+	for _, set := range p.Sets {
+		out = append(out, set...)
+	}
+	return out
+}
+
+// NumVariables returns |V|, the total number of event variables.
+func (p *Pattern) NumVariables() int {
+	n := 0
+	for _, set := range p.Sets {
+		n += len(set)
+	}
+	return n
+}
+
+// Lookup returns the variable with the given name, the index of the
+// event set pattern containing it, and whether it exists.
+func (p *Pattern) Lookup(name string) (Variable, int, bool) {
+	for i, set := range p.Sets {
+		for _, v := range set {
+			if v.Name == name {
+				return v, i, true
+			}
+		}
+	}
+	return Variable{}, 0, false
+}
+
+// ConstConds returns the constant conditions (v.A φ C) on the named
+// variable.
+func (p *Pattern) ConstConds(name string) []Condition {
+	var out []Condition
+	for _, c := range p.Conds {
+		if c.HasConst && c.Left.Var == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasGroupVariables reports whether any event set pattern contains a
+// Kleene-plus group variable.
+func (p *Pattern) HasGroupVariables() bool {
+	for _, set := range p.Sets {
+		for _, v := range set {
+			if v.Group {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the pattern in the textual query language, one clause
+// per line.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("PATTERN ")
+	for i, set := range p.Sets {
+		if i > 0 {
+			b.WriteString(" THEN ")
+		}
+		b.WriteString("PERMUTE(")
+		for j, v := range set {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte(')')
+	}
+	if len(p.Conds) > 0 {
+		b.WriteString("\nWHERE ")
+		for i, c := range p.Conds {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	fmt.Fprintf(&b, "\nWITHIN %s", p.Window)
+	return b.String()
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	out := &Pattern{Window: p.Window}
+	out.Sets = make([][]Variable, len(p.Sets))
+	for i, set := range p.Sets {
+		out.Sets[i] = append([]Variable(nil), set...)
+	}
+	out.Conds = append([]Condition(nil), p.Conds...)
+	return out
+}

@@ -1,0 +1,260 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func chemoSchema() *event.Schema {
+	return event.MustSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+		event.Field{Name: "V", Type: event.TypeFloat},
+	)
+}
+
+// q1 builds the running-example pattern of Example 2.
+func q1(t *testing.T) *Pattern {
+	t.Helper()
+	p, err := New().
+		Set(Var("c"), Plus("p"), Var("d")).
+		Set(Var("b")).
+		WhereConst("c", "L", Eq, event.String("C")).
+		WhereConst("d", "L", Eq, event.String("D")).
+		WhereConst("p", "L", Eq, event.String("P")).
+		WhereConst("b", "L", Eq, event.String("B")).
+		WhereVars("c", "ID", Eq, "p", "ID").
+		WhereVars("c", "ID", Eq, "d", "ID").
+		WhereVars("d", "ID", Eq, "b", "ID").
+		Within(264 * event.Hour).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOpEvalAndFlip(t *testing.T) {
+	cases := []struct {
+		op   Op
+		cmp  int
+		want bool
+	}{
+		{Eq, 0, true}, {Eq, 1, false},
+		{Ne, 0, false}, {Ne, -1, true},
+		{Lt, -1, true}, {Lt, 0, false},
+		{Le, 0, true}, {Le, 1, false},
+		{Gt, 1, true}, {Gt, 0, false},
+		{Ge, 0, true}, {Ge, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.cmp); got != c.want {
+			t.Errorf("%s.Eval(%d) = %v, want %v", c.op, c.cmp, got, c.want)
+		}
+		// a op b  ==  b op.Flip() a for all comparisons.
+		if got := c.op.Flip().Eval(-c.cmp); got != c.want {
+			t.Errorf("%s.Flip().Eval(%d) = %v, want %v", c.op, -c.cmp, got, c.want)
+		}
+	}
+	if Eq.Flip() != Eq || Ne.Flip() != Ne || Lt.Flip() != Gt || Ge.Flip() != Le {
+		t.Errorf("Flip mapping wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), op.String(), s)
+		}
+	}
+}
+
+func TestBuilderBuildsQ1(t *testing.T) {
+	p := q1(t)
+	if len(p.Sets) != 2 || len(p.Sets[0]) != 3 || len(p.Sets[1]) != 1 {
+		t.Fatalf("sets = %v", p.Sets)
+	}
+	if p.NumVariables() != 4 {
+		t.Errorf("NumVariables = %d", p.NumVariables())
+	}
+	if len(p.Conds) != 7 {
+		t.Errorf("len(Conds) = %d", len(p.Conds))
+	}
+	if p.Window != 264*event.Hour {
+		t.Errorf("Window = %v", p.Window)
+	}
+	v, set, ok := p.Lookup("p")
+	if !ok || !v.Group || set != 0 {
+		t.Errorf("Lookup(p) = %v, %d, %v", v, set, ok)
+	}
+	if _, _, ok := p.Lookup("z"); ok {
+		t.Errorf("Lookup(z) should fail")
+	}
+	if !p.HasGroupVariables() {
+		t.Errorf("HasGroupVariables = false")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Pattern
+		frag string
+	}{
+		{"no sets", &Pattern{Window: 1}, "at least one"},
+		{"empty set", &Pattern{Sets: [][]Variable{{}}, Window: 1}, "empty"},
+		{"zero window", &Pattern{Sets: [][]Variable{{Var("a")}}}, "positive"},
+		{"dup var in set", &Pattern{Sets: [][]Variable{{Var("a"), Var("a")}}, Window: 1}, "more than once"},
+		{"dup var across sets", &Pattern{Sets: [][]Variable{{Var("a")}, {Var("a")}}, Window: 1}, "more than once"},
+		{"unnamed var", &Pattern{Sets: [][]Variable{{Var("")}}, Window: 1}, "unnamed"},
+		{"cond on unknown var", &Pattern{
+			Sets:   [][]Variable{{Var("a")}},
+			Conds:  []Condition{ConstCond("z", "L", Eq, event.String("x"))},
+			Window: 1,
+		}, "undeclared"},
+		{"cond on unknown right var", &Pattern{
+			Sets:   [][]Variable{{Var("a")}},
+			Conds:  []Condition{VarCond("a", "L", Eq, "z", "L")},
+			Window: 1,
+		}, "undeclared"},
+		{"empty attribute", &Pattern{
+			Sets:   [][]Variable{{Var("a")}},
+			Conds:  []Condition{ConstCond("a", "", Eq, event.String("x"))},
+			Window: 1,
+		}, "empty attribute"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.p.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("Validate() = %v, want error containing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestValidateMaxVariables(t *testing.T) {
+	var vars []Variable
+	for i := 0; i < MaxVariables+1; i++ {
+		vars = append(vars, Var(strings.Repeat("v", i+1)))
+	}
+	p := &Pattern{Sets: [][]Variable{vars}, Window: 1}
+	if err := p.Validate(); err == nil {
+		t.Errorf("pattern with %d variables should fail", len(vars))
+	}
+	p = &Pattern{Sets: [][]Variable{vars[:MaxVariables]}, Window: 1}
+	if err := p.Validate(); err != nil {
+		t.Errorf("pattern with %d variables should pass: %v", MaxVariables, err)
+	}
+}
+
+func TestValidateSchema(t *testing.T) {
+	s := chemoSchema()
+	if err := q1(t).ValidateSchema(s); err != nil {
+		t.Errorf("Q1 should validate: %v", err)
+	}
+	bad := New().Set(Var("a")).
+		WhereConst("a", "NOPE", Eq, event.String("x")).
+		Within(1).MustBuild()
+	if err := bad.ValidateSchema(s); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("unknown attribute: %v", err)
+	}
+	bad2 := New().Set(Var("a")).
+		WhereConst("a", "L", Eq, event.Int(1)).
+		Within(1).MustBuild()
+	if err := bad2.ValidateSchema(s); err == nil || !strings.Contains(err.Error(), "string") {
+		t.Errorf("type mismatch const: %v", err)
+	}
+	bad3 := New().Set(Var("a"), Var("b2")).
+		WhereVars("a", "L", Lt, "b2", "V").
+		Within(1).MustBuild()
+	if err := bad3.ValidateSchema(s); err == nil {
+		t.Errorf("string vs float attribute comparison should fail")
+	}
+	ok := New().Set(Var("a"), Var("b2")).
+		WhereVars("a", "ID", Lt, "b2", "V"). // int vs float is comparable
+		Within(1).MustBuild()
+	if err := ok.ValidateSchema(s); err != nil {
+		t.Errorf("int vs float comparison should pass: %v", err)
+	}
+}
+
+func TestConstConds(t *testing.T) {
+	p := q1(t)
+	cs := p.ConstConds("c")
+	if len(cs) != 1 || cs[0].Const.Str() != "C" {
+		t.Errorf("ConstConds(c) = %v", cs)
+	}
+	if len(p.ConstConds("nope")) != 0 {
+		t.Errorf("ConstConds on unknown variable should be empty")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	s := q1(t).String()
+	for _, frag := range []string{
+		"PERMUTE(c, p+, d)", "THEN PERMUTE(b)",
+		`c.L = "C"`, "c.ID = p.ID", "WITHIN 11d",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := q1(t)
+	c := p.Clone()
+	c.Sets[0][0] = Var("x")
+	c.Conds[0] = ConstCond("x", "L", Eq, event.String("X"))
+	if p.Sets[0][0].Name != "c" || p.Conds[0].Left.Var != "c" {
+		t.Errorf("Clone is shallow")
+	}
+}
+
+func TestConditionHelpers(t *testing.T) {
+	c := ConstCond("a", "L", Eq, event.String("x"))
+	if !c.Mentions("a") || c.Mentions("b") {
+		t.Errorf("Mentions on const cond wrong")
+	}
+	v := VarCond("a", "L", Lt, "b", "M")
+	if !v.Mentions("a") || !v.Mentions("b") || v.Mentions("c") {
+		t.Errorf("Mentions on var cond wrong")
+	}
+	if got := c.String(); got != `a.L = "x"` {
+		t.Errorf("const cond String = %q", got)
+	}
+	if got := v.String(); got != "a.L < b.M" {
+		t.Errorf("var cond String = %q", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := New().Set().Within(1).Build(); err == nil {
+		t.Errorf("empty Set should fail")
+	}
+	if _, err := New().Within(1).Build(); err == nil {
+		t.Errorf("pattern without sets should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustBuild should panic on invalid pattern")
+		}
+	}()
+	New().MustBuild()
+}
+
+func TestVariablesOrder(t *testing.T) {
+	p := q1(t)
+	vars := p.Variables()
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = v.String()
+	}
+	if strings.Join(names, ",") != "c,p+,d,b" {
+		t.Errorf("Variables order = %v", names)
+	}
+}

@@ -1,0 +1,289 @@
+// Package query implements the textual SES pattern language, an
+// adaptation of the PERMUTE syntax of the SQL change proposal for row
+// pattern matching [Zemke et al. 2007] to the sequenced event set
+// patterns of Cadonna, Gamper, Böhlen (EDBT 2011):
+//
+//	PATTERN PERMUTE(c, p+, d) THEN (b)
+//	WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+//	  AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+//	WITHIN 264h
+//
+// Each PERMUTE(...) clause is one event set pattern; PERMUTE and SET
+// are interchangeable and may be omitted entirely (bare parentheses).
+// THEN sequences the sets. WHERE takes a conjunction of comparisons
+// between variable attributes and constants or other variable
+// attributes. WITHIN takes a duration with an optional unit
+// (s, m, h, d, w; default seconds).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokPlus
+	tokQuestion
+	tokStar
+	tokOp // = != <> < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokPlus:
+		return "'+'"
+	case tokQuestion:
+		return "'?'"
+	case tokStar:
+		return "'*'"
+	case tokOp:
+		return "comparison operator"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position (1-based).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) describe() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a lexical or syntactic error with its position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error renders the error as "query:line:col: msg".
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer tokenises a query string.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return token{kind: tokEOF, line: l.line, col: l.col}, nil
+		}
+		if unicode.IsSpace(r) {
+			l.advance(r, size)
+			continue
+		}
+		// Line comments: -- to end of line.
+		if r == '-' && strings.HasPrefix(l.src[l.pos:], "--") {
+			for {
+				r, size = l.peekRune()
+				if size == 0 || r == '\n' {
+					break
+				}
+				l.advance(r, size)
+			}
+			continue
+		}
+		break
+	}
+
+	startLine, startCol := l.line, l.col
+	r, size := l.peekRune()
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+
+	switch {
+	case r == '(':
+		l.advance(r, size)
+		return mk(tokLParen, "("), nil
+	case r == ')':
+		l.advance(r, size)
+		return mk(tokRParen, ")"), nil
+	case r == ',':
+		l.advance(r, size)
+		return mk(tokComma, ","), nil
+	case r == '.':
+		l.advance(r, size)
+		return mk(tokDot, "."), nil
+	case r == '+':
+		l.advance(r, size)
+		return mk(tokPlus, "+"), nil
+	case r == '?':
+		l.advance(r, size)
+		return mk(tokQuestion, "?"), nil
+	case r == '*':
+		l.advance(r, size)
+		return mk(tokStar, "*"), nil
+	case r == '=':
+		l.advance(r, size)
+		return mk(tokOp, "="), nil
+	case r == '!':
+		l.advance(r, size)
+		if nr, ns := l.peekRune(); nr == '=' {
+			l.advance(nr, ns)
+			return mk(tokOp, "!="), nil
+		}
+		return token{}, l.errf(startLine, startCol, "unexpected character '!'")
+	case r == '<':
+		l.advance(r, size)
+		if nr, ns := l.peekRune(); nr == '=' {
+			l.advance(nr, ns)
+			return mk(tokOp, "<="), nil
+		} else if nr == '>' {
+			l.advance(nr, ns)
+			return mk(tokOp, "!="), nil // SQL spelling <>
+		}
+		return mk(tokOp, "<"), nil
+	case r == '>':
+		l.advance(r, size)
+		if nr, ns := l.peekRune(); nr == '=' {
+			l.advance(nr, ns)
+			return mk(tokOp, ">="), nil
+		}
+		return mk(tokOp, ">"), nil
+	case r == '\'' || r == '"':
+		quote := r
+		l.advance(r, size)
+		var b strings.Builder
+		for {
+			cr, cs := l.peekRune()
+			if cs == 0 || cr == '\n' {
+				return token{}, l.errf(startLine, startCol, "unterminated string literal")
+			}
+			l.advance(cr, cs)
+			if cr == quote {
+				// Doubled quote escapes itself ('' or "").
+				if nr, ns := l.peekRune(); nr == quote {
+					l.advance(nr, ns)
+					b.WriteRune(quote)
+					continue
+				}
+				return mk(tokString, b.String()), nil
+			}
+			b.WriteRune(cr)
+		}
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		seenDot := false
+		for {
+			cr, cs := l.peekRune()
+			if cs == 0 {
+				break
+			}
+			if cr == '.' && !seenDot {
+				// Lookahead: a digit must follow for this to be part of
+				// the number (so "264.x" is an error surfaced later).
+				rest := l.src[l.pos+cs:]
+				if len(rest) == 0 || !unicode.IsDigit(rune(rest[0])) {
+					break
+				}
+				seenDot = true
+			} else if !unicode.IsDigit(cr) {
+				break
+			}
+			b.WriteRune(cr)
+			l.advance(cr, cs)
+		}
+		return mk(tokNumber, b.String()), nil
+	case r == '_' || unicode.IsLetter(r):
+		var b strings.Builder
+		for {
+			cr, cs := l.peekRune()
+			if cs == 0 || !(cr == '_' || unicode.IsLetter(cr) || unicode.IsDigit(cr)) {
+				break
+			}
+			b.WriteRune(cr)
+			l.advance(cr, cs)
+		}
+		return mk(tokIdent, b.String()), nil
+	default:
+		return token{}, l.errf(startLine, startCol, "unexpected character %q", r)
+	}
+}
+
+// lexAll scans the whole input, used by the parser.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

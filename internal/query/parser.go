@@ -1,0 +1,325 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Parse translates a query text into a validated SES pattern.
+func Parse(src string) (*pattern.Pattern, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pat, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := pat.Validate(); err != nil {
+		// Structural errors (duplicate variables, …) found after
+		// parsing carry no position; wrap them at the query start.
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: err.Error()}
+	}
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error, for statically known
+// queries in tests and examples.
+func MustParse(src string) *pattern.Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// keyword reports whether t is the given case-insensitive keyword.
+func keyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !keyword(p.cur(), kw) {
+		return p.errf(p.cur(), "expected %s, got %s", kw, p.cur().describe())
+	}
+	p.next()
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errf(p.cur(), "expected %s, got %s", k, p.cur().describe())
+	}
+	return p.next(), nil
+}
+
+// parseQuery := PATTERN sets [WHERE conds] WITHIN duration EOF
+func (p *parser) parseQuery() (*pattern.Pattern, error) {
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return nil, err
+	}
+	pat := &pattern.Pattern{}
+	if err := p.parseSets(pat); err != nil {
+		return nil, err
+	}
+	if keyword(p.cur(), "WHERE") {
+		p.next()
+		if err := p.parseConds(pat); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("WITHIN"); err != nil {
+		return nil, err
+	}
+	d, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	pat.Window = d
+	if p.cur().kind != tokEOF {
+		return nil, p.errf(p.cur(), "unexpected %s after WITHIN clause", p.cur().describe())
+	}
+	return pat, nil
+}
+
+// parseSets := set (THEN set)*
+func (p *parser) parseSets(pat *pattern.Pattern) error {
+	for {
+		set, err := p.parseSet()
+		if err != nil {
+			return err
+		}
+		pat.Sets = append(pat.Sets, set)
+		if keyword(p.cur(), "THEN") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseSet := [SET|PERMUTE] '(' var (',' var)* ')'
+func (p *parser) parseSet() ([]pattern.Variable, error) {
+	if keyword(p.cur(), "SET") || keyword(p.cur(), "PERMUTE") {
+		p.next()
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var vars []pattern.Variable
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if isReservedWord(name.text) {
+			return nil, p.errf(name, "%q is a reserved word and cannot name an event variable", name.text)
+		}
+		v := pattern.Var(name.text)
+		switch p.cur().kind {
+		case tokPlus:
+			p.next()
+			v = pattern.Plus(name.text)
+		case tokQuestion:
+			p.next()
+			v = pattern.Opt(name.text)
+		case tokStar:
+			p.next()
+			v = pattern.Star(name.text)
+		}
+		vars = append(vars, v)
+		switch p.cur().kind {
+		case tokComma:
+			p.next()
+			continue
+		case tokRParen:
+			p.next()
+			return vars, nil
+		default:
+			return nil, p.errf(p.cur(), "expected ',' or ')' in event set pattern, got %s", p.cur().describe())
+		}
+	}
+}
+
+// parseConds := cond (AND cond)*
+func (p *parser) parseConds(pat *pattern.Pattern) error {
+	for {
+		c, err := p.parseCond()
+		if err != nil {
+			return err
+		}
+		pat.Conds = append(pat.Conds, c)
+		if keyword(p.cur(), "AND") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// operand is either a variable attribute reference or a constant.
+type operand struct {
+	isRef bool
+	ref   pattern.Ref
+	val   event.Value
+	tok   token
+}
+
+// parseCond := operand op operand, with at least one reference.
+func (p *parser) parseCond() (pattern.Condition, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	op, err := parseOp(opTok)
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	switch {
+	case left.isRef && right.isRef:
+		return pattern.Condition{Left: left.ref, Op: op, Right: right.ref}, nil
+	case left.isRef:
+		return pattern.Condition{Left: left.ref, Op: op, Const: right.val, HasConst: true}, nil
+	case right.isRef:
+		// Constant on the left: normalise by flipping the operator.
+		return pattern.Condition{Left: right.ref, Op: op.Flip(), Const: left.val, HasConst: true}, nil
+	default:
+		return pattern.Condition{}, p.errf(left.tok, "condition must reference at least one event variable")
+	}
+}
+
+// parseOperand := IDENT '.' IDENT | STRING | NUMBER
+func (p *parser) parseOperand() (operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		if isReservedWord(t.text) {
+			return operand{}, p.errf(t, "expected a condition operand (v.A, string or number), got %s", t.describe())
+		}
+		p.next()
+		if _, err := p.expect(tokDot); err != nil {
+			return operand{}, p.errf(t, "expected '.' after variable %q (conditions reference attributes as v.A)", t.text)
+		}
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{isRef: true, ref: pattern.Ref{Var: t.text, Attr: attr.text}, tok: t}, nil
+	case tokString:
+		p.next()
+		return operand{val: event.String(t.text), tok: t}, nil
+	case tokNumber:
+		p.next()
+		v, err := parseNumber(t)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{val: v, tok: t}, nil
+	default:
+		return operand{}, p.errf(t, "expected a condition operand (v.A, string or number), got %s", t.describe())
+	}
+}
+
+func parseNumber(t token) (event.Value, error) {
+	if strings.Contains(t.text, ".") {
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return event.Value{}, &SyntaxError{Line: t.line, Col: t.col, Msg: "invalid number " + t.text}
+		}
+		return event.Float(f), nil
+	}
+	i, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return event.Value{}, &SyntaxError{Line: t.line, Col: t.col, Msg: "invalid number " + t.text}
+	}
+	return event.Int(i), nil
+}
+
+func parseOp(t token) (pattern.Op, error) {
+	switch t.text {
+	case "=":
+		return pattern.Eq, nil
+	case "!=":
+		return pattern.Ne, nil
+	case "<":
+		return pattern.Lt, nil
+	case "<=":
+		return pattern.Le, nil
+	case ">":
+		return pattern.Gt, nil
+	case ">=":
+		return pattern.Ge, nil
+	}
+	return 0, &SyntaxError{Line: t.line, Col: t.col, Msg: "unknown operator " + t.text}
+}
+
+// parseDuration := NUMBER [unit] with unit in s, m, h, d, w
+// (seconds when omitted). The number must be a positive integer.
+func (p *parser) parseDuration() (event.Duration, error) {
+	numTok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if strings.Contains(numTok.text, ".") {
+		return 0, p.errf(numTok, "duration must be an integer, got %q", numTok.text)
+	}
+	n, err2 := strconv.ParseInt(numTok.text, 10, 64)
+	if err2 != nil || n <= 0 {
+		return 0, p.errf(numTok, "invalid duration %q", numTok.text)
+	}
+	unit := event.Second
+	if p.cur().kind == tokIdent {
+		u := p.next()
+		switch strings.ToLower(u.text) {
+		case "s", "sec", "second", "seconds":
+			unit = event.Second
+		case "m", "min", "minute", "minutes":
+			unit = event.Minute
+		case "h", "hour", "hours":
+			unit = event.Hour
+		case "d", "day", "days":
+			unit = event.Day
+		case "w", "week", "weeks":
+			unit = event.Week
+		default:
+			return 0, p.errf(u, "unknown duration unit %q (use s, m, h, d or w)", u.text)
+		}
+	}
+	return event.Duration(n) * unit, nil
+}
+
+// isReservedWord guards variable names against the language keywords.
+func isReservedWord(s string) bool {
+	switch strings.ToUpper(s) {
+	case "PATTERN", "SET", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/pattern"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	got, err := Parse(paperdata.QueryQ1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperdata.QueryQ1()
+	if got.String() != want.String() {
+		t.Errorf("parsed pattern differs:\n got: %s\nwant: %s", got, want)
+	}
+	if got.Window != 264*event.Hour {
+		t.Errorf("Window = %v", got.Window)
+	}
+	v, set, ok := got.Lookup("p")
+	if !ok || !v.Group || set != 0 {
+		t.Errorf("p = %v in set %d", v, set)
+	}
+}
+
+func TestParseSetKeywordVariants(t *testing.T) {
+	for _, src := range []string{
+		"PATTERN PERMUTE(a, b) THEN SET(c) WITHIN 10",
+		"PATTERN SET(a, b) THEN PERMUTE(c) WITHIN 10",
+		"pattern (a, b) then (c) within 10",
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if len(p.Sets) != 2 || len(p.Sets[0]) != 2 || len(p.Sets[1]) != 1 {
+			t.Errorf("%q: sets = %v", src, p.Sets)
+		}
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := []struct {
+		src  string
+		want event.Duration
+	}{
+		{"WITHIN 42", 42 * event.Second},
+		{"WITHIN 42s", 42 * event.Second},
+		{"WITHIN 5 m", 5 * event.Minute},
+		{"WITHIN 264h", 264 * event.Hour},
+		{"WITHIN 11 days", 11 * event.Day},
+		{"WITHIN 2w", 2 * event.Week},
+		{"WITHIN 10 Hours", 10 * event.Hour},
+	}
+	for _, c := range cases {
+		p, err := Parse("PATTERN (a) " + c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if p.Window != c.want {
+			t.Errorf("%q: Window = %d, want %d", c.src, p.Window, c.want)
+		}
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	p, err := Parse(`PATTERN (a, b)
+		WHERE a.V >= 10.5 AND b.V != a.V AND 'X' = a.L AND 3 < b.V AND a.U <> b.U
+		WITHIN 1h`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := make([]string, len(p.Conds))
+	for i, c := range p.Conds {
+		conds[i] = c.String()
+	}
+	want := []string{
+		"a.V >= 10.5",
+		"b.V != a.V",
+		`a.L = "X"`,  // constant moved to the right
+		"b.V > 3",    // operator flipped
+		"a.U != b.U", // <> spelled as !=
+	}
+	if strings.Join(conds, "; ") != strings.Join(want, "; ") {
+		t.Errorf("conds = %v\nwant  %v", conds, want)
+	}
+}
+
+func TestParseNumberKinds(t *testing.T) {
+	p := MustParse("PATTERN (a) WHERE a.V = 2 AND a.V = 2.5 WITHIN 1")
+	if p.Conds[0].Const.Kind() != event.KindInt {
+		t.Errorf("2 parsed as %v", p.Conds[0].Const.Kind())
+	}
+	if p.Conds[1].Const.Kind() != event.KindFloat {
+		t.Errorf("2.5 parsed as %v", p.Conds[1].Const.Kind())
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	p := MustParse(`PATTERN (a) WHERE a.L = 'it''s' WITHIN 1`)
+	if p.Conds[0].Const.Str() != "it's" {
+		t.Errorf("escaped string = %q", p.Conds[0].Const.Str())
+	}
+	p = MustParse(`PATTERN (a) WHERE a.L = "dq""x" WITHIN 1`)
+	if p.Conds[0].Const.Str() != `dq"x` {
+		t.Errorf("double-quoted string = %q", p.Conds[0].Const.Str())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := MustParse(`
+		-- find the protocol
+		PATTERN (a) -- one variable
+		WITHIN 10 -- ten seconds`)
+	if len(p.Sets) != 1 || p.Window != 10 {
+		t.Errorf("comment handling broke parse: %v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "expected PATTERN"},
+		{"PATTERN", "expected '('"},
+		{"PATTERN a", "expected '('"},
+		{"PATTERN () WITHIN 1", "expected identifier"},
+		{"PATTERN (a", "expected ',' or ')'"},
+		{"PATTERN (a,) WITHIN 1", "expected identifier"},
+		{"PATTERN (a) WITHIN", "expected number"},
+		{"PATTERN (a) WITHIN 0", "invalid duration"},
+		{"PATTERN (a) WITHIN 1.5", "integer"},
+		{"PATTERN (a) WITHIN 1 parsecs", "unknown duration unit"},
+		{"PATTERN (a) WITHIN 1 extra", "unknown duration unit"},
+		{"PATTERN (a) WHERE WITHIN 1", "operand"},
+		{"PATTERN (a) WHERE a.L WITHIN 1", "comparison operator"},
+		{"PATTERN (a) WHERE a.L = WITHIN 1", "operand"},
+		{"PATTERN (a) WHERE a = 1 WITHIN 1", "expected '.'"},
+		{"PATTERN (a) WHERE 1 = 2 WITHIN 1", "at least one event variable"},
+		{"PATTERN (a) WHERE a.L = 'x' AND WITHIN 1", "operand"},
+		{"PATTERN (a, a) WITHIN 1", "more than once"},
+		{"PATTERN (where) WITHIN 1", "reserved word"},
+		{"PATTERN (a) WITHIN 1 )", "after WITHIN clause"},
+		{"PATTERN (a) WHERE a.L = 'x WITHIN 1", "unterminated string"},
+		{"PATTERN (a) WHERE a.L ! 'x' WITHIN 1", "unexpected character '!'"},
+		{"PATTERN (a) WHERE a.L = 'x' WITHIN 1 ;", "unexpected character"},
+		{"PATTERN (a) WHERE b.L = 'x' WITHIN 1", "undeclared"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err.Error(), c.frag)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("PATTERN (a)\n  WHERE a.L ? 'x'\nWITHIN 1")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 || se.Col != 13 {
+		t.Errorf("position = %d:%d, want 2:13 (%s)", se.Line, se.Col, se)
+	}
+	if !strings.HasPrefix(se.Error(), "query:2:13:") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Pattern.String() must itself be parseable and stable.
+	p1 := MustParse(paperdata.QueryQ1Text)
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, p1)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("round trip unstable:\n%s\n%s", p1, p2)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("nope")
+}
+
+func TestParsedPatternCompilesAgainstSchema(t *testing.T) {
+	p := MustParse(paperdata.QueryQ1Text)
+	if err := p.ValidateSchema(paperdata.Schema()); err != nil {
+		t.Errorf("parsed Q1 fails schema validation: %v", err)
+	}
+}
+
+func TestGroupMarkerPlacement(t *testing.T) {
+	p := MustParse("PATTERN (x+, y) WITHIN 5")
+	if !p.Sets[0][0].Group || p.Sets[0][1].Group {
+		t.Errorf("group markers wrong: %v", p.Sets[0])
+	}
+	if p.Sets[0][0].Name != "x" {
+		t.Errorf("name = %q", p.Sets[0][0].Name)
+	}
+	if _, _, ok := p.Lookup("x"); !ok {
+		t.Errorf("Lookup(x) failed")
+	}
+	var _ pattern.Pattern = *p
+}
+
+func TestParseOptionalQuantifiers(t *testing.T) {
+	p := MustParse("PATTERN (a, o?, s*) THEN (z) WITHIN 5")
+	v := p.Sets[0]
+	if v[0].String() != "a" || v[1].String() != "o?" || v[2].String() != "s*" {
+		t.Errorf("quantifiers = %v", v)
+	}
+	if !p.HasOptionalVariables() {
+		t.Errorf("HasOptionalVariables = false")
+	}
+	// Round trip through Pattern.String.
+	p2, err := Parse(p.String())
+	if err != nil || p2.String() != p.String() {
+		t.Errorf("round trip failed: %v\n%s", err, p2)
+	}
+}
+
+func TestParseAllOptionalRejected(t *testing.T) {
+	if _, err := Parse("PATTERN (o?, s*) WITHIN 5"); err == nil {
+		t.Errorf("all-optional pattern accepted")
+	}
+}
+
+// TestParseNeverPanics feeds the parser random token soup; it must
+// return errors, never panic (property / fuzz-style robustness test).
+func TestParseNeverPanics(t *testing.T) {
+	pieces := []string{
+		"PATTERN", "SET", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN",
+		"(", ")", ",", ".", "+", "?", "*", "=", "!=", "<", "<=", ">", ">=",
+		"a", "b", "L", "'x'", `"y"`, "42", "2.5", "264h", "--c\n", " ", "\n", "'", "!",
+	}
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 3000; trial++ {
+		var b strings.Builder
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			p, err := Parse(src)
+			if err == nil && p == nil {
+				t.Fatalf("nil pattern without error on %q", src)
+			}
+		}()
+	}
+}

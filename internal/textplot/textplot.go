@@ -1,0 +1,196 @@
+// Package textplot renders small ASCII charts for the experiment
+// harness, so that cmd/sesbench can reproduce the *figures* of the
+// paper's evaluation visually, not just as number tables: log-scale
+// series plots like Figures 11 and 13 and linear plots like Figure 12.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points. X values must align
+// across the series of one plot (they become the category axis).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Plot describes one chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks are the category labels, one per data point.
+	XTicks []string
+	Series []Series
+	// LogY switches the y axis to log10 (used by Figures 11 and 13).
+	LogY bool
+	// Height is the number of chart rows (default 12).
+	Height int
+	// Width is the column width per x category (default computed).
+	Width int
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the plot into a string. Each x category occupies a
+// fixed-width column; series points are drawn with per-series markers
+// on a shared y grid, with collisions shown as '&'.
+func (p Plot) Render() string {
+	height := p.Height
+	if height <= 0 {
+		height = 12
+	}
+	n := len(p.XTicks)
+	if n == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	colWidth := p.Width
+	if colWidth <= 0 {
+		colWidth = 1
+		for _, t := range p.XTicks {
+			if len(t)+2 > colWidth {
+				colWidth = len(t) + 2
+			}
+		}
+	}
+
+	// Value range across all series.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, y := range s.Y {
+			v := p.scale(y)
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				minV = math.Min(minV, v)
+				maxV = math.Max(maxV, v)
+			}
+		}
+	}
+	if math.IsInf(minV, 0) {
+		minV, maxV = 0, 1
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", n*colWidth))
+	}
+	rowOf := func(y float64) int {
+		frac := (p.scale(y) - minV) / (maxV - minV)
+		r := height - 1 - int(math.Round(frac*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for xi, y := range s.Y {
+			if xi >= n || math.IsNaN(y) {
+				continue
+			}
+			r := rowOf(y)
+			c := xi*colWidth + colWidth/2
+			if grid[r][c] != ' ' {
+				grid[r][c] = '&'
+			} else {
+				grid[r][c] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	// Y axis labels: top, middle, bottom values in original units.
+	axisWidth := 10
+	label := func(row int) string {
+		v := maxV - (maxV-minV)*float64(row)/float64(height-1)
+		return fmt.Sprintf("%*s", axisWidth, p.formatValue(p.unscale(v)))
+	}
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0, height / 2, height - 1:
+			b.WriteString(label(r))
+		default:
+			b.WriteString(strings.Repeat(" ", axisWidth))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", axisWidth) + " +" + strings.Repeat("-", n*colWidth) + "\n")
+	b.WriteString(strings.Repeat(" ", axisWidth) + "  ")
+	for _, t := range p.XTicks {
+		b.WriteString(center(t, colWidth))
+	}
+	b.WriteByte('\n')
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s", strings.Repeat(" ", axisWidth), p.XLabel)
+		if p.YLabel != "" {
+			fmt.Fprintf(&b, ", y: %s", p.YLabel)
+		}
+		if p.LogY {
+			b.WriteString(" (log scale)")
+		}
+		b.WriteByte('\n')
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", axisWidth), markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// scale maps a raw value onto the plotted axis.
+func (p Plot) scale(y float64) float64 {
+	if p.LogY {
+		if y <= 0 {
+			return math.NaN()
+		}
+		return math.Log10(y)
+	}
+	return y
+}
+
+// unscale inverts scale for axis labelling.
+func (p Plot) unscale(v float64) float64 {
+	if p.LogY {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// formatValue renders an axis value compactly (SI-ish suffixes).
+func (p Plot) formatValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || av == 0 || av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// center pads s to width, centred.
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s[:width]
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}

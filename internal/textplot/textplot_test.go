@@ -1,0 +1,126 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := Plot{
+		Title:  "Figure X",
+		XLabel: "W",
+		YLabel: "instances",
+		XTicks: []string{"D1", "D2", "D3"},
+		Series: []Series{
+			{Name: "P3", Y: []float64{10, 40, 90}},
+			{Name: "P4", Y: []float64{5, 10, 15}},
+		},
+	}
+	out := p.Render()
+	for _, frag := range []string{"Figure X", "* P3", "o P4", "D1", "D3", "x: W, y: instances"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// The max value labels the top row, the min the bottom row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "90") {
+		t.Errorf("top label missing: %q", lines[1])
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	p := Plot{
+		XTicks: []string{"2", "3", "4", "5", "6"},
+		Series: []Series{
+			{Name: "BF", Y: []float64{12, 72, 252, 1152, 6480}},
+			{Name: "SES", Y: []float64{11, 34, 39, 44, 49}},
+		},
+		LogY:   true,
+		YLabel: "maxΩ",
+	}
+	out := p.Render()
+	if !strings.Contains(out, "(log scale)") {
+		t.Errorf("log scale note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "6.5k") {
+		t.Errorf("SI-suffixed top label missing:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneRows(t *testing.T) {
+	// A strictly increasing series must be drawn on non-increasing rows
+	// (higher value = closer to the top).
+	p := Plot{
+		XTicks: []string{"a", "b", "c", "d"},
+		Series: []Series{{Name: "s", Y: []float64{1, 5, 20, 100}}},
+		Height: 10,
+	}
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	prevRow := -1
+	for col := 0; col < 4; col++ {
+		for row, line := range lines {
+			idx := strings.IndexByte(line, '|')
+			if idx < 0 {
+				continue
+			}
+			body := line[idx+1:]
+			pos := col*3 + 1 // colWidth 3 for single-char ticks
+			if pos < len(body) && body[pos] == '*' {
+				if prevRow >= 0 && row > prevRow {
+					t.Errorf("series dips at column %d:\n%s", col, out)
+				}
+				prevRow = row
+			}
+		}
+	}
+}
+
+func TestRenderCollisionsAndEmpty(t *testing.T) {
+	p := Plot{
+		XTicks: []string{"x"},
+		Series: []Series{
+			{Name: "a", Y: []float64{5}},
+			{Name: "b", Y: []float64{5}},
+		},
+	}
+	if out := p.Render(); !strings.Contains(out, "&") {
+		t.Errorf("collision marker missing:\n%s", out)
+	}
+	empty := Plot{Title: "t"}
+	if out := empty.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+}
+
+func TestRenderLogIgnoresNonPositive(t *testing.T) {
+	p := Plot{
+		XTicks: []string{"a", "b"},
+		Series: []Series{{Name: "s", Y: []float64{0, 100}}},
+		LogY:   true,
+	}
+	out := p.Render() // must not panic; zero is skipped
+	if !strings.Contains(out, "*") {
+		t.Errorf("positive point not drawn:\n%s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	p := Plot{}
+	for _, c := range []struct {
+		v    float64
+		want string
+	}{
+		{2_500_000_000, "2.5G"},
+		{1_500_000, "1.5M"},
+		{6480, "6.5k"},
+		{42, "42"},
+		{0.5, "0.5"},
+		{0, "0"},
+	} {
+		if got := p.formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

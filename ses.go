@@ -1,0 +1,479 @@
+// Package ses is a library for sequenced event set (SES) pattern
+// matching, a reproduction of Cadonna, Gamper, Böhlen: "Sequenced
+// Event Set Pattern Matching" (EDBT 2011).
+//
+// A SES pattern matches a time-ordered sequence of events against a
+// sequence of *sets* of event variables: events bound to the same set
+// may occur in any permutation (the PERMUTE operator of the SQL row
+// pattern matching change proposal), events bound to different sets
+// must follow the set order strictly, and all matched events must fall
+// within a time window τ. Variables are singletons (one event) or
+// Kleene-plus group variables (one or more events), constrained by
+// conditions on event attributes.
+//
+// # Quickstart
+//
+//	schema := ses.MustSchema(
+//	    ses.Field{Name: "ID", Type: ses.TypeInt},
+//	    ses.Field{Name: "L", Type: ses.TypeString},
+//	)
+//	rel := ses.NewRelation(schema)
+//	rel.MustAppend(t0, ses.Int(1), ses.String("C"))
+//	// ... more events, then:
+//	q, err := ses.Compile(`
+//	    PATTERN PERMUTE(c, p+, d) THEN (b)
+//	    WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+//	      AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+//	    WITHIN 264h`, schema)
+//	matches, metrics, err := q.Match(rel)
+//
+// Patterns can equally be assembled programmatically with NewPattern,
+// and event streams can be evaluated incrementally with Query.Stream
+// or a Runner.
+package ses
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Re-exported event model types. See the respective internal packages
+// for full documentation; the aliases make the public surface
+// self-contained.
+type (
+	// Time is an instant in the discrete time domain (canonically
+	// seconds).
+	Time = event.Time
+	// Duration is a time span in the same unit as Time.
+	Duration = event.Duration
+	// Value is a dynamically typed attribute value.
+	Value = event.Value
+	// Field declares one schema attribute.
+	Field = event.Field
+	// Type is the static type of a schema field.
+	Type = event.Type
+	// Schema describes the non-temporal attributes of a relation.
+	Schema = event.Schema
+	// Event is a tuple (A1..Al, T).
+	Event = event.Event
+	// Relation is a set of events ordered by occurrence time.
+	Relation = event.Relation
+)
+
+// Field types.
+const (
+	TypeString = event.TypeString
+	TypeInt    = event.TypeInt
+	TypeFloat  = event.TypeFloat
+)
+
+// Duration units in the canonical seconds domain.
+const (
+	Second = event.Second
+	Minute = event.Minute
+	Hour   = event.Hour
+	Day    = event.Day
+	Week   = event.Week
+)
+
+// Value constructors.
+var (
+	// String constructs a string attribute value.
+	String = event.String
+	// Int constructs an integer attribute value.
+	Int = event.Int
+	// Float constructs a floating point attribute value.
+	Float = event.Float
+)
+
+// NewSchema builds a schema from fields; names must be unique and free
+// of the reserved characters '.', ',' and ':'.
+func NewSchema(fields ...Field) (*Schema, error) { return event.NewSchema(fields...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(fields ...Field) *Schema { return event.MustSchema(fields...) }
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation { return event.NewRelation(schema) }
+
+// Merge combines time-sorted relations over a common schema into one
+// sorted relation (stable k-way merge).
+func Merge(rels ...*Relation) (*Relation, error) { return event.Merge(rels...) }
+
+// Reorderer absorbs bounded out-of-order arrival in event streams,
+// releasing events in timestamp order within a lateness slack. See
+// also Runner.StreamReordered for direct streaming evaluation over
+// disordered input.
+type Reorderer = engine.Reorderer
+
+// NewReorderer creates a Reorderer with the given lateness bound.
+func NewReorderer(slack Duration) *Reorderer { return engine.NewReorderer(slack) }
+
+// Pattern model re-exports.
+type (
+	// Pattern is a SES pattern P = (⟨V1..Vm⟩, Θ, τ).
+	Pattern = pattern.Pattern
+	// Variable is an event variable of an event set pattern.
+	Variable = pattern.Variable
+	// Condition is one condition θ ∈ Θ.
+	Condition = pattern.Condition
+	// Op is a comparison operator.
+	Op = pattern.Op
+	// PatternBuilder assembles a Pattern fluently.
+	PatternBuilder = pattern.Builder
+	// Analysis classifies a pattern per the paper's complexity cases.
+	Analysis = pattern.Analysis
+)
+
+// Comparison operators for pattern conditions.
+const (
+	Eq = pattern.Eq
+	Ne = pattern.Ne
+	Lt = pattern.Lt
+	Le = pattern.Le
+	Gt = pattern.Gt
+	Ge = pattern.Ge
+)
+
+// Var constructs a singleton event variable; Plus a Kleene-plus group
+// variable (v+); Opt an optional singleton (v?); Star an optional
+// group (v*). Optional variables are an extension beyond the paper.
+var (
+	Var  = pattern.Var
+	Plus = pattern.Plus
+	Opt  = pattern.Opt
+	Star = pattern.Star
+)
+
+// NewPattern returns a fluent pattern builder:
+//
+//	p, err := ses.NewPattern().
+//	    Set(ses.Var("c"), ses.Plus("p"), ses.Var("d")).
+//	    Set(ses.Var("b")).
+//	    WhereConst("c", "L", ses.Eq, ses.String("C")).
+//	    ...
+//	    Within(264 * ses.Hour).
+//	    Build()
+func NewPattern() *PatternBuilder { return pattern.New() }
+
+// Analyze classifies the pattern into the complexity cases of the
+// paper's Section 4.4 (Theorems 1-3) and reports the bound on the
+// number of simultaneous automaton instances.
+func Analyze(p *Pattern) Analysis { return pattern.Analyze(p) }
+
+// ParseQuery parses the textual pattern language:
+//
+//	PATTERN PERMUTE(c, p+, d) THEN (b) WHERE ... WITHIN 264h
+//
+// Errors carry line and column positions.
+func ParseQuery(src string) (*Pattern, error) { return query.Parse(src) }
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(src string) *Pattern { return query.MustParse(src) }
+
+// Engine re-exports.
+type (
+	// Match is one matching substitution γ.
+	Match = engine.Match
+	// Binding is the events bound to one variable within a match.
+	Binding = engine.Binding
+	// Metrics are execution counters (instances, iterations, ...).
+	Metrics = engine.Metrics
+	// Runner evaluates an automaton incrementally (Step/Flush/Stream).
+	Runner = engine.Runner
+	// Option configures evaluation.
+	Option = engine.Option
+	// Strategy selects the event selection strategy.
+	Strategy = engine.Strategy
+)
+
+// Evaluation options.
+var (
+	// WithFilter toggles the event filtering optimisation
+	// (Section 4.5 of the paper).
+	WithFilter = engine.WithFilter
+	// WithStrategy selects SkipTillNext (the paper's semantics,
+	// default) or SkipTillAny.
+	WithStrategy = engine.WithStrategy
+	// WithMaxInstances caps simultaneous automaton instances.
+	WithMaxInstances = engine.WithMaxInstances
+	// WithEmitOnAccept switches to first-match alerting: emit the
+	// moment the accepting state is reached instead of waiting for the
+	// greedy MAXIMAL emission at expiry.
+	WithEmitOnAccept = engine.WithEmitOnAccept
+)
+
+// Event selection strategies.
+const (
+	SkipTillNext = engine.SkipTillNext
+	SkipTillAny  = engine.SkipTillAny
+)
+
+// MatchJSON encodes a match as JSON, using the schema for attribute
+// names.
+func MatchJSON(m Match, schema *Schema) ([]byte, error) { return engine.MatchJSON(m, schema) }
+
+// FilterMaximal drops matches that are proper subsets of another match
+// with the same start time (condition 5 of the paper's Definition 2).
+// Only needed when the input contains events with identical
+// timestamps.
+func FilterMaximal(matches []Match) []Match { return engine.FilterMaximal(matches) }
+
+// Query is a compiled SES pattern ready to run against relations or
+// streams whose schema matches the one it was compiled for.
+//
+// Patterns with optional variables (v?, v* — an extension beyond the
+// paper) compile into several variant automata, one per subset of
+// included optionals; Match evaluates their union and applies the
+// MAXIMAL preference for binding optional variables.
+type Query struct {
+	p     *Pattern
+	autos []*automaton.Automaton
+}
+
+// Compile parses (if src is a string) or accepts a *Pattern and
+// compiles it into an executable query for the given schema.
+func Compile[P interface{ *Pattern | string }](src P, schema *Schema) (*Query, error) {
+	var p *Pattern
+	switch v := any(src).(type) {
+	case string:
+		parsed, err := query.Parse(v)
+		if err != nil {
+			return nil, err
+		}
+		p = parsed
+	case *Pattern:
+		p = v
+	}
+	variants, err := pattern.ExpandOptionals(p)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{p: p.Clone()}
+	for _, v := range variants {
+		a, err := automaton.Compile(v, schema)
+		if err != nil {
+			return nil, err
+		}
+		q.autos = append(q.autos, a)
+	}
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile[P interface{ *Pattern | string }](src P, schema *Schema) *Query {
+	q, err := Compile(src, schema)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Pattern returns the compiled pattern (with its optional variables
+// intact, if any).
+func (q *Query) Pattern() *Pattern { return q.p }
+
+// Variants returns the number of variant automata the query compiled
+// into: 1 for plain patterns, up to 2^k for k optional variables.
+func (q *Query) Variants() int { return len(q.autos) }
+
+// States returns the number of automaton states (|Q| of Definition 3),
+// summed over variants.
+func (q *Query) States() int {
+	n := 0
+	for _, a := range q.autos {
+		n += a.NumStates()
+	}
+	return n
+}
+
+// Transitions returns the number of automaton transitions (|∆|),
+// summed over variants.
+func (q *Query) Transitions() int {
+	n := 0
+	for _, a := range q.autos {
+		n += a.NumTransitions()
+	}
+	return n
+}
+
+// WriteDOT renders the compiled SES automata in Graphviz DOT format,
+// one digraph per variant.
+func (q *Query) WriteDOT(w io.Writer, name string) error {
+	for i, a := range q.autos {
+		n := name
+		if len(q.autos) > 1 {
+			n = fmt.Sprintf("%s_variant%d", name, i)
+		}
+		if err := a.WriteDOT(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Explain renders a human-readable query plan: the pattern, its
+// complexity classification per the paper's Theorems 1-3, the compiled
+// automaton shape (per variant for optional-variable queries), and the
+// constant conditions the Section 4.5 event filter can use.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern:\n%s\n\n", q.p)
+	fmt.Fprintf(&b, "complexity (Section 4.4):\n%s\n\n", pattern.Analyze(q.p))
+	if len(q.autos) > 1 {
+		fmt.Fprintf(&b, "optional variables expand into %d variant automata:\n", len(q.autos))
+	}
+	for i, a := range q.autos {
+		prefix := ""
+		if len(q.autos) > 1 {
+			prefix = fmt.Sprintf("variant %d: ", i)
+		}
+		fmt.Fprintf(&b, "%sautomaton: %d states, %d transitions, accept %s\n",
+			prefix, a.NumStates(), a.NumTransitions(), a.StateLabel(a.Accept))
+	}
+	b.WriteString("\nevent filter (Section 4.5) constant conditions per variable:\n")
+	for _, set := range q.p.Sets {
+		for _, v := range set {
+			conds := q.p.ConstConds(v.Name)
+			if len(conds) == 0 {
+				fmt.Fprintf(&b, "  %s: (none — every event passes for this variable)\n", v)
+				continue
+			}
+			parts := make([]string, len(conds))
+			for i, c := range conds {
+				parts[i] = c.String()
+			}
+			fmt.Fprintf(&b, "  %s: %s\n", v, strings.Join(parts, " AND "))
+		}
+	}
+	return b.String()
+}
+
+// Match evaluates the query over a complete, time-sorted relation and
+// returns all matching substitutions plus execution metrics. For
+// queries with optional variables the variants' results are combined
+// and the MAXIMAL preference is applied.
+func (q *Query) Match(rel *Relation, opts ...Option) ([]Match, Metrics, error) {
+	if len(q.autos) == 1 {
+		return engine.Run(q.autos[0], rel, opts...)
+	}
+	return engine.RunUnion(q.autos, rel, opts...)
+}
+
+// Runner creates an incremental evaluator for a single-variant query.
+// Feed events in time order with Step, finish with Flush, or attach a
+// channel with Stream. For queries with optional variables use
+// UnionRunner instead; Runner panics on them.
+func (q *Query) Runner(opts ...Option) *Runner {
+	if len(q.autos) != 1 {
+		panic("ses: Runner on a query with optional variables; use UnionRunner")
+	}
+	return engine.New(q.autos[0], opts...)
+}
+
+// MatchIndexed evaluates a single-variant query with the
+// instance-indexed evaluator (the paper's future-work optimisation):
+// instances are bucketed by automaton state and an event only visits
+// the buckets its type can fire. Results are identical to Match; the
+// payoff grows with the selectivity of the pattern's constant
+// conditions. Queries with optional variables are not supported.
+func (q *Query) MatchIndexed(rel *Relation, opts ...Option) ([]Match, Metrics, error) {
+	if len(q.autos) != 1 {
+		return nil, Metrics{}, fmt.Errorf("ses: MatchIndexed does not support optional variables (%d variants)", len(q.autos))
+	}
+	return engine.RunIndexed(q.autos[0], rel, opts...)
+}
+
+// IndexedRunner is the incremental instance-indexed evaluator.
+type IndexedRunner = engine.IndexedRunner
+
+// IndexedRunner creates an incremental instance-indexed evaluator for
+// a single-variant query.
+func (q *Query) IndexedRunner(opts ...Option) (*IndexedRunner, error) {
+	if len(q.autos) != 1 {
+		return nil, fmt.Errorf("ses: IndexedRunner does not support optional variables (%d variants)", len(q.autos))
+	}
+	return engine.NewIndexed(q.autos[0], opts...)
+}
+
+// UnionRunner is an incremental evaluator over a query's variant
+// automata (queries with optional variables).
+type UnionRunner = engine.Union
+
+// UnionRunner creates an incremental evaluator covering all variants
+// of the query. Note that the cross-variant MAXIMAL preference cannot
+// be applied incrementally; batch evaluation (Match) applies it, and
+// stream consumers may apply FilterMaximal per collected window.
+func (q *Query) UnionRunner(opts ...Option) (*UnionRunner, error) {
+	return engine.NewUnion(q.autos, opts...)
+}
+
+// MatchPartitioned splits the relation by the named attribute and
+// evaluates the query independently per partition, implementing the
+// "for each <entity>" reading of queries like the paper's Q1 ("for
+// each patient, find ..."). This differs from Match on the interleaved
+// relation under skip-till-next-match: there, an instance whose next
+// transitions carry no join condition yet (e.g. a group variable bound
+// before its join partner) is forced to consume matching events of
+// OTHER entities, killing the per-entity match. Partitioned evaluation
+// confines every instance to one entity.
+//
+// Matches keep the original relation's event sequence numbers and are
+// returned ordered by start time; metrics are aggregated over the
+// partitions.
+func (q *Query) MatchPartitioned(rel *Relation, attr string, opts ...Option) ([]Match, Metrics, error) {
+	parts, err := rel.Partition(attr)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	// Deterministic partition order: by first event position.
+	keys := make([]Value, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return parts[keys[i]].Event(0).Seq < parts[keys[j]].Event(0).Seq
+	})
+	var all []Match
+	var agg Metrics
+	for _, k := range keys {
+		matches, m, err := q.Match(parts[k], opts...)
+		if err != nil {
+			return nil, agg, err
+		}
+		all = append(all, matches...)
+		agg.Add(m)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].First < all[j].First })
+	return all, agg, nil
+}
+
+// CSV persistence.
+
+// ReadOptions configure LoadCSV.
+type ReadOptions = store.ReadOptions
+
+// LoadCSV reads a typed-CSV event relation (see package
+// internal/store for the format: a header of name:type columns with
+// exactly one time column).
+func LoadCSV(r io.Reader, opts ReadOptions) (*Relation, error) { return store.Read(r, opts) }
+
+// WriteCSV writes the relation as typed CSV.
+func WriteCSV(w io.Writer, rel *Relation) error { return store.Write(w, rel) }
+
+// LoadCSVFile reads a typed-CSV event relation from a file.
+func LoadCSVFile(path string, opts ReadOptions) (*Relation, error) {
+	return store.LoadFile(path, opts)
+}
+
+// SaveCSVFile writes the relation to a file.
+func SaveCSVFile(path string, rel *Relation) error { return store.SaveFile(path, rel) }

@@ -1,0 +1,344 @@
+package ses_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/paperdata"
+)
+
+// buildChemoRelation reconstructs the paper's Figure 1 relation
+// through the public API only.
+func buildChemoRelation(t *testing.T) (*ses.Relation, *ses.Schema) {
+	t.Helper()
+	schema := ses.MustSchema(
+		ses.Field{Name: "ID", Type: ses.TypeInt},
+		ses.Field{Name: "L", Type: ses.TypeString},
+		ses.Field{Name: "V", Type: ses.TypeFloat},
+		ses.Field{Name: "U", Type: ses.TypeString},
+	)
+	rel := ses.NewRelation(schema)
+	src := paperdata.Relation()
+	for i := 0; i < src.Len(); i++ {
+		e := src.Event(i)
+		if err := rel.Append(e.Time, e.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel, schema
+}
+
+const q1Text = `
+PATTERN PERMUTE(c, p+, d) THEN (b)
+WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+  AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+WITHIN 264h`
+
+func TestCompileFromQueryText(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q, err := ses.Compile(q1Text, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.States() != 9 || q.Transitions() != 17 {
+		t.Errorf("automaton shape = %d states, %d transitions", q.States(), q.Transitions())
+	}
+	matches, metrics, err := q.Match(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	if metrics.EventsProcessed != 14 {
+		t.Errorf("EventsProcessed = %d", metrics.EventsProcessed)
+	}
+}
+
+func TestCompileFromBuilder(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	p, err := ses.NewPattern().
+		Set(ses.Var("c"), ses.Plus("p"), ses.Var("d")).
+		Set(ses.Var("b")).
+		WhereConst("c", "L", ses.Eq, ses.String("C")).
+		WhereConst("d", "L", ses.Eq, ses.String("D")).
+		WhereConst("p", "L", ses.Eq, ses.String("P")).
+		WhereConst("b", "L", ses.Eq, ses.String("B")).
+		WhereVars("c", "ID", ses.Eq, "p", "ID").
+		WhereVars("c", "ID", ses.Eq, "d", "ID").
+		WhereVars("d", "ID", ses.Eq, "b", "ID").
+		Within(264 * ses.Hour).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ses.Compile(p, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, _, err := q.Match(rel, ses.WithFilter(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Errorf("matches = %d", len(matches))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	_, schema := buildChemoRelation(t)
+	if _, err := ses.Compile("not a query", schema); err == nil {
+		t.Errorf("bad query accepted")
+	}
+	if _, err := ses.Compile("PATTERN (a) WHERE a.NOPE = 1 WITHIN 1h", schema); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustCompile should panic")
+		}
+	}()
+	ses.MustCompile("nope", schema)
+}
+
+func TestRunnerIncremental(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	r := q.Runner(ses.WithFilter(true))
+	var matches []ses.Match
+	for i := 0; i < rel.Len(); i++ {
+		ms, err := r.Step(rel.Event(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches = append(matches, ms...)
+	}
+	matches = append(matches, r.Flush()...)
+	if len(matches) != 3 {
+		t.Errorf("incremental matches = %d", len(matches))
+	}
+	if r.Metrics().MaxSimultaneousInstances == 0 {
+		t.Errorf("metrics empty")
+	}
+}
+
+func TestAnalyzeExposed(t *testing.T) {
+	p := ses.MustParseQuery(q1Text)
+	a := ses.Analyze(p)
+	if !a.Deterministic {
+		t.Errorf("Q1 should be deterministic (all variables mutually exclusive)")
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	rel, _ := buildChemoRelation(t)
+	var b strings.Builder
+	if err := ses.WriteCSV(&b, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ses.LoadCSV(strings.NewReader(b.String()), ses.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() {
+		t.Errorf("round trip lost events: %d != %d", back.Len(), rel.Len())
+	}
+	q := ses.MustCompile(q1Text, back.Schema())
+	matches, _, err := q.Match(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Errorf("matches after round trip = %d", len(matches))
+	}
+}
+
+func TestWriteDOTPublic(t *testing.T) {
+	_, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	var b strings.Builder
+	if err := q.WriteDOT(&b, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "doublecircle") {
+		t.Errorf("DOT output suspicious: %q", b.String()[:80])
+	}
+}
+
+func TestFilterMaximalExposed(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	matches, _, err := q.Match(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ses.FilterMaximal(matches); len(got) != len(matches) {
+		t.Errorf("FilterMaximal dropped matches on tie-free data")
+	}
+}
+
+// TestOptionalVariablesEndToEnd exercises the optional-variable
+// extension through the public API: a premedication check that is
+// recommended but not mandatory, reported when present.
+func TestOptionalVariablesEndToEnd(t *testing.T) {
+	schema := ses.MustSchema(
+		ses.Field{Name: "ID", Type: ses.TypeInt},
+		ses.Field{Name: "L", Type: ses.TypeString},
+	)
+	q, err := ses.Compile(`
+		PATTERN PERMUTE(c, pre?) THEN (b)
+		WHERE c.L = 'C' AND pre.L = 'PRE' AND b.L = 'B'
+		WITHIN 1d`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Variants() != 2 {
+		t.Fatalf("Variants = %d", q.Variants())
+	}
+	rel := ses.NewRelation(schema)
+	add := func(tt ses.Time, l string) {
+		rel.MustAppend(tt, ses.Int(1), ses.String(l))
+	}
+	// Episode 1 with premedication, episode 2 without.
+	add(0, "PRE")
+	add(100, "C")
+	add(200, "B")
+	add(100_000, "C")
+	add(100_200, "B")
+	matches, _, err := q.Match(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, m := range matches {
+		got[m.String()] = true
+	}
+	if !got["{pre/e0, c/e1, b/e2}"] {
+		t.Errorf("greedy optional match missing: %v", matches)
+	}
+	if !got["{c/e3, b/e4}"] {
+		t.Errorf("optional-absent match missing: %v", matches)
+	}
+	if got["{c/e1, b/e2}"] {
+		t.Errorf("non-maximal subset match survived: %v", matches)
+	}
+
+	// UnionRunner works; Runner panics on multi-variant queries.
+	if _, err := q.UnionRunner(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Runner on optional query should panic")
+		}
+	}()
+	q.Runner()
+}
+
+func TestOptionalBuilderConstructors(t *testing.T) {
+	p, err := ses.NewPattern().
+		Set(ses.Var("a"), ses.Opt("o"), ses.Star("s")).
+		Within(ses.Hour).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sets[0][1].String() != "o?" || p.Sets[0][2].String() != "s*" {
+		t.Errorf("optional markers lost: %v", p.Sets[0])
+	}
+}
+
+func TestMatchPartitioned(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	matches, metrics, err := q.MatchPartitioned(rel, "ID", ses.WithFilter(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitioned evaluation keeps the original sequence numbers, so
+	// the two intended results of Example 1 render with global seqs.
+	want := map[string]bool{
+		"{c/e0, d/e2, p+/e3, p+/e8, b/e11}":         false,
+		"{p+/e5, d/e6, c/e7, p+/e9, p+/e10, b/e12}": false,
+	}
+	for _, m := range matches {
+		if _, ok := want[m.String()]; ok {
+			want[m.String()] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing %s in %d partitioned matches", k, len(matches))
+		}
+	}
+	// Matches come back ordered by start time.
+	for i := 1; i < len(matches); i++ {
+		if matches[i-1].First > matches[i].First {
+			t.Errorf("matches not ordered by start time")
+		}
+	}
+	if metrics.EventsProcessed != int64(rel.Len()) {
+		t.Errorf("aggregated EventsProcessed = %d, want %d", metrics.EventsProcessed, rel.Len())
+	}
+	if _, _, err := q.MatchPartitioned(rel, "NOPE"); err == nil {
+		t.Errorf("unknown partition attribute accepted")
+	}
+}
+
+func TestMatchIndexedExposed(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	plain, _, err := q.Match(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, _, err := q.MatchIndexed(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(indexed) {
+		t.Errorf("indexed %d matches != plain %d", len(indexed), len(plain))
+	}
+	if _, err := q.IndexedRunner(); err != nil {
+		t.Errorf("IndexedRunner: %v", err)
+	}
+	opt := ses.MustCompile("PATTERN (a, o?) WHERE a.L = 'C' AND o.L = 'D' WITHIN 1h", schema)
+	if _, _, err := opt.MatchIndexed(rel); err == nil {
+		t.Errorf("MatchIndexed should reject optional variables")
+	}
+	if _, err := opt.IndexedRunner(); err == nil {
+		t.Errorf("IndexedRunner should reject optional variables")
+	}
+}
+
+func TestStrategyOptionExposed(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	_, _, err := q.Match(rel, ses.WithStrategy(ses.SkipTillAny), ses.WithMaxInstances(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	out := q.Explain()
+	for _, frag := range []string{
+		"PERMUTE(c, p+, d)", "case 1", "9 states, 17 transitions",
+		"accept cp+db", `c: c.L = "C"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+	// Optional-variable query: variant listing plus an unconstrained
+	// variable note.
+	opt := ses.MustCompile("PATTERN (a, o?) WHERE a.L = 'C' WITHIN 1h", schema)
+	out = opt.Explain()
+	for _, frag := range []string{"2 variant automata", "variant 0:", "o?: (none"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain (optional) missing %q:\n%s", frag, out)
+		}
+	}
+}
