@@ -18,9 +18,22 @@
 //	-partition A           evaluate per partition of attribute A
 //	-limit N               print at most N matches (0 = all)
 //	-json                  print matches as JSON, one object per line
+//	-checkpoint FILE       periodically snapshot the evaluation state
+//	-checkpoint-every N    events between snapshots (default 1000)
+//	-resume                restore state from -checkpoint and continue
 //
 // Matches are printed one per line in the paper's substitution
 // notation, followed by the bound events when -verbose is given.
+//
+// With -checkpoint, evaluation runs incrementally and persists its
+// state (atomically, via rename) every -checkpoint-every events; a run
+// that crashed or was killed can be repeated with -resume added and
+// will skip the already-consumed prefix of the input, emitting only
+// the matches not yet completed at the last checkpoint. Matches are
+// printed when evaluation finishes, so matches completed before the
+// checkpoint appear on the original (completed) run's output, not the
+// resumed run's; use the supervised streaming API (Query.Supervise)
+// when every match must be delivered across crashes.
 package main
 
 import (
@@ -31,49 +44,76 @@ import (
 	"repro"
 )
 
+// options collects the command line configuration of one run.
+type options struct {
+	queryText       string
+	queryFile       string
+	filter          bool
+	maximal         bool
+	metrics         bool
+	analyze         bool
+	dotFile         string
+	sortInput       bool
+	partition       string
+	limit           int
+	verbose         bool
+	asJSON          bool
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	args            []string
+}
+
 func main() {
-	var (
-		queryText = flag.String("query", "", "query text")
-		queryFile = flag.String("query-file", "", "file containing the query text")
-		filter    = flag.Bool("filter", false, "enable the event filtering optimisation (Section 4.5)")
-		maximal   = flag.Bool("maximal", false, "drop non-maximal matches among tied timestamps")
-		metrics   = flag.Bool("metrics", false, "print execution metrics to stderr")
-		analyze   = flag.Bool("analyze", false, "print the complexity classification to stderr")
-		dotFile   = flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
-		sortInput = flag.Bool("sort", false, "sort the input by time instead of failing on disorder")
-		partition = flag.String("partition", "", "evaluate per partition of this attribute (the paper's \"for each patient\")")
-		limit     = flag.Int("limit", 0, "print at most N matches (0 = all)")
-		verbose   = flag.Bool("verbose", false, "print the bound events of every match")
-		asJSON    = flag.Bool("json", false, "print matches as JSON, one object per line")
-	)
+	var o options
+	flag.StringVar(&o.queryText, "query", "", "query text")
+	flag.StringVar(&o.queryFile, "query-file", "", "file containing the query text")
+	flag.BoolVar(&o.filter, "filter", false, "enable the event filtering optimisation (Section 4.5)")
+	flag.BoolVar(&o.maximal, "maximal", false, "drop non-maximal matches among tied timestamps")
+	flag.BoolVar(&o.metrics, "metrics", false, "print execution metrics to stderr")
+	flag.BoolVar(&o.analyze, "analyze", false, "print the complexity classification to stderr")
+	flag.StringVar(&o.dotFile, "dot", "", "write the compiled automaton as Graphviz DOT to this file")
+	flag.BoolVar(&o.sortInput, "sort", false, "sort the input by time instead of failing on disorder")
+	flag.StringVar(&o.partition, "partition", "", "evaluate per partition of this attribute (the paper's \"for each patient\")")
+	flag.IntVar(&o.limit, "limit", 0, "print at most N matches (0 = all)")
+	flag.BoolVar(&o.verbose, "verbose", false, "print the bound events of every match")
+	flag.BoolVar(&o.asJSON, "json", false, "print matches as JSON, one object per line")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "snapshot the evaluation state to this file periodically")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1000, "events between checkpoint snapshots")
+	flag.BoolVar(&o.resume, "resume", false, "restore state from -checkpoint and skip the consumed input prefix")
 	flag.Parse()
-	if err := run(*queryText, *queryFile, *filter, *maximal, *metrics, *analyze,
-		*dotFile, *sortInput, *partition, *limit, *verbose, *asJSON, flag.Args()); err != nil {
+	o.args = flag.Args()
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sesmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryText, queryFile string, filter, maximal, metrics, analyze bool,
-	dotFile string, sortInput bool, partition string, limit int, verbose, asJSON bool, args []string) error {
-
+func run(o options) error {
+	queryText := o.queryText
 	switch {
-	case queryText == "" && queryFile == "":
+	case queryText == "" && o.queryFile == "":
 		return fmt.Errorf("one of -query or -query-file is required")
-	case queryText != "" && queryFile != "":
+	case queryText != "" && o.queryFile != "":
 		return fmt.Errorf("-query and -query-file are mutually exclusive")
-	case queryFile != "":
-		b, err := os.ReadFile(queryFile)
+	case o.queryFile != "":
+		b, err := os.ReadFile(o.queryFile)
 		if err != nil {
 			return err
 		}
 		queryText = string(b)
 	}
-	if len(args) != 1 {
-		return fmt.Errorf("expected exactly one input CSV file, got %d arguments", len(args))
+	if len(o.args) != 1 {
+		return fmt.Errorf("expected exactly one input CSV file, got %d arguments", len(o.args))
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if o.checkpoint != "" && o.partition != "" {
+		return fmt.Errorf("-checkpoint and -partition are mutually exclusive")
 	}
 
-	rel, err := ses.LoadCSVFile(args[0], ses.ReadOptions{Sort: sortInput})
+	rel, err := ses.LoadCSVFile(o.args[0], ses.ReadOptions{Sort: o.sortInput})
 	if err != nil {
 		return err
 	}
@@ -81,11 +121,11 @@ func run(queryText, queryFile string, filter, maximal, metrics, analyze bool,
 	if err != nil {
 		return err
 	}
-	if analyze {
+	if o.analyze {
 		fmt.Fprint(os.Stderr, q.Explain())
 	}
-	if dotFile != "" {
-		f, err := os.Create(dotFile)
+	if o.dotFile != "" {
+		f, err := os.Create(o.dotFile)
 		if err != nil {
 			return err
 		}
@@ -100,25 +140,28 @@ func run(queryText, queryFile string, filter, maximal, metrics, analyze bool,
 
 	var matches []ses.Match
 	var m ses.Metrics
-	if partition != "" {
-		matches, m, err = q.MatchPartitioned(rel, partition, ses.WithFilter(filter))
-	} else {
-		matches, m, err = q.Match(rel, ses.WithFilter(filter))
+	switch {
+	case o.checkpoint != "":
+		matches, m, err = runCheckpointed(q, rel, o)
+	case o.partition != "":
+		matches, m, err = q.MatchPartitioned(rel, o.partition, ses.WithFilter(o.filter))
+	default:
+		matches, m, err = q.Match(rel, ses.WithFilter(o.filter))
 	}
 	if err != nil {
 		return err
 	}
-	if maximal {
+	if o.maximal {
 		matches = ses.FilterMaximal(matches)
 	}
 	for i, match := range matches {
-		if limit > 0 && i >= limit {
-			if !asJSON {
-				fmt.Printf("... and %d more matches\n", len(matches)-limit)
+		if o.limit > 0 && i >= o.limit {
+			if !o.asJSON {
+				fmt.Printf("... and %d more matches\n", len(matches)-o.limit)
 			}
 			break
 		}
-		if asJSON {
+		if o.asJSON {
 			b, err := ses.MatchJSON(match, rel.Schema())
 			if err != nil {
 				return err
@@ -127,14 +170,93 @@ func run(queryText, queryFile string, filter, maximal, metrics, analyze bool,
 			continue
 		}
 		fmt.Println(match)
-		if verbose {
+		if o.verbose {
 			for _, e := range match.Events() {
 				fmt.Printf("    %s\n", e)
 			}
 		}
 	}
-	if metrics {
+	if o.metrics {
 		fmt.Fprintf(os.Stderr, "%d events, %d matches, %s\n", rel.Len(), len(matches), m)
 	}
 	return nil
+}
+
+// runCheckpointed evaluates the query incrementally, persisting the
+// runner state to o.checkpoint every o.checkpointEvery events. With
+// o.resume, evaluation restores the checkpointed state first and skips
+// the input events it already consumed, so only matches that were
+// still pending at the checkpoint are emitted.
+func runCheckpointed(q *ses.Query, rel *ses.Relation, o options) ([]ses.Match, ses.Metrics, error) {
+	if q.Variants() != 1 {
+		return nil, ses.Metrics{}, fmt.Errorf("-checkpoint does not support queries with optional variables")
+	}
+	opts := []ses.Option{ses.WithFilter(o.filter)}
+	var r *ses.Runner
+	if o.resume {
+		f, err := os.Open(o.checkpoint)
+		switch {
+		case err == nil:
+			r, err = q.RestoreRunner(f, opts...)
+			f.Close()
+			if err != nil {
+				return nil, ses.Metrics{}, fmt.Errorf("resuming from %s: %w", o.checkpoint, err)
+			}
+		case os.IsNotExist(err):
+			r = q.Runner(opts...) // nothing to resume yet: cold start
+		default:
+			return nil, ses.Metrics{}, err
+		}
+	} else {
+		r = q.Runner(opts...)
+	}
+
+	every := o.checkpointEvery
+	if every <= 0 {
+		every = 1000
+	}
+	save := func() error {
+		tmp := o.checkpoint + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteSnapshot(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, o.checkpoint)
+	}
+
+	// EventsProcessed doubles as the position in the input relation:
+	// every relation event is one Step call.
+	start := int(r.Metrics().EventsProcessed)
+	if start > rel.Len() {
+		return nil, ses.Metrics{}, fmt.Errorf("checkpoint has consumed %d events but the input has only %d", start, rel.Len())
+	}
+	var matches []ses.Match
+	for i := start; i < rel.Len(); i++ {
+		ms, err := r.Step(rel.Event(i))
+		if err != nil {
+			return nil, r.Metrics(), err
+		}
+		matches = append(matches, ms...)
+		if (i+1-start)%every == 0 {
+			if err := save(); err != nil {
+				return nil, r.Metrics(), fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+	}
+	// Final snapshot, so a later -resume run knows the input was fully
+	// consumed and only replays the flush.
+	if err := save(); err != nil {
+		return nil, r.Metrics(), fmt.Errorf("checkpoint: %w", err)
+	}
+	matches = append(matches, r.Flush()...)
+	return matches, r.Metrics(), nil
 }

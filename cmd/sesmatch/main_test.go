@@ -24,7 +24,8 @@ func writeFixture(t *testing.T) string {
 func TestRunQueryOverCSV(t *testing.T) {
 	path := writeFixture(t)
 	dot := filepath.Join(t.TempDir(), "a.dot")
-	err := run(paperdata.QueryQ1Text, "", true, false, true, true, dot, false, "", 0, true, false, []string{path})
+	err := run(options{queryText: paperdata.QueryQ1Text, filter: true, metrics: true,
+		analyze: true, dotFile: dot, verbose: true, args: []string{path}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunQueryFromFile(t *testing.T) {
 	if err := os.WriteFile(qf, []byte(paperdata.QueryQ1Text), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", qf, false, true, false, false, "", false, "", 1, false, false, []string{path}); err != nil {
+	if err := run(options{queryFile: qf, maximal: true, limit: 1, args: []string{path}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -53,33 +54,22 @@ func TestRunArgumentErrors(t *testing.T) {
 	cases := []struct {
 		name string
 		frag string
-		call func() error
+		o    options
 	}{
-		{"no query", "required", func() error {
-			return run("", "", false, false, false, false, "", false, "", 0, false, false, []string{path})
-		}},
-		{"both query sources", "mutually exclusive", func() error {
-			return run("x", "y", false, false, false, false, "", false, "", 0, false, false, []string{path})
-		}},
-		{"missing query file", "", func() error {
-			return run("", "/nonexistent.ses", false, false, false, false, "", false, "", 0, false, false, []string{path})
-		}},
-		{"no input", "exactly one input", func() error {
-			return run(paperdata.QueryQ1Text, "", false, false, false, false, "", false, "", 0, false, false, nil)
-		}},
-		{"missing input", "", func() error {
-			return run(paperdata.QueryQ1Text, "", false, false, false, false, "", false, "", 0, false, false, []string{"/nope.csv"})
-		}},
-		{"bad query", "query:", func() error {
-			return run("PATTERN", "", false, false, false, false, "", false, "", 0, false, false, []string{path})
-		}},
-		{"bad dot path", "", func() error {
-			return run(paperdata.QueryQ1Text, "", false, false, false, false, "/nonexistent/dir/a.dot", false, "", 0, false, false, []string{path})
-		}},
+		{"no query", "required", options{args: []string{path}}},
+		{"both query sources", "mutually exclusive", options{queryText: "x", queryFile: "y", args: []string{path}}},
+		{"missing query file", "", options{queryFile: "/nonexistent.ses", args: []string{path}}},
+		{"no input", "exactly one input", options{queryText: paperdata.QueryQ1Text}},
+		{"missing input", "", options{queryText: paperdata.QueryQ1Text, args: []string{"/nope.csv"}}},
+		{"bad query", "query:", options{queryText: "PATTERN", args: []string{path}}},
+		{"bad dot path", "", options{queryText: paperdata.QueryQ1Text, dotFile: "/nonexistent/dir/a.dot", args: []string{path}}},
+		{"resume without checkpoint", "-resume requires", options{queryText: paperdata.QueryQ1Text, resume: true, args: []string{path}}},
+		{"checkpoint with partition", "mutually exclusive", options{queryText: paperdata.QueryQ1Text,
+			checkpoint: "c.ckpt", partition: "ID", args: []string{path}}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := c.call()
+			err := run(c.o)
 			if err == nil {
 				t.Fatalf("expected error")
 			}
@@ -98,27 +88,154 @@ func TestRunSortOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := "PATTERN (c) WHERE c.L = 'C' WITHIN 1h"
-	if err := run(q, "", false, false, false, false, "", false, "", 0, false, false, []string{path}); err == nil {
+	if err := run(options{queryText: q, args: []string{path}}); err == nil {
 		t.Errorf("unsorted input should fail without -sort")
 	}
-	if err := run(q, "", false, false, false, false, "", true, "", 0, false, false, []string{path}); err != nil {
+	if err := run(options{queryText: q, sortInput: true, args: []string{path}}); err != nil {
 		t.Errorf("-sort should accept unsorted input: %v", err)
 	}
 }
 
 func TestRunPartitioned(t *testing.T) {
 	path := writeFixture(t)
-	if err := run(paperdata.QueryQ1Text, "", true, false, false, false, "", false, "ID", 0, false, false, []string{path}); err != nil {
+	if err := run(options{queryText: paperdata.QueryQ1Text, filter: true, partition: "ID", args: []string{path}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(paperdata.QueryQ1Text, "", false, false, false, false, "", false, "NOPE", 0, false, false, []string{path}); err == nil {
+	if err := run(options{queryText: paperdata.QueryQ1Text, partition: "NOPE", args: []string{path}}); err == nil {
 		t.Errorf("unknown partition attribute accepted")
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
 	path := writeFixture(t)
-	if err := run(paperdata.QueryQ1Text, "", true, false, false, false, "", false, "", 0, false, true, []string{path}); err != nil {
+	if err := run(options{queryText: paperdata.QueryQ1Text, filter: true, asJSON: true, args: []string{path}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCheckpointed: a checkpointing run succeeds, leaves a
+// restorable snapshot behind, and a -resume run over the final
+// snapshot replays only the flush.
+func TestRunCheckpointed(t *testing.T) {
+	path := writeFixture(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := run(options{queryText: paperdata.QueryQ1Text, metrics: true,
+		checkpoint: ckpt, checkpointEvery: 3, args: []string{path}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	// Resuming from the completed run's snapshot consumes no further
+	// events and must not fail.
+	if err := run(options{queryText: paperdata.QueryQ1Text,
+		checkpoint: ckpt, resume: true, args: []string{path}}); err != nil {
+		t.Fatal(err)
+	}
+	// Resuming against a shorter input than the checkpoint consumed is
+	// an error, not silent corruption.
+	short := filepath.Join(t.TempDir(), "short.csv")
+	rel := paperdata.Relation()
+	half := ses.NewRelation(rel.Schema())
+	for i := 0; i < 2; i++ {
+		e := rel.Event(i)
+		half.MustAppend(e.Time, e.Attrs...)
+	}
+	if err := ses.SaveCSVFile(short, half); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{queryText: paperdata.QueryQ1Text, checkpoint: ckpt, resume: true, args: []string{short}})
+	if err == nil || !strings.Contains(err.Error(), "consumed") {
+		t.Errorf("resume over truncated input: err = %v", err)
+	}
+}
+
+// TestRunResumeEquivalence: interrupting an evaluation at a checkpoint
+// and resuming emits exactly the matches the uninterrupted run emits
+// after that point.
+func TestRunResumeEquivalence(t *testing.T) {
+	relation := paperdata.Relation()
+	q, err := ses.Compile(paperdata.QueryQ1Text, relation.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run.
+	var full []string
+	r := q.Runner()
+	for i := 0; i < relation.Len(); i++ {
+		ms, err := r.Step(relation.Event(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			full = append(full, m.String())
+		}
+	}
+	for _, m := range r.Flush() {
+		full = append(full, m.String())
+	}
+
+	// Crashed run: consume half the input, checkpoint, abandon.
+	cut := relation.Len() / 2
+	r2 := q.Runner()
+	var before []string
+	for i := 0; i < cut; i++ {
+		ms, err := r2.Step(relation.Event(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			before = append(before, m.String())
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "crash.ckpt")
+	f, err := os.Create(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed run over the same CSV via the command path.
+	path := writeFixture(t)
+	var after []string
+	{
+		r3, err := func() (*ses.Runner, error) {
+			fh, err := os.Open(ckpt)
+			if err != nil {
+				return nil, err
+			}
+			defer fh.Close()
+			return q.RestoreRunner(fh)
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int(r3.Metrics().EventsProcessed); i < relation.Len(); i++ {
+			ms, err := r3.Step(relation.Event(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				after = append(after, m.String())
+			}
+		}
+		for _, m := range r3.Flush() {
+			after = append(after, m.String())
+		}
+	}
+	combined := append(append([]string{}, before...), after...)
+	if strings.Join(combined, "\n") != strings.Join(full, "\n") {
+		t.Errorf("resumed run diverges:\nfull:     %v\ncombined: %v", full, combined)
+	}
+	// And the command-level resume path over the same checkpoint runs
+	// cleanly end to end.
+	if err := run(options{queryText: paperdata.QueryQ1Text, checkpoint: ckpt, resume: true, args: []string{path}}); err != nil {
 		t.Fatal(err)
 	}
 }

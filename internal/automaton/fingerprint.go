@@ -1,0 +1,37 @@
+package automaton
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable hex digest of the automaton's
+// structural identity: schema, window, variables, states and
+// transitions with their compiled conditions. Two automata compiled
+// from the same pattern over the same schema produce the same
+// fingerprint across processes, so snapshots of execution state can be
+// checked for compatibility before being restored (an instance's state
+// and variable indexes are only meaningful relative to this exact
+// structure).
+func (a *Automaton) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "schema=%s|within=%d|start=%d|accept=%d", a.Schema, a.Within, a.Start, a.Accept)
+	for _, v := range a.Vars {
+		fmt.Fprintf(h, "|var=%s,%t,%d,%d", v.Name, v.Group, v.Set, v.Index)
+		for _, c := range v.ConstChecks {
+			fmt.Fprintf(h, ";cc=%d,%d,%s", c.Attr, c.Op, c.Const)
+		}
+	}
+	for _, s := range a.States {
+		fmt.Fprintf(h, "|state=%d,%d,%d,%t", s.ID, s.Vars, s.Set, s.Accepting)
+	}
+	for from, ts := range a.Out {
+		for _, t := range ts {
+			fmt.Fprintf(h, "|t=%d,%d,%d,%t", from, t.Var, t.Target, t.Loop)
+			for _, c := range t.Conds {
+				fmt.Fprintf(h, ";c=%d,%d,%d,%d,%s,%t", c.Op, c.BindAttr, c.OtherVar, c.OtherAttr, c.Const, c.SelfOnly)
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -9,6 +9,8 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/automaton"
 	"repro/internal/event"
@@ -52,13 +54,62 @@ type TraceStep struct {
 	Buffer string
 }
 
+// OverloadPolicy selects what happens when the number of simultaneous
+// automaton instances would exceed the WithMaxInstances cap. The
+// paper's evaluation deliberately provokes this blow-up (Experiments
+// 1-2); a production runtime must degrade gracefully instead of
+// falling over. All policies except Fail record their interventions in
+// the Metrics counters InstancesShed, EventsRejected and DegradedSteps
+// so that degradation is observable, never silent.
+type OverloadPolicy uint8
+
+const (
+	// Fail is the paper-exact behavior: Step returns an error when the
+	// instance cap is exceeded. Default.
+	Fail OverloadPolicy = iota
+	// RejectNew refuses whole input events while the instance set is at
+	// the cap: expired instances are still aged out against the event's
+	// timestamp (so the set can shrink), but the event itself is not
+	// consumed. Rejected events count in EventsRejected.
+	RejectNew
+	// DropOldest admits the event and then evicts the instances whose
+	// start time (earliest bound event) is oldest until the set fits the
+	// cap again. Evictions count in InstancesShed.
+	DropOldest
+	// ShedStartStates stops opening fresh start instances while the
+	// instance set is at or above the cap, and resumes once it drops
+	// below the low-water mark (WithShedLowWater, default cap/2).
+	// Existing instances keep consuming events, so in-flight matches
+	// complete; only new match beginnings are shed. Suppressed start
+	// instances count in InstancesShed.
+	ShedStartStates
+)
+
+// String names the policy.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case RejectNew:
+		return "reject-new"
+	case DropOldest:
+		return "drop-oldest"
+	case ShedStartStates:
+		return "shed-start-states"
+	default:
+		return "fail"
+	}
+}
+
 // config holds the runner options.
 type config struct {
-	filter       bool
-	strategy     Strategy
-	maxInstances int
-	trace        func(TraceStep)
-	emitOnAccept bool
+	filter          bool
+	strategy        Strategy
+	maxInstances    int
+	policy          OverloadPolicy
+	shedLowWater    int
+	trace           func(TraceStep)
+	emitOnAccept    bool
+	checkpointEvery int64
+	checkpointSink  func([]byte) error
 }
 
 // Option configures a Runner.
@@ -74,9 +125,28 @@ func WithFilter(on bool) Option { return func(c *config) { c.filter = on } }
 func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
 
 // WithMaxInstances sets a safety cap on simultaneous automaton
-// instances; Step fails when the cap would be exceeded. 0 (default)
-// means unlimited.
+// instances; what happens when the cap is hit is decided by the
+// overload policy (default Fail: Step errors out). 0 (default) means
+// unlimited.
 func WithMaxInstances(n int) Option { return func(c *config) { c.maxInstances = n } }
+
+// WithOverloadPolicy selects the graceful-degradation behavior applied
+// when the WithMaxInstances cap is reached (default Fail).
+func WithOverloadPolicy(p OverloadPolicy) Option { return func(c *config) { c.policy = p } }
+
+// WithShedLowWater sets the low-water mark at which the
+// ShedStartStates policy resumes opening start instances (default:
+// half the instance cap).
+func WithShedLowWater(n int) Option { return func(c *config) { c.shedLowWater = n } }
+
+// WithCheckpointing asks Stream to snapshot the runner state every n
+// consumed events and hand the encoded snapshot to sink. A sink error
+// terminates the stream (reported via Err). It has no effect on direct
+// Step/Flush use; callers driving Step themselves should call
+// SnapshotBytes at their own cadence.
+func WithCheckpointing(n int64, sink func([]byte) error) Option {
+	return func(c *config) { c.checkpointEvery, c.checkpointSink = n, sink }
+}
 
 // WithTrace installs a hook invoked for every fired transition.
 func WithTrace(f func(TraceStep)) Option { return func(c *config) { c.trace = f } }
@@ -122,7 +192,15 @@ type Runner struct {
 	scratch []instance
 	metrics Metrics
 	done    bool
-	err     error // set by Stream on abnormal termination
+
+	// shedding is the ShedStartStates hysteresis state: true while the
+	// runner suppresses fresh start instances.
+	shedding bool
+
+	// err records abnormal stream termination. It is guarded by errMu
+	// because Stream's goroutine writes it while callers may poll Err.
+	errMu sync.Mutex
+	err   error
 
 	// stepMatches collects matches emitted mid-consume under the
 	// WithEmitOnAccept mode; drained by Step (and by IndexedRunner).
@@ -154,7 +232,16 @@ func (r *Runner) Reset() {
 	r.insts = r.insts[:0]
 	r.metrics = Metrics{}
 	r.done = false
-	r.err = nil
+	r.shedding = false
+	r.setErr(nil)
+}
+
+// setErr records the error that terminated a stream. It is safe for
+// concurrent use with Err.
+func (r *Runner) setErr(err error) {
+	r.errMu.Lock()
+	r.err = err
+	r.errMu.Unlock()
 }
 
 // Step consumes the next input event, which must not precede any
@@ -171,14 +258,57 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 		return nil, nil
 	}
 
+	limit := r.cfg.maxInstances
+	var matches []Match
+
+	// RejectNew: while the instance set sits at the cap, the event is
+	// not admitted; only the expiry check runs against its timestamp so
+	// that the set can drain and admission resumes.
+	if limit > 0 && r.cfg.policy == RejectNew && len(r.insts) >= limit {
+		matches = r.expire(e.Time)
+		if len(r.insts) >= limit {
+			r.metrics.EventsRejected++
+			r.metrics.DegradedSteps++
+			r.metrics.Matches += int64(len(matches))
+			return matches, nil
+		}
+		// The expiry pass freed room; fall through and admit the event
+		// (expired instances are gone, so they are not revisited below).
+	}
+
+	// ShedStartStates hysteresis: suppress fresh start instances from
+	// the moment |Ω| reaches the cap until it falls below the low-water
+	// mark, so no new matches begin while in-flight ones complete.
+	shed := false
+	if limit > 0 && r.cfg.policy == ShedStartStates {
+		low := r.cfg.shedLowWater
+		if low <= 0 || low > limit {
+			low = limit / 2
+		}
+		if len(r.insts) >= limit {
+			r.shedding = true
+		} else if r.shedding && len(r.insts) < low {
+			r.shedding = false
+		}
+		shed = r.shedding
+	}
+
 	// Line 4 of Algorithm 1: a fresh instance in the start state joins
-	// Ω for every (unfiltered) input event.
-	r.metrics.StartInstances++
-	if omega := int64(len(r.insts)) + 1; omega > r.metrics.MaxSimultaneousInstances {
+	// Ω for every (unfiltered) input event — unless it is being shed.
+	if shed {
+		r.metrics.InstancesShed++
+		r.metrics.DegradedSteps++
+	} else {
+		r.metrics.StartInstances++
+	}
+	omega := int64(len(r.insts))
+	if !shed {
+		omega++
+	}
+	if omega > r.metrics.MaxSimultaneousInstances {
 		r.metrics.MaxSimultaneousInstances = omega
 	}
 
-	var matches []Match
 	out := r.scratch[:0]
 	fresh := instance{state: int32(r.a.Start), minT: noTime, maxT: noTime, prevSetsMax: noTime}
 
@@ -199,19 +329,81 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 	for i := range r.insts {
 		consumeAll(&r.insts[i])
 	}
-	consumeAll(&fresh)
+	if !shed {
+		consumeAll(&fresh)
+	}
 	if len(r.stepMatches) > 0 {
 		matches = append(matches, r.stepMatches...)
 		r.stepMatches = r.stepMatches[:0]
 	}
 
 	r.insts, r.scratch = out, r.insts
-	if r.cfg.maxInstances > 0 && len(r.insts) > r.cfg.maxInstances {
-		return matches, fmt.Errorf("engine: %d simultaneous automaton instances exceed the cap of %d",
-			len(r.insts), r.cfg.maxInstances)
+	if limit > 0 && len(r.insts) > limit {
+		switch r.cfg.policy {
+		case DropOldest:
+			r.evictOldest(len(r.insts) - limit)
+			r.metrics.DegradedSteps++
+		case Fail:
+			return matches, fmt.Errorf("engine: %d simultaneous automaton instances exceed the cap of %d",
+				len(r.insts), limit)
+			// RejectNew and ShedStartStates may overshoot transiently:
+			// a single admitted event can branch into several instances.
+			// The overshoot is bounded by the automaton's out-degree and
+			// drains via expiry / the shedding hysteresis.
+		}
 	}
 	r.metrics.Matches += int64(len(matches))
 	return matches, nil
+}
+
+// expire removes every instance whose window has lapsed as of now,
+// emitting those that expire in the accepting state. It is the
+// standalone analogue of the expiry check embedded in Step, used by
+// the RejectNew overload policy to age the instance set without
+// consuming the event.
+func (r *Runner) expire(now event.Time) []Match {
+	var matches []Match
+	kept := r.insts[:0]
+	for i := range r.insts {
+		inst := &r.insts[i]
+		if inst.buf != nil && event.Duration(now-inst.minT) > r.a.Within {
+			r.metrics.ExpiredInstances++
+			if int(inst.state) == r.a.Accept {
+				matches = append(matches, r.buildMatch(inst))
+			}
+			continue
+		}
+		kept = append(kept, r.insts[i])
+	}
+	r.insts = kept
+	return matches
+}
+
+// evictOldest sheds the n instances whose start time (earliest bound
+// event) is oldest, implementing the DropOldest overload policy. Ties
+// are broken by instance order, which is deterministic, so degraded
+// runs remain reproducible.
+func (r *Runner) evictOldest(n int) {
+	if n <= 0 {
+		return
+	}
+	idx := make([]int, len(r.insts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r.insts[idx[a]].minT < r.insts[idx[b]].minT })
+	doomed := make([]bool, len(r.insts))
+	for _, i := range idx[:n] {
+		doomed[i] = true
+	}
+	kept := r.insts[:0]
+	for i := range r.insts {
+		if !doomed[i] {
+			kept = append(kept, r.insts[i])
+		}
+	}
+	r.insts = kept
+	r.metrics.InstancesShed += int64(n)
 }
 
 // consume implements Algorithm 2 for one instance: it tries every

@@ -68,6 +68,9 @@ func NewIndexed(a *automaton.Automaton, opts ...Option) (*IndexedRunner, error) 
 	if r.cfg.strategy != SkipTillNext {
 		return nil, fmt.Errorf("engine: IndexedRunner supports only skip-till-next-match")
 	}
+	if r.cfg.policy != Fail {
+		return nil, fmt.Errorf("engine: IndexedRunner supports only the Fail overload policy (got %s); use the plain Runner for graceful degradation", r.cfg.policy)
+	}
 	r.buckets = make([][]instance, a.NumStates())
 	r.statesByVar = make([][]int, a.NumVars())
 	for id, ts := range a.Out {

@@ -34,6 +34,17 @@ type Metrics struct {
 	ExpiredInstances int64
 	// Matches counts the emitted matching substitutions.
 	Matches int64
+	// InstancesShed counts instances sacrificed by a graceful
+	// degradation policy: evictions under DropOldest and suppressed
+	// start instances under ShedStartStates.
+	InstancesShed int64
+	// EventsRejected counts whole input events refused by the RejectNew
+	// overload policy while the instance set was at the cap.
+	EventsRejected int64
+	// DegradedSteps counts the Step calls in which an overload policy
+	// intervened (rejected the event, shed a start instance, or evicted
+	// instances). Zero means the run never degraded.
+	DegradedSteps int64
 }
 
 // Add accumulates o into m (used by the brute-force baseline to
@@ -49,6 +60,9 @@ func (m *Metrics) Add(o Metrics) {
 	m.InstanceIterations += o.InstanceIterations
 	m.ExpiredInstances += o.ExpiredInstances
 	m.Matches += o.Matches
+	m.InstancesShed += o.InstancesShed
+	m.EventsRejected += o.EventsRejected
+	m.DegradedSteps += o.DegradedSteps
 }
 
 // String renders the metrics as a compact single-line report.
@@ -58,5 +72,9 @@ func (m Metrics) String() string {
 		m.EventsProcessed, m.EventsFiltered, m.MaxSimultaneousInstances,
 		m.InstancesCreated, m.TransitionsFired, m.TransitionsAttempted,
 		m.InstanceIterations, m.ExpiredInstances, m.Matches)
+	if m.InstancesShed > 0 || m.EventsRejected > 0 || m.DegradedSteps > 0 {
+		fmt.Fprintf(&b, " shed=%d rejected=%d degraded=%d",
+			m.InstancesShed, m.EventsRejected, m.DegradedSteps)
+	}
 	return b.String()
 }

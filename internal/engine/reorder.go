@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/event"
 )
@@ -22,10 +23,21 @@ type Reorderer struct {
 	Slack event.Duration
 	// Late, when non-nil, receives events that arrive beyond Slack.
 	Late func(event.Event)
+	// DedupWindow, when positive, drops events that repeat the exact
+	// (time, payload) of an event seen no more than DedupWindow time
+	// units before the newest event — the at-least-once delivery
+	// imperfection of real transports, which would otherwise produce
+	// duplicate matches downstream. Dropped duplicates are counted in
+	// DuplicatesDropped and are not reported to Late.
+	DedupWindow event.Duration
+	// DuplicatesDropped counts events dropped by the DedupWindow check.
+	DuplicatesDropped int64
 
-	buf     eventHeap
-	maxSeen event.Time
-	seen    bool
+	buf       eventHeap
+	maxSeen   event.Time
+	seen      bool
+	recent    map[string]event.Time // dedup key -> event time, pruned by watermark
+	lastPrune event.Time
 }
 
 // NewReorderer creates a reorderer with the given lateness bound.
@@ -46,11 +58,48 @@ func (r *Reorderer) Push(e event.Event) []event.Event {
 		}
 		return nil
 	}
+	if r.DedupWindow > 0 && r.duplicate(e) {
+		r.DuplicatesDropped++
+		return nil
+	}
 	heap.Push(&r.buf, e)
 	if !r.seen || e.Time > r.maxSeen {
 		r.maxSeen, r.seen = e.Time, true
 	}
 	return r.release(r.maxSeen - event.Time(r.Slack))
+}
+
+// duplicate records e's (time, payload) identity and reports whether
+// it was already seen within the dedup window. Seq is deliberately
+// excluded from the identity: transports reassign it on redelivery.
+func (r *Reorderer) duplicate(e event.Event) bool {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", e.Time)
+	for _, v := range e.Attrs {
+		b.WriteByte(0)
+		b.WriteString(v.Encode())
+	}
+	key := b.String()
+	if r.recent == nil {
+		r.recent = make(map[string]event.Time)
+		r.lastPrune = e.Time
+	} else if _, ok := r.recent[key]; ok {
+		return true
+	}
+	r.recent[key] = e.Time
+	// Forget identities that can no longer receive an in-window
+	// duplicate. Pruning once per window advance keeps the map bounded
+	// by roughly two windows' worth of distinct events at amortized
+	// constant cost.
+	if floor := e.Time - event.Time(r.DedupWindow); floor > r.lastPrune+event.Time(r.DedupWindow) {
+		for k, t := range r.recent {
+			if t < floor {
+				delete(r.recent, k)
+			}
+		}
+		r.lastPrune = floor
+	}
+	return false
 }
 
 // Drain releases all buffered events in timestamp order.
@@ -113,7 +162,7 @@ func (r *Runner) StreamReordered(ctx context.Context, in <-chan event.Event, sla
 				select {
 				case out <- m:
 				case <-ctx.Done():
-					r.err = ctx.Err()
+					r.setErr(ctx.Err())
 					return false
 				}
 			}
@@ -125,7 +174,7 @@ func (r *Runner) StreamReordered(ctx context.Context, in <-chan event.Event, sla
 				ev.Seq = int(r.metrics.EventsProcessed)
 				ms, err := r.Step(&ev)
 				if err != nil {
-					r.err = err
+					r.setErr(err)
 					return false
 				}
 				if !emit(ms) {
@@ -137,7 +186,7 @@ func (r *Runner) StreamReordered(ctx context.Context, in <-chan event.Event, sla
 		for {
 			select {
 			case <-ctx.Done():
-				r.err = ctx.Err()
+				r.setErr(ctx.Err())
 				return
 			case e, ok := <-in:
 				if !ok {

@@ -179,3 +179,70 @@ func TestReordererNegativeSlackPanics(t *testing.T) {
 	}()
 	NewReorderer(-1)
 }
+
+// TestReordererDedup: redelivered events with identical (time,
+// payload) within the dedup window are dropped and counted; distinct
+// events and duplicates with a different payload pass.
+func TestReordererDedup(t *testing.T) {
+	r := NewReorderer(5)
+	r.DedupWindow = 10
+	released := 0
+	push := func(e event.Event) { released += len(r.Push(e)) }
+	push(mkEvent(10, "A"))
+	push(mkEvent(10, "A")) // exact redelivery: dropped
+	push(mkEvent(10, "B")) // same time, different payload: kept
+	push(mkEvent(11, "A")) // same payload, different time: kept
+	if r.DuplicatesDropped != 1 {
+		t.Errorf("DuplicatesDropped = %d, want 1", r.DuplicatesDropped)
+	}
+	released += len(r.Drain())
+	if released != 3 {
+		t.Errorf("released %d events, want 3", released)
+	}
+}
+
+// TestReordererDedupIgnoresSeq: transports reassign sequence numbers
+// on redelivery; dedup identity must not include them.
+func TestReordererDedupIgnoresSeq(t *testing.T) {
+	r := NewReorderer(0)
+	r.DedupWindow = 100
+	e1 := mkEvent(5, "A")
+	e1.Seq = 1
+	e2 := mkEvent(5, "A")
+	e2.Seq = 99
+	r.Push(e1)
+	r.Push(e2)
+	if r.DuplicatesDropped != 1 {
+		t.Errorf("DuplicatesDropped = %d, want 1", r.DuplicatesDropped)
+	}
+}
+
+// TestReordererDedupWindowExpires: identities older than the window
+// are eventually forgotten, so the memory stays bounded and a genuine
+// re-occurrence far in the future is NOT treated as a duplicate.
+func TestReordererDedupWindowExpires(t *testing.T) {
+	r := NewReorderer(0)
+	r.DedupWindow = 10
+	r.Push(mkEvent(0, "A"))
+	// Advance far beyond the window (several prune intervals).
+	for tt := event.Time(1); tt <= 50; tt++ {
+		r.Push(mkEvent(tt, "B"))
+	}
+	r.Push(mkEvent(0, "A")) // would be a dup, but it is also too late for slack 0
+	if len(r.recent) > 25 {
+		t.Errorf("dedup memory not pruned: %d identities retained", len(r.recent))
+	}
+}
+
+// TestReordererDedupOffByDefault: the zero value never drops.
+func TestReordererDedupOffByDefault(t *testing.T) {
+	r := NewReorderer(5)
+	r.Push(mkEvent(10, "A"))
+	r.Push(mkEvent(10, "A"))
+	if r.DuplicatesDropped != 0 {
+		t.Errorf("dedup active without DedupWindow")
+	}
+	if got := len(r.Drain()); got != 2 {
+		t.Errorf("drained %d, want 2", got)
+	}
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/automaton"
+	"repro/internal/event"
+)
+
+// SnapshotVersion is the current version of the serialized runner
+// state format. Restore rejects snapshots with an unknown version so
+// that format evolution stays explicit.
+const SnapshotVersion = 1
+
+// The snapshot format is versioned JSON. Events referenced by match
+// buffers are written once and referenced by index; buffer nodes are
+// written as a DAG (each node names its predecessor by index), so the
+// structural sharing of branched instances — the reason buffers are
+// persistent lists in the first place — survives a round trip instead
+// of being expanded into per-instance copies.
+
+type snapEvent struct {
+	Seq   int        `json:"seq"`
+	Time  event.Time `json:"t"`
+	Attrs []string   `json:"attrs"`
+}
+
+type snapNode struct {
+	Var   int32 `json:"var"`
+	Event int   `json:"ev"`
+	Prev  int   `json:"prev"` // index of the previous node, -1 for none
+}
+
+type snapInstance struct {
+	State       int32      `json:"state"`
+	CurSet      int32      `json:"curSet"`
+	Buf         int        `json:"buf"` // index of the newest buffer node, -1 for none
+	MinT        event.Time `json:"minT"`
+	MaxT        event.Time `json:"maxT"`
+	PrevSetsMax event.Time `json:"prevSetsMax"`
+}
+
+type snapshotFile struct {
+	Version     int            `json:"version"`
+	Fingerprint string         `json:"fingerprint"`
+	Strategy    Strategy       `json:"strategy"`
+	Done        bool           `json:"done"`
+	Shedding    bool           `json:"shedding"`
+	Metrics     Metrics        `json:"metrics"`
+	Events      []snapEvent    `json:"events"`
+	Nodes       []snapNode     `json:"nodes"`
+	Instances   []snapInstance `json:"instances"`
+}
+
+// WriteSnapshot serializes the runner's full execution state — live
+// instances with their match buffers, the metrics (whose
+// EventsProcessed doubles as the stream sequence counter), and the
+// degradation state — so that a crashed or migrated stream can resume
+// exactly where it left off via RestoreRunner. The snapshot embeds the
+// automaton's fingerprint; it can only be restored onto an automaton
+// compiled from the same pattern and schema.
+//
+// Snapshot between Step calls, never concurrently with one: the runner
+// is single-goroutine by contract. Matches already emitted are not
+// part of the state; after a restore the runner re-emits only what
+// later events complete.
+func (r *Runner) WriteSnapshot(w io.Writer) error {
+	snap := snapshotFile{
+		Version:     SnapshotVersion,
+		Fingerprint: r.a.Fingerprint(),
+		Strategy:    r.cfg.strategy,
+		Done:        r.done,
+		Shedding:    r.shedding,
+		Metrics:     r.metrics,
+	}
+	eventIDs := make(map[*event.Event]int)
+	eventID := func(e *event.Event) int {
+		if id, ok := eventIDs[e]; ok {
+			return id
+		}
+		attrs := make([]string, len(e.Attrs))
+		for i, v := range e.Attrs {
+			attrs[i] = v.Encode()
+		}
+		id := len(snap.Events)
+		snap.Events = append(snap.Events, snapEvent{Seq: e.Seq, Time: e.Time, Attrs: attrs})
+		eventIDs[e] = id
+		return id
+	}
+	nodeIDs := make(map[*node]int)
+	var nodeID func(n *node) int
+	nodeID = func(n *node) int {
+		if n == nil {
+			return -1
+		}
+		if id, ok := nodeIDs[n]; ok {
+			return id
+		}
+		prev := nodeID(n.prev) // emit predecessors first: Prev < own index
+		id := len(snap.Nodes)
+		snap.Nodes = append(snap.Nodes, snapNode{Var: n.varIdx, Event: eventID(n.ev), Prev: prev})
+		nodeIDs[n] = id
+		return id
+	}
+	snap.Instances = make([]snapInstance, len(r.insts))
+	for i := range r.insts {
+		inst := &r.insts[i]
+		snap.Instances[i] = snapInstance{
+			State:       inst.state,
+			CurSet:      inst.curSet,
+			Buf:         nodeID(inst.buf),
+			MinT:        inst.minT,
+			MaxT:        inst.maxT,
+			PrevSetsMax: inst.prevSetsMax,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// SnapshotBytes is WriteSnapshot into a fresh byte slice.
+func (r *Runner) SnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreRunner reconstructs a Runner from a snapshot written by
+// WriteSnapshot. The automaton must be structurally identical to the
+// one the snapshot was taken from (checked via fingerprint), and the
+// restored configuration must use the same event selection strategy;
+// all other options (overload policy, filter, checkpointing, ...) may
+// differ from the original run.
+func RestoreRunner(a *automaton.Automaton, rd io.Reader, opts ...Option) (*Runner, error) {
+	var snap snapshotFile
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("engine: snapshot version %d not supported (want %d)", snap.Version, SnapshotVersion)
+	}
+	if fp := a.Fingerprint(); snap.Fingerprint != fp {
+		return nil, fmt.Errorf("engine: snapshot was taken from a different automaton (fingerprint %s, want %s)",
+			snap.Fingerprint, fp)
+	}
+	r := New(a, opts...)
+	if r.cfg.strategy != snap.Strategy {
+		return nil, fmt.Errorf("engine: snapshot used strategy %s, restore requested %s", snap.Strategy, r.cfg.strategy)
+	}
+	r.done = snap.Done
+	r.shedding = snap.Shedding
+	r.metrics = snap.Metrics
+
+	events := make([]*event.Event, len(snap.Events))
+	schema := a.Schema
+	for i, se := range snap.Events {
+		if len(se.Attrs) != schema.NumFields() {
+			return nil, fmt.Errorf("engine: snapshot event %d has %d attributes, schema has %d",
+				i, len(se.Attrs), schema.NumFields())
+		}
+		attrs := make([]event.Value, len(se.Attrs))
+		for j, s := range se.Attrs {
+			v, err := event.ParseValue(schema.Field(j).Type, s)
+			if err != nil {
+				return nil, fmt.Errorf("engine: snapshot event %d attribute %d: %w", i, j, err)
+			}
+			attrs[j] = v
+		}
+		events[i] = &event.Event{Seq: se.Seq, Time: se.Time, Attrs: attrs}
+	}
+	nodes := make([]*node, len(snap.Nodes))
+	for i, sn := range snap.Nodes {
+		if sn.Event < 0 || sn.Event >= len(events) || sn.Prev < -1 || sn.Prev >= i ||
+			int(sn.Var) < 0 || int(sn.Var) >= a.NumVars() {
+			return nil, fmt.Errorf("engine: snapshot node %d is corrupt", i)
+		}
+		n := &node{varIdx: sn.Var, ev: events[sn.Event]}
+		if sn.Prev >= 0 {
+			n.prev = nodes[sn.Prev]
+		}
+		nodes[i] = n
+	}
+	r.insts = make([]instance, len(snap.Instances))
+	for i, si := range snap.Instances {
+		if int(si.State) < 0 || int(si.State) >= a.NumStates() || si.Buf < -1 || si.Buf >= len(nodes) {
+			return nil, fmt.Errorf("engine: snapshot instance %d is corrupt", i)
+		}
+		inst := instance{
+			state:       si.State,
+			curSet:      si.CurSet,
+			minT:        si.MinT,
+			maxT:        si.MaxT,
+			prevSetsMax: si.PrevSetsMax,
+		}
+		if si.Buf >= 0 {
+			inst.buf = nodes[si.Buf]
+		}
+		r.insts[i] = inst
+	}
+	return r, nil
+}
+
+// RestoreRunnerBytes is RestoreRunner over an in-memory snapshot.
+func RestoreRunnerBytes(a *automaton.Automaton, data []byte, opts ...Option) (*Runner, error) {
+	return RestoreRunner(a, bytes.NewReader(data), opts...)
+}

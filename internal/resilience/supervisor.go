@@ -1,0 +1,433 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/engine"
+	"repro/internal/event"
+)
+
+// Dead-letter reasons passed to Config.DeadLetter.
+var (
+	// ErrLate marks an event that arrived later than the reorder slack
+	// allows; consuming it would violate the runner's order contract.
+	ErrLate = errors.New("resilience: event beyond reorder slack")
+	// ErrSchema marks an event whose attributes do not conform to the
+	// automaton's schema.
+	ErrSchema = errors.New("resilience: event fails schema validation")
+)
+
+// Config parameterizes Supervise. The zero value gives a working
+// supervisor: no reorder slack, checkpoint every 256 events, at most 3
+// restarts with 10ms..2s exponential backoff, and silent dead-letter.
+type Config struct {
+	// Slack is the reorder slack: events may arrive up to Slack time
+	// units later than any already-seen event. Later ones go to the
+	// dead-letter callback with ErrLate.
+	Slack event.Duration
+	// DedupWindow, when positive, drops redelivered events with
+	// identical (time, payload) within the window (see
+	// engine.Reorderer).
+	DedupWindow event.Duration
+	// CheckpointEvery is the number of consumed events between
+	// checkpoints; 0 means the default of 256. Smaller values bound the
+	// replay work after a crash at the cost of more frequent snapshots.
+	CheckpointEvery int
+	// CheckpointPath, when non-empty, additionally persists every
+	// checkpoint to this file (written atomically via rename), so a
+	// restarted process can resume with Resume.
+	CheckpointPath string
+	// Resume makes the supervisor restore initial state from
+	// CheckpointPath if the file exists. The caller is responsible for
+	// feeding only events not yet consumed by the checkpointed run.
+	Resume bool
+	// MaxRestarts caps recoveries over the stream's lifetime; 0 means
+	// the default of 3, negative disables recovery entirely.
+	MaxRestarts int
+	// Backoff is the initial restart delay, doubling per consecutive
+	// restart up to MaxBackoff (defaults 10ms and 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// DeadLetter, when non-nil, receives events the pipeline refuses to
+	// process (too late, schema-invalid) together with the reason,
+	// instead of dropping them silently.
+	DeadLetter func(event.Event, error)
+	// FaultHook, when non-nil, is invoked with every event immediately
+	// before it is stepped, inside the supervised region. Panics it
+	// raises are recovered and trigger restart — the injection point
+	// used by ChaosSource.FaultHook.
+	FaultHook func(*event.Event)
+	// OnRestart, when non-nil, is notified of every recovery with the
+	// restart ordinal and the causing fault.
+	OnRestart func(attempt int, cause error)
+}
+
+// Supervisor reports the health of a supervised stream. All methods
+// are safe to call at any time; the definitive values are available
+// once the match channel has closed.
+type Supervisor struct {
+	mu          sync.Mutex
+	err         error
+	restarts    int64
+	deadLetters int64
+	checkpoints int64
+	duplicates  int64
+	metrics     engine.Metrics
+}
+
+// Err returns the error that terminated the stream, or nil for a clean
+// end-of-input shutdown.
+func (s *Supervisor) Err() error { s.mu.Lock(); defer s.mu.Unlock(); return s.err }
+
+// Restarts returns the number of recoveries performed.
+func (s *Supervisor) Restarts() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.restarts }
+
+// DeadLetters returns the number of events routed to the dead-letter
+// callback.
+func (s *Supervisor) DeadLetters() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.deadLetters }
+
+// Checkpoints returns the number of checkpoints taken.
+func (s *Supervisor) Checkpoints() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.checkpoints }
+
+// DuplicatesDropped returns the number of redelivered events removed
+// by the dedup window.
+func (s *Supervisor) DuplicatesDropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duplicates
+}
+
+// Metrics returns the runner's execution metrics as of the last
+// completed step (final after the match channel closes).
+func (s *Supervisor) Metrics() engine.Metrics { s.mu.Lock(); defer s.mu.Unlock(); return s.metrics }
+
+func (s *Supervisor) fail(err error) { s.mu.Lock(); s.err = err; s.mu.Unlock() }
+
+// panicError wraps a recovered panic so restart logic can distinguish
+// crashes (recoverable by replay) from deterministic engine errors
+// (not).
+type panicError struct {
+	val   interface{}
+	stack []byte
+}
+
+func (p panicError) Error() string { return fmt.Sprintf("resilience: pipeline panic: %v", p.val) }
+
+// Supervise runs a resilient streaming evaluation of the automaton
+// over in and returns the match channel plus a Supervisor handle.
+//
+// Incoming events are schema-validated (failures dead-letter), passed
+// through a Reorderer with cfg.Slack (late arrivals dead-letter,
+// in-window redeliveries dedup), and stepped through a Runner built
+// with opts. The runner state is checkpointed every CheckpointEvery
+// events; a panic anywhere in the step path (including FaultHook) is
+// recovered by restoring the last checkpoint, deterministically
+// replaying the events consumed since — suppressing matches already
+// delivered — and resuming, with capped exponential backoff between
+// consecutive recoveries. Deterministic engine errors (e.g. the Fail
+// overload policy tripping) terminate the stream instead, since replay
+// would reproduce them.
+//
+// The match channel closes on end of input (after a final flush),
+// on ctx cancellation, or on a terminal error; consult
+// Supervisor.Err afterwards.
+func Supervise(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
+	in <-chan event.Event, cfg Config) (<-chan engine.Match, *Supervisor) {
+	s := &Supervisor{}
+	out := make(chan engine.Match)
+	go s.run(ctx, a, opts, in, cfg, out)
+	return out, s
+}
+
+func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
+	in <-chan event.Event, cfg Config, out chan<- engine.Match) {
+	defer close(out)
+
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 3
+	} else if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+	backoff0 := cfg.Backoff
+	if backoff0 <= 0 {
+		backoff0 = 10 * time.Millisecond
+	}
+	maxBackoff := cfg.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	ckptEvery := cfg.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 256
+	}
+
+	runner := engine.New(a, opts...)
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		if data, err := os.ReadFile(cfg.CheckpointPath); err == nil {
+			restored, err := engine.RestoreRunnerBytes(a, data, opts...)
+			if err != nil {
+				s.fail(fmt.Errorf("resilience: resuming from %s: %w", cfg.CheckpointPath, err))
+				return
+			}
+			runner = restored
+		} else if !errors.Is(err, os.ErrNotExist) {
+			s.fail(err)
+			return
+		}
+	}
+	defer func() {
+		s.mu.Lock()
+		s.metrics = runner.Metrics()
+		s.mu.Unlock()
+	}()
+
+	// The initial checkpoint makes recovery possible from the very
+	// first event; replay holds everything consumed since the last one.
+	ckpt, err := runner.SnapshotBytes()
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	var replay []event.Event
+	emittedSince := 0
+
+	send := func(m engine.Match) bool {
+		select {
+		case out <- m:
+			return true
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+			return false
+		}
+	}
+
+	step := func(e *event.Event) (ms []engine.Match, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = panicError{val: p, stack: debug.Stack()}
+			}
+		}()
+		if cfg.FaultHook != nil {
+			cfg.FaultHook(e)
+		}
+		return runner.Step(e)
+	}
+
+	saveCheckpoint := func() bool {
+		data, err := runner.SnapshotBytes()
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+		if cfg.CheckpointPath != "" {
+			if err := writeFileAtomic(cfg.CheckpointPath, data); err != nil {
+				s.fail(err)
+				return false
+			}
+		}
+		ckpt = data
+		replay = replay[:0]
+		emittedSince = 0
+		s.mu.Lock()
+		s.checkpoints++
+		s.mu.Unlock()
+		return true
+	}
+
+	// restore recovers from a crash: restore the last checkpoint and
+	// deterministically replay the events consumed since, suppressing
+	// the matches that were already delivered downstream. A crash
+	// during replay consumes another restart and tries again.
+	restore := func(cause error) bool {
+		backoff := backoff0
+		for {
+			s.mu.Lock()
+			s.restarts++
+			attempt := int(s.restarts)
+			s.mu.Unlock()
+			if attempt > maxRestarts {
+				s.fail(fmt.Errorf("resilience: giving up after %d restarts: %w", attempt-1, cause))
+				return false
+			}
+			if cfg.OnRestart != nil {
+				cfg.OnRestart(attempt, cause)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				s.fail(ctx.Err())
+				return false
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			restored, err := engine.RestoreRunnerBytes(a, ckpt, opts...)
+			if err != nil {
+				s.fail(err)
+				return false
+			}
+			runner = restored
+			skip, emitted, crashed := emittedSince, 0, false
+			for i := range replay {
+				ev := replay[i]
+				ev.Seq = int(runner.Metrics().EventsProcessed)
+				ms, err := step(&ev)
+				if err != nil {
+					var pe panicError
+					if !errors.As(err, &pe) {
+						s.fail(err)
+						return false
+					}
+					cause, crashed = err, true
+					break
+				}
+				for _, m := range ms {
+					if emitted++; emitted > skip && !send(m) {
+						return false
+					}
+				}
+			}
+			if crashed {
+				continue
+			}
+			if emitted > skip {
+				emittedSince = emitted
+			}
+			return true
+		}
+	}
+
+	feedOne := func(e event.Event) bool {
+		for {
+			ev := e
+			ev.Seq = int(runner.Metrics().EventsProcessed)
+			ms, err := step(&ev)
+			if err != nil {
+				var pe panicError
+				if errors.As(err, &pe) {
+					if !restore(err) {
+						return false
+					}
+					continue // retry e on the restored runner
+				}
+				s.fail(err)
+				return false
+			}
+			for _, m := range ms {
+				emittedSince++
+				if !send(m) {
+					return false
+				}
+			}
+			replay = append(replay, e)
+			if len(replay) >= ckptEvery {
+				return saveCheckpoint()
+			}
+			return true
+		}
+	}
+
+	finish := func() {
+		for {
+			ms, err := func() (ms []engine.Match, err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = panicError{val: p, stack: debug.Stack()}
+					}
+				}()
+				return runner.Flush(), nil
+			}()
+			if err != nil {
+				if !restore(err) {
+					return
+				}
+				continue
+			}
+			for _, m := range ms {
+				if !send(m) {
+					return
+				}
+			}
+			return
+		}
+	}
+
+	ro := engine.NewReorderer(cfg.Slack)
+	ro.DedupWindow = cfg.DedupWindow
+	ro.Late = func(e event.Event) {
+		s.mu.Lock()
+		s.deadLetters++
+		s.mu.Unlock()
+		if cfg.DeadLetter != nil {
+			cfg.DeadLetter(e, ErrLate)
+		}
+	}
+	defer func() {
+		s.mu.Lock()
+		s.duplicates = ro.DuplicatesDropped
+		s.mu.Unlock()
+	}()
+
+	arrival := 0
+	for {
+		select {
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+			return
+		case e, ok := <-in:
+			if !ok {
+				for _, re := range ro.Drain() {
+					if !feedOne(re) {
+						return
+					}
+				}
+				finish()
+				return
+			}
+			if err := a.Schema.Check(e.Attrs); err != nil {
+				s.mu.Lock()
+				s.deadLetters++
+				s.mu.Unlock()
+				if cfg.DeadLetter != nil {
+					cfg.DeadLetter(e, fmt.Errorf("%w: %v", ErrSchema, err))
+				}
+				continue
+			}
+			e.Seq = arrival // arrival order, for the reorderer's stable tie-break
+			arrival++
+			for _, re := range ro.Push(e) {
+				if !feedOne(re) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so a
+// crash mid-write never leaves a torn checkpoint behind.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

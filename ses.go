@@ -33,6 +33,7 @@
 package ses
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/pattern"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/store"
 )
 
@@ -210,12 +212,64 @@ var (
 	// moment the accepting state is reached instead of waiting for the
 	// greedy MAXIMAL emission at expiry.
 	WithEmitOnAccept = engine.WithEmitOnAccept
+	// WithOverloadPolicy selects the graceful-degradation behavior
+	// applied when the WithMaxInstances cap is reached.
+	WithOverloadPolicy = engine.WithOverloadPolicy
+	// WithShedLowWater sets the resume threshold of ShedStartStates.
+	WithShedLowWater = engine.WithShedLowWater
+	// WithCheckpointing makes Runner.Stream snapshot the runner state
+	// every n events and hand the bytes to a sink.
+	WithCheckpointing = engine.WithCheckpointing
 )
 
 // Event selection strategies.
 const (
 	SkipTillNext = engine.SkipTillNext
 	SkipTillAny  = engine.SkipTillAny
+)
+
+// OverloadPolicy decides what happens when the instance cap is hit.
+type OverloadPolicy = engine.OverloadPolicy
+
+// Overload policies for WithOverloadPolicy.
+const (
+	// Fail errors out at the cap (paper-exact behavior; default).
+	Fail = engine.Fail
+	// RejectNew refuses input events while the instance set is full.
+	RejectNew = engine.RejectNew
+	// DropOldest evicts the instances with the oldest start times.
+	DropOldest = engine.DropOldest
+	// ShedStartStates stops opening new start instances until the
+	// instance set drains below the low-water mark.
+	ShedStartStates = engine.ShedStartStates
+)
+
+// SnapshotVersion is the version of the checkpoint format written by
+// Runner.WriteSnapshot and accepted by RestoreRunner.
+const SnapshotVersion = engine.SnapshotVersion
+
+// Resilience re-exports: supervised streams and fault injection. See
+// package internal/resilience for full documentation.
+type (
+	// SuperviseConfig parameterizes Query.Supervise.
+	SuperviseConfig = resilience.Config
+	// StreamSupervisor reports the health of a supervised stream.
+	StreamSupervisor = resilience.Supervisor
+	// ChaosConfig parameterizes NewChaosSource.
+	ChaosConfig = resilience.ChaosConfig
+	// ChaosSource injects stream imperfections for torture testing.
+	ChaosSource = resilience.ChaosSource
+	// ChaosStats counts injected faults.
+	ChaosStats = resilience.ChaosStats
+)
+
+var (
+	// NewChaosSource wraps an event channel with fault injection.
+	NewChaosSource = resilience.NewChaosSource
+	// ErrLate is the dead-letter reason for events beyond the slack.
+	ErrLate = resilience.ErrLate
+	// ErrSchema is the dead-letter reason for schema-invalid events.
+	ErrSchema = resilience.ErrSchema
 )
 
 // MatchJSON encodes a match as JSON, using the schema for attribute
@@ -378,6 +432,35 @@ func (q *Query) Runner(opts ...Option) *Runner {
 		panic("ses: Runner on a query with optional variables; use UnionRunner")
 	}
 	return engine.New(q.autos[0], opts...)
+}
+
+// RestoreRunner reconstructs a Runner from a checkpoint written by
+// Runner.WriteSnapshot, so a crashed or migrated stream resumes from
+// its last checkpoint instead of reprocessing from scratch. The query
+// must compile to the same automaton the snapshot was taken from
+// (validated via a structural fingerprint) and must be single-variant.
+func (q *Query) RestoreRunner(rd io.Reader, opts ...Option) (*Runner, error) {
+	if len(q.autos) != 1 {
+		return nil, fmt.Errorf("ses: RestoreRunner does not support optional variables (%d variants)", len(q.autos))
+	}
+	return engine.RestoreRunner(q.autos[0], rd, opts...)
+}
+
+// Supervise runs a resilient streaming evaluation of a single-variant
+// query: events are schema-validated, reordered within
+// cfg.Slack, deduplicated within cfg.DedupWindow, and evaluated by a
+// runner (built with opts) that is checkpointed periodically and
+// restarted from its last checkpoint — with capped exponential backoff
+// and deterministic replay — when the pipeline panics. Late and
+// malformed events go to cfg.DeadLetter instead of being dropped
+// silently. See SuperviseConfig for the knobs and StreamSupervisor for
+// the health counters.
+func (q *Query) Supervise(ctx context.Context, in <-chan Event, cfg SuperviseConfig, opts ...Option) (<-chan Match, *StreamSupervisor, error) {
+	if len(q.autos) != 1 {
+		return nil, nil, fmt.Errorf("ses: Supervise does not support optional variables (%d variants)", len(q.autos))
+	}
+	out, sup := resilience.Supervise(ctx, q.autos[0], opts, in, cfg)
+	return out, sup, nil
 }
 
 // MatchIndexed evaluates a single-variant query with the
