@@ -17,6 +17,7 @@
 package ses_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -331,5 +332,47 @@ func BenchmarkThroughputQ1(b *testing.B) {
 		if _, _, err := engine.Run(a, d.Rel, engine.WithFilter(true)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel partitioned execution.
+
+// BenchmarkPartitionedParallel measures MatchPartitionedParallel on
+// the running-example query over the small D1, partitioned by patient,
+// across worker-pool sizes. The output is byte-identical at every
+// size; on a multi-core machine the wall clock drops with workers
+// until the partition count or core count binds.
+func BenchmarkPartitionedParallel(b *testing.B) {
+	d := datasets(b, 1)[0]
+	q, err := ses.Compile(q1Text, d.Rel.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := q.MatchPartitionedParallel(d.Rel, "ID", w, ses.WithFilter(true)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedExecutor measures the streaming sharded executor end
+// to end (dispatch, per-shard evaluation, watermark merge) on the same
+// workload, across shard counts.
+func BenchmarkShardedExecutor(b *testing.B) {
+	d := datasets(b, 1)[0]
+	a := compileFor(b, paperdata.QueryQ1(), d.Rel)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunSharded(a, d.Rel, "ID", shards, engine.WithFilter(true)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

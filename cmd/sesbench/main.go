@@ -11,7 +11,13 @@
 // Usage:
 //
 //	sesbench [-exp all|1|2|3|ablation] [-profile tiny|small|paper]
-//	         [-datasets N] [-maxsize N] [-seed N]
+//	         [-datasets N] [-maxsize N] [-seed N] [-json FILE]
+//
+// With -json FILE the command instead measures a fixed benchmark
+// suite with testing.Benchmark and writes a machine-readable baseline
+// artifact (ns/op, B/op, allocs/op, maxΩ, match counts plus the
+// environment and the regeneration command) to FILE — the file
+// committed as BENCH_baseline.json at the repository root.
 //
 // The default "small" profile finishes in well under a minute; the
 // "paper" profile approximates the original D1 (window size W ≈ 1322)
@@ -37,25 +43,67 @@ func main() {
 		maxSize  = flag.Int("maxsize", 6, "largest |V1| for experiment 1 (2..6)")
 		seed     = flag.Int64("seed", 0, "override the profile's PRNG seed (0 keeps it)")
 		cap      = flag.Int("cap", 0, "abort any run whose simultaneous instances exceed N (0 = unlimited; prevents OOM on paper-scale D4/D5)")
+		jsonFile = flag.String("json", "", "write a benchmark baseline artifact to this file instead of running the experiments")
 	)
 	flag.Parse()
-	if err := run(*exp, *profile, *datasets, *maxSize, *seed, *cap); err != nil {
+	var err error
+	if *jsonFile != "" {
+		err = runJSON(*jsonFile, *profile, *datasets, *seed)
+	} else {
+		err = run(*exp, *profile, *datasets, *maxSize, *seed, *cap)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sesbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, profile string, datasets, maxSize int, seed int64, cap int) error {
-	var cfg chemo.Config
+// runJSON measures the artifact benchmark suite and writes the JSON
+// baseline to path.
+func runJSON(path, profile string, datasets int, seed int64) error {
+	cfg, err := profileConfig(profile)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if datasets < 1 || datasets > 5 {
+		return fmt.Errorf("-datasets must be in 1..5, got %d", datasets)
+	}
+	fmt.Printf("measuring baseline (profile %s, seed %d, %d datasets) ...\n", profile, cfg.Seed, datasets)
+	art, err := bench.BuildArtifact(cfg, profile, datasets)
+	if err != nil {
+		return err
+	}
+	b, err := art.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d entries to %s\n", len(art.Entries), path)
+	return nil
+}
+
+// profileConfig maps a -profile name to its dataset configuration.
+func profileConfig(profile string) (chemo.Config, error) {
 	switch profile {
 	case "tiny":
-		cfg = chemo.Tiny()
+		return chemo.Tiny(), nil
 	case "small":
-		cfg = chemo.Small()
+		return chemo.Small(), nil
 	case "paper":
-		cfg = chemo.Paper()
-	default:
-		return fmt.Errorf("unknown profile %q (use tiny, small or paper)", profile)
+		return chemo.Paper(), nil
+	}
+	return chemo.Config{}, fmt.Errorf("unknown profile %q (use tiny, small or paper)", profile)
+}
+
+func run(exp, profile string, datasets, maxSize int, seed int64, cap int) error {
+	cfg, err := profileConfig(profile)
+	if err != nil {
+		return err
 	}
 	if seed != 0 {
 		cfg.Seed = seed

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/chemo"
+	"repro/internal/engine"
+)
+
+// ArtifactEntry is one benchmark measurement of the machine-readable
+// baseline artifact: the standard testing.B statistics plus the
+// experiment's own measured parameter (maxΩ) and the match count,
+// which doubles as a correctness fingerprint — a regression that
+// changes the result set shows up as a diff in the artifact, not just
+// as a timing blip.
+type ArtifactEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MaxOmega    int64   `json:"max_omega"`
+	Matches     int     `json:"matches"`
+}
+
+// Artifact is the JSON document written by `sesbench -json`: enough
+// environment metadata to judge whether two artifacts are comparable,
+// the exact command that regenerates it, and the measurements.
+type Artifact struct {
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Profile    string          `json:"profile"`
+	Seed       int64           `json:"seed"`
+	Regenerate string          `json:"regenerate"`
+	Entries    []ArtifactEntry `json:"entries"`
+}
+
+// artifactCase is one benchmark of the artifact suite: run returns
+// (maxΩ, matches) for a single evaluation, and is executed b.N times
+// under alloc accounting by testing.Benchmark.
+type artifactCase struct {
+	name string
+	run  func() (int64, int, error)
+}
+
+// artifactCases builds the benchmark suite over the prepared datasets.
+// The selection mirrors the experiments whose hot paths the engine
+// optimises: Exp-1 P1 (mutually exclusive sets), Exp-3 P5 with the
+// Section 4.5 filter, the running-example throughput query, and the
+// partitioned evaluation sequential vs sharded.
+func artifactCases(ds []Dataset) ([]artifactCase, error) {
+	d1 := ds[0]
+
+	p1, err := Exclusive(4)
+	if err != nil {
+		return nil, err
+	}
+	a1, err := automaton.Compile(p1, d1.Rel.Schema())
+	if err != nil {
+		return nil, err
+	}
+	a5, err := automaton.Compile(P5(), d1.Rel.Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	runOn := func(a *automaton.Automaton, d Dataset, opts ...engine.Option) func() (int64, int, error) {
+		r := engine.New(a, opts...)
+		return func() (int64, int, error) {
+			ms, m, err := engine.RunOn(r, d.Rel)
+			return m.MaxSimultaneousInstances, len(ms), err
+		}
+	}
+
+	cases := []artifactCase{
+		{"Exp1_SES_P1/4/" + d1.Name, runOn(a1, d1, engine.WithFilter(true))},
+		{"Exp3_P5_Filter/" + d1.Name, runOn(a5, d1, engine.WithFilter(true))},
+		{"Exp3_P5_NoFilter/" + d1.Name, runOn(a5, d1)},
+	}
+	for _, d := range ds[1:] {
+		d := d
+		cases = append(cases, artifactCase{"Exp3_P5_Filter/" + d.Name, runOn(a5, d, engine.WithFilter(true))})
+	}
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		cases = append(cases, artifactCase{
+			fmt.Sprintf("Sharded_P1/4/%s/shards=%d", d1.Name, shards),
+			func() (int64, int, error) {
+				ms, m, err := engine.RunSharded(a1, d1.Rel, "ID", shards, engine.WithFilter(true))
+				return m.MaxSimultaneousInstances, len(ms), err
+			},
+		})
+	}
+	return cases, nil
+}
+
+// BuildArtifact generates the datasets for cfg and measures the
+// artifact suite with testing.Benchmark (default 1s per entry), so no
+// compiled test binary is needed to produce a baseline.
+func BuildArtifact(cfg chemo.Config, profile string, k int) (*Artifact, error) {
+	ds, err := MakeDatasets(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	cases, err := artifactCases(ds)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Profile:    profile,
+		Seed:       cfg.Seed,
+		Regenerate: fmt.Sprintf("go run ./cmd/sesbench -json BENCH_baseline.json -profile %s -datasets %d", profile, k),
+	}
+	for _, c := range cases {
+		var benchErr error
+		var maxOmega int64
+		var matches int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mo, n, err := c.run()
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				maxOmega, matches = mo, n
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.name, benchErr)
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("bench %s: no iterations (benchmark failed)", c.name)
+		}
+		art.Entries = append(art.Entries, ArtifactEntry{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			MaxOmega:    maxOmega,
+			Matches:     matches,
+		})
+	}
+	return art, nil
+}
+
+// MarshalIndent renders the artifact as stable, diff-friendly JSON.
+func (a *Artifact) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

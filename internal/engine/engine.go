@@ -110,6 +110,9 @@ type config struct {
 	emitOnAccept    bool
 	checkpointEvery int64
 	checkpointSink  func([]byte) error
+	workers         int
+	shardBuffer     int
+	watermarkEvery  int64
 }
 
 // Option configures a Runner.
@@ -151,6 +154,37 @@ func WithCheckpointing(n int64, sink func([]byte) error) Option {
 // WithTrace installs a hook invoked for every fired transition.
 func WithTrace(f func(TraceStep)) Option { return func(c *config) { c.trace = f } }
 
+// WithWorkers sets the number of goroutines used by evaluators that
+// fan out over independent units of work (partitioned batch matching
+// and the sharded streaming executor). A single Runner ignores it: one
+// automaton over one input is inherently sequential. 0 (the default)
+// means runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithShardBuffer sets the capacity of each shard's input channel in
+// the sharded streaming executor (default 128). Smaller buffers bound
+// memory and propagate backpressure sooner; larger buffers absorb
+// skewed bursts.
+func WithShardBuffer(n int) Option { return func(c *config) { c.shardBuffer = n } }
+
+// WithWatermarkEvery sets how many input events the sharded streaming
+// executor processes between watermark broadcasts (default 64).
+// Watermarks bound the reordering delay of the deterministic merge:
+// smaller values lower match emission latency, larger values lower
+// coordination overhead.
+func WithWatermarkEvery(n int64) Option { return func(c *config) { c.watermarkEvery = n } }
+
+// Workers resolves the worker count requested via WithWorkers among
+// opts: the explicit value if one was given, else 0 (meaning "auto",
+// i.e. runtime.GOMAXPROCS(0), to callers that fan out).
+func Workers(opts ...Option) int {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.workers
+}
+
 // WithEmitOnAccept switches from the paper's MAXIMAL emission (matches
 // surface when an accepting instance expires or at end of input, with
 // every greedy binding collected) to first-match alerting: a match is
@@ -167,6 +201,46 @@ type node struct {
 	varIdx int32
 	ev     *event.Event
 	prev   *node
+}
+
+// nodeChunk is the number of buffer nodes a nodeArena allocates per
+// heap allocation. 128 nodes ≈ 4 KiB per chunk: small enough that the
+// temporal locality of node lifetimes (nodes allocated together expire
+// together, within τ) keeps dead chunks collectable, large enough to
+// cut the allocation count on the consume hot path by two orders of
+// magnitude.
+const nodeChunk = 128
+
+// nodeArena bump-allocates buffer nodes in chunks, replacing the
+// one-heap-allocation-per-node cost of the consume hot path. Nodes are
+// never freed individually; a chunk becomes garbage when no live
+// instance references any node in it (buffers expire within the τ
+// window, so chunks age out together with the instances they serve).
+type nodeArena struct {
+	chunk []node
+}
+
+// new returns a fresh node from the arena. The pointer stays valid for
+// the arena's lifetime: chunks are never reallocated, only replaced.
+func (a *nodeArena) new(varIdx int32, ev *event.Event, prev *node) *node {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]node, 0, nodeChunk)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	n := &a.chunk[len(a.chunk)-1]
+	n.varIdx, n.ev, n.prev = varIdx, ev, prev
+	return n
+}
+
+// reset recycles the current chunk for a fresh run. Only safe when no
+// instance references arena nodes anymore (Runner.Reset guarantees
+// this: it drops all instances first). The chunk is zeroed so stale
+// event pointers do not pin the previous input.
+func (a *nodeArena) reset() {
+	for i := range a.chunk {
+		a.chunk[i] = node{}
+	}
+	a.chunk = a.chunk[:0]
 }
 
 // instance is an automaton instance (qc, β) of Definition 4, extended
@@ -190,8 +264,14 @@ type Runner struct {
 	cfg     config
 	insts   []instance
 	scratch []instance
+	arena   nodeArena
 	metrics Metrics
 	done    bool
+
+	// buildScratch is per-variable scratch reused across buildMatch
+	// calls (event counts during the first pass, fill cursors during
+	// the second).
+	buildScratch []int
 
 	// shedding is the ShedStartStates hysteresis state: true while the
 	// runner suppresses fresh start instances.
@@ -227,9 +307,13 @@ func (r *Runner) Metrics() Metrics { return r.metrics }
 func (r *Runner) ActiveInstances() int { return len(r.insts) }
 
 // Reset discards all instances and metrics, making the runner ready
-// for a new input.
+// for a new input. Allocated capacity (instance slices, the node
+// arena) is retained, so a reused runner evaluates subsequent inputs
+// nearly allocation-free.
 func (r *Runner) Reset() {
 	r.insts = r.insts[:0]
+	r.stepMatches = r.stepMatches[:0]
+	r.arena.reset()
 	r.metrics = Metrics{}
 	r.done = false
 	r.shedding = false
@@ -422,7 +506,7 @@ func (r *Runner) consume(inst *instance, e *event.Event, out []instance) []insta
 		r.metrics.InstancesCreated++
 		child := instance{
 			state: int32(t.Target),
-			buf:   &node{varIdx: int32(t.Var), ev: e, prev: inst.buf},
+			buf:   r.arena.new(int32(t.Var), e, inst.buf),
 			minT:  inst.minT,
 			maxT:  e.Time,
 		}
@@ -550,14 +634,22 @@ func (r *Runner) Flush() []Match {
 // maximality filter option is requested via opts it is applied to the
 // full result set.
 func Run(a *automaton.Automaton, rel *event.Relation, opts ...Option) ([]Match, Metrics, error) {
+	return RunOn(New(a, opts...), rel)
+}
+
+// RunOn evaluates the relation on an existing runner, resetting it
+// first. Reusing one runner across many inputs (e.g. the partitions of
+// a partitioned evaluation) retains its instance slices and node arena
+// and thus avoids re-paying their allocations per input.
+func RunOn(r *Runner, rel *event.Relation) ([]Match, Metrics, error) {
 	if !rel.Sorted() {
 		return nil, Metrics{}, fmt.Errorf("engine: relation is not sorted by time")
 	}
-	if !rel.Schema().Equal(a.Schema) {
+	if !rel.Schema().Equal(r.a.Schema) {
 		return nil, Metrics{}, fmt.Errorf("engine: relation schema (%s) differs from automaton schema (%s)",
-			rel.Schema(), a.Schema)
+			rel.Schema(), r.a.Schema)
 	}
-	r := New(a, opts...)
+	r.Reset()
 	var matches []Match
 	for i := 0; i < rel.Len(); i++ {
 		ms, err := r.Step(rel.Event(i))

@@ -41,10 +41,13 @@ type IndexedRunner struct {
 	// variable v, ascending.
 	statesByVar [][]int
 
-	// candidateVars and candidateStates are per-event scratch space.
+	// candidateVars, candidateStates, visitOrder and moveScratch are
+	// per-event scratch space, pre-sized at construction and reused
+	// across Steps.
 	candidateVars   []bool
 	candidateStates []bool
 	visitOrder      []int
+	moveScratch     []instance
 
 	metrics    Metrics
 	sweepEvery int64
@@ -84,6 +87,7 @@ func NewIndexed(a *automaton.Automaton, opts ...Option) (*IndexedRunner, error) 
 	}
 	r.candidateVars = make([]bool, a.NumVars())
 	r.candidateStates = make([]bool, a.NumStates())
+	r.visitOrder = make([]int, 0, a.NumStates())
 	return r, nil
 }
 
@@ -136,7 +140,7 @@ func (r *IndexedRunner) Step(e *event.Event) ([]Match, error) {
 	helper := runnerFor(r)
 
 	// Visit candidate buckets plus the fresh start instance.
-	var moved []instance
+	moved := r.moveScratch[:0]
 	for _, sid := range visit {
 		bucket := r.buckets[sid]
 		kept := bucket[:0]
@@ -174,6 +178,7 @@ func (r *IndexedRunner) Step(e *event.Event) ([]Match, error) {
 		r.buckets[inst.state] = append(r.buckets[inst.state], inst)
 		r.total++
 	}
+	r.moveScratch = moved[:0]
 	if len(helper.stepMatches) > 0 {
 		matches = append(matches, helper.stepMatches...)
 		helper.stepMatches = helper.stepMatches[:0]

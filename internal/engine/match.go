@@ -71,25 +71,51 @@ func (m Match) String() string {
 }
 
 // buildMatch materialises an instance's buffer chain into a Match.
+// The per-variable event slices of all bindings share one backing
+// array sized in a counting pass, so a match costs two allocations
+// (bindings + events) regardless of how many variables it binds.
+// Callers must treat Binding.Events as immutable — appending to one
+// binding's slice would overwrite its neighbour.
 func (r *Runner) buildMatch(inst *instance) Match {
-	perVar := make([][]*event.Event, len(r.a.Vars))
+	nv := len(r.a.Vars)
+	if cap(r.buildScratch) < nv {
+		r.buildScratch = make([]int, nv)
+	}
+	counts := r.buildScratch[:nv]
+	for i := range counts {
+		counts[i] = 0
+	}
+	total, bound := 0, 0
 	for n := inst.buf; n != nil; n = n.prev {
-		perVar[n.varIdx] = append(perVar[n.varIdx], n.ev)
+		if counts[n.varIdx] == 0 {
+			bound++
+		}
+		counts[n.varIdx]++
+		total++
 	}
 	m := Match{First: inst.minT, Last: inst.maxT}
-	for i, evs := range perVar {
-		if len(evs) == 0 {
+	backing := make([]*event.Event, total)
+	m.Bindings = make([]Binding, 0, bound)
+	off := 0
+	for v := 0; v < nv; v++ {
+		c := counts[v]
+		if c == 0 {
 			continue
 		}
-		// The chain stores bindings newest-first; restore chronology.
-		for l, h := 0, len(evs)-1; l < h; l, h = l+1, h-1 {
-			evs[l], evs[h] = evs[h], evs[l]
-		}
 		m.Bindings = append(m.Bindings, Binding{
-			Var:    r.a.Vars[i].Name,
-			Group:  r.a.Vars[i].Group,
-			Events: evs,
+			Var:    r.a.Vars[v].Name,
+			Group:  r.a.Vars[v].Group,
+			Events: backing[off : off+c],
 		})
+		// Repurpose the count as this variable's fill cursor (one past
+		// its segment end): the chain is newest-first, so filling each
+		// segment back to front restores chronology.
+		counts[v] = off + c
+		off += c
+	}
+	for n := inst.buf; n != nil; n = n.prev {
+		counts[n.varIdx]--
+		backing[counts[n.varIdx]] = n.ev
 	}
 	return m
 }
@@ -131,24 +157,72 @@ func Dedup(matches []Match) []Match {
 // guarantees this property (divergent instances always differ in at
 // least one binding), so this filter is a correctness guard; it
 // returns the surviving matches in their original order.
+//
+// Input that is already ordered by start time — as Match and
+// MatchPartitioned return it — is processed without the map-based
+// grouping pass: same-start groups are contiguous runs, and singleton
+// runs (the overwhelmingly common case) skip binding-set
+// materialisation entirely.
 func FilterMaximal(matches []Match) []Match {
-	type entry struct {
-		keys map[string]bool
+	sorted := true
+	for i := 1; i < len(matches); i++ {
+		if matches[i-1].First > matches[i].First {
+			sorted = false
+			break
+		}
 	}
-	byStart := make(map[event.Time][]int)
+	drop := make([]bool, len(matches))
+	any := false
+	if sorted {
+		for lo := 0; lo < len(matches); {
+			hi := lo + 1
+			for hi < len(matches) && matches[hi].First == matches[lo].First {
+				hi++
+			}
+			if hi-lo > 1 {
+				idxs := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					idxs = append(idxs, i)
+				}
+				any = dropSubsets(matches, idxs, drop) || any
+			}
+			lo = hi
+		}
+	} else {
+		byStart := make(map[event.Time][]int)
+		for i, m := range matches {
+			byStart[m.First] = append(byStart[m.First], i)
+		}
+		for _, idxs := range byStart {
+			if len(idxs) > 1 {
+				any = dropSubsets(matches, idxs, drop) || any
+			}
+		}
+	}
+	if !any {
+		return matches
+	}
+	out := matches[:0:0]
+	for i, m := range matches {
+		if !drop[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// dropSubsets marks matches (among idxs, which share a start time)
+// whose binding set is a proper subset of another's. It reports
+// whether anything was marked.
+func dropSubsets(matches []Match, idxs []int, drop []bool) bool {
 	keysOf := func(m Match) map[string]bool {
-		ks := make(map[string]bool)
+		ks := make(map[string]bool, m.EventCount())
 		for _, b := range m.Bindings {
 			for _, e := range b.Events {
 				ks[fmt.Sprintf("%s/%d", b.Var, e.Seq)] = true
 			}
 		}
 		return ks
-	}
-	entries := make([]entry, len(matches))
-	for i, m := range matches {
-		entries[i] = entry{keys: keysOf(m)}
-		byStart[m.First] = append(byStart[m.First], i)
 	}
 	subset := func(a, b map[string]bool) bool {
 		if len(a) >= len(b) {
@@ -161,24 +235,114 @@ func FilterMaximal(matches []Match) []Match {
 		}
 		return true
 	}
-	drop := make([]bool, len(matches))
-	for _, idxs := range byStart {
-		for _, i := range idxs {
-			for _, j := range idxs {
-				if i != j && subset(entries[i].keys, entries[j].keys) {
-					drop[i] = true
-					break
-				}
+	keys := make([]map[string]bool, len(idxs))
+	for i, idx := range idxs {
+		keys[i] = keysOf(matches[idx])
+	}
+	any := false
+	for i, idx := range idxs {
+		for j := range idxs {
+			if i != j && subset(keys[i], keys[j]) {
+				drop[idx] = true
+				any = true
+				break
 			}
 		}
 	}
-	out := matches[:0:0]
-	for i, m := range matches {
-		if !drop[i] {
-			out = append(out, m)
+	return any
+}
+
+// MergeByStart merges per-partition match lists, each already ordered
+// by start time, into one list ordered by start time. The merge is
+// stable across lists: on equal start times, matches from
+// earlier-indexed lists come first, and each list's internal order is
+// preserved — so the result is exactly what a stable sort by start
+// time over the concatenation of the lists would produce, in O(n log
+// k) without re-sorting.
+func MergeByStart(lists [][]Match) []Match {
+	nonEmpty, total := 0, 0
+	last := -1
+	for i, l := range lists {
+		if len(l) > 0 {
+			nonEmpty++
+			total += len(l)
+			last = i
 		}
 	}
+	switch nonEmpty {
+	case 0:
+		return nil
+	case 1:
+		return lists[last]
+	}
+	// Binary min-heap over the head of each non-empty list, keyed by
+	// (head start time, list index) — the list index tiebreak is what
+	// makes the merge stable across lists.
+	type head struct {
+		list int
+		pos  int
+	}
+	heap := make([]head, 0, nonEmpty)
+	less := func(a, b head) bool {
+		ta, tb := lists[a.list][a.pos].First, lists[b.list][b.pos].First
+		if ta != tb {
+			return ta < tb
+		}
+		return a.list < b.list
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(heap) && less(heap[l], heap[s]) {
+				s = l
+			}
+			if r < len(heap) && less(heap[r], heap[s]) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+	}
+	for i, l := range lists {
+		if len(l) > 0 {
+			heap = append(heap, head{list: i})
+			up(len(heap) - 1)
+		}
+	}
+	out := make([]Match, 0, total)
+	for len(heap) > 0 {
+		h := heap[0]
+		out = append(out, lists[h.list][h.pos])
+		if h.pos+1 < len(lists[h.list]) {
+			heap[0].pos++
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
 	return out
+}
+
+// SortByStart stably sorts matches by start time in place, preserving
+// the relative order of equal-start matches (the emission order of the
+// evaluator that produced them).
+func SortByStart(matches []Match) {
+	sort.SliceStable(matches, func(i, j int) bool { return matches[i].First < matches[j].First })
 }
 
 // bufferString renders a buffer chain like the paper's Figure 6,

@@ -48,7 +48,12 @@ type Metrics struct {
 }
 
 // Add accumulates o into m (used by the brute-force baseline to
-// aggregate over its automata set).
+// aggregate over its automata set). All counters sum, including
+// MaxSimultaneousInstances: the brute force algorithm runs its |V1|!
+// sequence automata over the same input in lockstep, so the paper's
+// measured |Ω| is the sum of the per-automaton peaks. For aggregating
+// over INDEPENDENT partitions (each its own evaluation, peaks not
+// coincident in any shared timeline) use Merge instead.
 func (m *Metrics) Add(o Metrics) {
 	m.EventsProcessed += o.EventsProcessed
 	m.EventsFiltered += o.EventsFiltered
@@ -63,6 +68,24 @@ func (m *Metrics) Add(o Metrics) {
 	m.InstancesShed += o.InstancesShed
 	m.EventsRejected += o.EventsRejected
 	m.DegradedSteps += o.DegradedSteps
+}
+
+// Merge accumulates o into m with max semantics for peak counters:
+// throughput counters (events, instances created, transitions,
+// iterations, matches, degradation interventions) sum, while
+// MaxSimultaneousInstances takes the maximum of the two peaks. This is
+// the correct aggregation for independent partitions or shards
+// evaluated separately (sequentially or concurrently): no single
+// evaluator ever held the sum of the partitions' peaks, so summing —
+// what Add does for the brute-force automata set that does share one
+// timeline — would overstate the observed |Ω|.
+func (m *Metrics) Merge(o Metrics) {
+	peak := m.MaxSimultaneousInstances
+	if o.MaxSimultaneousInstances > peak {
+		peak = o.MaxSimultaneousInstances
+	}
+	m.Add(o)
+	m.MaxSimultaneousInstances = peak
 }
 
 // String renders the metrics as a compact single-line report.

@@ -1,0 +1,481 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/automaton"
+	"repro/internal/event"
+)
+
+// ShardedRunner evaluates a SES automaton over a keyed event stream in
+// parallel: incoming events are hash-partitioned by a key attribute
+// onto shard workers, each worker owns one single-goroutine Runner per
+// key it serves, and the emitted matches of all shards are merged back
+// into one deterministic output order. A WithTrace hook, if any, is
+// invoked from all shard goroutines and must be safe for concurrent
+// use.
+//
+// The semantics are exactly those of partitioned evaluation
+// (Query.MatchPartitioned): every automaton instance is confined to the
+// events of one key, implementing the paper's "for each patient"
+// reading on a live stream. Because every per-key evaluator is a plain
+// Runner on its own goroutine-confined timeline, all single-runner
+// machinery (overload policies, emit-on-accept, tracing) composes
+// unchanged; checkpointing of a sharded stream is not supported — the
+// shards' positions would need a consistent cut across workers.
+//
+// # Ordering
+//
+// Matches are released in ascending order of their emission time (the
+// timestamp of the input event that completed them, or end-of-stream
+// for flush matches), with deterministic tie-breaking by the key's
+// first-occurrence index and the per-key emission sequence. This order
+// is independent of the shard count and of goroutine scheduling: the
+// same input yields the byte-identical output stream for 1, 2 or 16
+// shards. A watermark protocol makes the merge safe: a match is
+// released only once every shard has processed all events up to the
+// match's emission time.
+//
+// # Backpressure
+//
+// All channels involved are bounded. A slow consumer of the output
+// channel backs up the merge, the merge backs up the shard workers,
+// and full shard input channels block the dispatcher, which stops
+// reading the input stream — memory stays proportional to the
+// configured buffers, never to the input.
+type ShardedRunner struct {
+	a      *automaton.Automaton
+	cfg    config
+	keyIdx int
+	shards int
+
+	errMu sync.Mutex
+	err   error
+
+	metricsMu sync.Mutex
+	metrics   Metrics
+
+	started bool
+}
+
+// shardInput is one element of a shard worker's input channel: either
+// an event routed to this shard or a watermark broadcast to all
+// shards.
+type shardInput struct {
+	ev        *event.Event // nil for watermarks
+	keyIdx    int32
+	watermark event.Time
+}
+
+// taggedMatch carries a match with its deterministic merge key.
+type taggedMatch struct {
+	m      Match
+	emitAt event.Time // time of the event that completed the match
+	keyIdx int32      // key order of first occurrence in the stream
+	seq    int64      // per-key emission sequence
+}
+
+// flushTime tags matches emitted by the end-of-input flush: they order
+// after every event-time emission.
+const flushTime = event.Time(math.MaxInt64)
+
+// shardMsg is what a shard worker reports to the merger: the matches
+// emitted since the previous message and the watermark up to which
+// this shard has processed its input.
+type shardMsg struct {
+	shard     int
+	matches   []taggedMatch
+	watermark event.Time
+	done      bool
+	metrics   Metrics // valid when done
+	err       error
+}
+
+// NewSharded creates a sharded streaming evaluator for the automaton,
+// keyed by the named attribute. shards is the number of worker
+// goroutines; 0 means runtime.GOMAXPROCS(0). Options are applied to
+// every per-key runner; WithShardBuffer and WithWatermarkEvery tune
+// the executor itself. Checkpointing options are rejected: snapshots
+// of a sharded stream would need a consistent cut across shards.
+func NewSharded(a *automaton.Automaton, keyAttr string, shards int, opts ...Option) (*ShardedRunner, error) {
+	idx, ok := a.Schema.Index(keyAttr)
+	if !ok {
+		return nil, fmt.Errorf("engine: no attribute %q in schema (%s)", keyAttr, a.Schema)
+	}
+	s := &ShardedRunner{a: a, keyIdx: idx, shards: shards}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	if s.cfg.checkpointEvery > 0 || s.cfg.checkpointSink != nil {
+		return nil, fmt.Errorf("engine: checkpointing is not supported on a sharded stream")
+	}
+	if s.shards <= 0 {
+		if s.cfg.workers > 0 {
+			s.shards = s.cfg.workers
+		} else {
+			s.shards = runtime.GOMAXPROCS(0)
+		}
+	}
+	if s.cfg.shardBuffer <= 0 {
+		s.cfg.shardBuffer = 128
+	}
+	if s.cfg.watermarkEvery <= 0 {
+		s.cfg.watermarkEvery = 64
+	}
+	return s, nil
+}
+
+// Shards returns the number of shard workers the executor runs.
+func (s *ShardedRunner) Shards() int { return s.shards }
+
+// Err reports the error that terminated a Run, if any. It is safe to
+// call at any time; the definitive outcome is available once the
+// output channel has closed.
+func (s *ShardedRunner) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// setErr records the first abnormal termination cause.
+func (s *ShardedRunner) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Metrics returns the merged execution counters of all per-key
+// runners (Metrics.Merge semantics: peak counters are maxima over the
+// independent keys, throughput counters are sums). Complete once the
+// output channel has closed.
+func (s *ShardedRunner) Metrics() Metrics {
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	return s.metrics
+}
+
+// Run starts the sharded evaluation over the input channel and returns
+// the merged match channel. Events must arrive in non-decreasing time
+// order; the executor owns a copy of each event and assigns sequence
+// numbers like Runner.Stream. The output channel closes after the
+// input closes and all shards flushed, or when ctx is cancelled or an
+// error occurs (reported via Err). Run may be called once per
+// ShardedRunner.
+func (s *ShardedRunner) Run(ctx context.Context, in <-chan event.Event) (<-chan Match, error) {
+	if s.started {
+		return nil, fmt.Errorf("engine: ShardedRunner.Run called twice")
+	}
+	s.started = true
+
+	ctx, cancel := context.WithCancel(ctx)
+	inputs := make([]chan shardInput, s.shards)
+	for i := range inputs {
+		inputs[i] = make(chan shardInput, s.cfg.shardBuffer)
+	}
+	merged := make(chan shardMsg, s.shards)
+	out := make(chan Match)
+
+	go s.dispatch(ctx, in, inputs)
+	for i := 0; i < s.shards; i++ {
+		go s.shardWorker(ctx, i, inputs[i], merged)
+	}
+	go s.merge(ctx, cancel, merged, out)
+	return out, nil
+}
+
+// dispatch reads the input stream, routes each event to its key's
+// shard and broadcasts watermarks so that lightly loaded shards keep
+// the merge moving.
+func (s *ShardedRunner) dispatch(ctx context.Context, in <-chan event.Event, inputs []chan shardInput) {
+	defer func() {
+		for _, ch := range inputs {
+			close(ch)
+		}
+	}()
+	var hashSeed = maphash.MakeSeed()
+	type keyInfo struct {
+		idx   int32
+		shard int
+	}
+	keys := make(map[event.Value]keyInfo)
+	var (
+		seq     int
+		last    event.Time
+		first   = true
+		sinceWM int64
+	)
+	send := func(shard int, item shardInput) bool {
+		select {
+		case inputs[shard] <- item:
+			return true
+		case <-ctx.Done():
+			s.setErr(ctx.Err())
+			return false
+		}
+	}
+	broadcast := func(wm event.Time) bool {
+		for i := range inputs {
+			if !send(i, shardInput{watermark: wm}) {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			s.setErr(ctx.Err())
+			return
+		case e, ok := <-in:
+			if !ok {
+				return
+			}
+			if !first && e.Time < last {
+				s.setErr(fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last))
+				return
+			}
+			// Once time advances past `last`, every event with time <=
+			// last has been dispatched; shards reading the watermark
+			// after their queued events have then fully processed them.
+			if !first && e.Time > last && sinceWM >= s.cfg.watermarkEvery {
+				if !broadcast(last) {
+					return
+				}
+				sinceWM = 0
+			}
+			first, last = false, e.Time
+			sinceWM++
+			ki, ok := keys[e.Attrs[s.keyIdx]]
+			if !ok {
+				var h maphash.Hash
+				h.SetSeed(hashSeed)
+				h.WriteString(e.Attrs[s.keyIdx].Encode())
+				ki = keyInfo{idx: int32(len(keys)), shard: int(h.Sum64() % uint64(s.shards))}
+				keys[e.Attrs[s.keyIdx]] = ki
+			}
+			ev := new(event.Event)
+			*ev = e
+			ev.Seq = seq
+			seq++
+			if !send(ki.shard, shardInput{ev: ev, keyIdx: ki.idx}) {
+				return
+			}
+		}
+	}
+}
+
+// shardWorker drains one shard's input, stepping the per-key runners
+// and reporting emitted matches batched per watermark.
+func (s *ShardedRunner) shardWorker(ctx context.Context, shard int, in <-chan shardInput, merged chan<- shardMsg) {
+	runners := make(map[int32]*Runner)
+	emitSeq := make(map[int32]int64)
+	var pending []taggedMatch
+	report := func(msg shardMsg) bool {
+		msg.shard = shard
+		select {
+		case merged <- msg:
+			return true
+		case <-ctx.Done():
+			s.setErr(ctx.Err())
+			return false
+		}
+	}
+	fail := func(err error) {
+		s.setErr(err)
+		report(shardMsg{err: err})
+	}
+	var processed event.Time = noTime
+	for item := range in {
+		if item.ev == nil {
+			// Watermark: all of this shard's events <= item.watermark
+			// are processed; hand the batch to the merger.
+			if item.watermark > processed {
+				processed = item.watermark
+			}
+			if !report(shardMsg{matches: pending, watermark: processed}) {
+				return
+			}
+			pending = nil
+			continue
+		}
+		r := runners[item.keyIdx]
+		if r == nil {
+			r = New(s.a, optionsOf(s.cfg)...)
+			runners[item.keyIdx] = r
+		}
+		ms, err := r.Step(item.ev)
+		if err != nil {
+			fail(fmt.Errorf("engine: shard %d key %d: %w", shard, item.keyIdx, err))
+			return
+		}
+		for _, m := range ms {
+			pending = append(pending, taggedMatch{
+				m: m, emitAt: item.ev.Time, keyIdx: item.keyIdx, seq: emitSeq[item.keyIdx],
+			})
+			emitSeq[item.keyIdx]++
+		}
+		// The shard's own progress only certifies times strictly below
+		// the current event: more events with the same timestamp may
+		// still be queued (dispatcher watermarks certify full times).
+		if item.ev.Time-1 > processed {
+			processed = item.ev.Time - 1
+		}
+	}
+	// Input closed: flush every per-key runner and report completion.
+	var agg Metrics
+	for keyIdx, r := range runners {
+		for _, m := range r.Flush() {
+			pending = append(pending, taggedMatch{
+				m: m, emitAt: flushTime, keyIdx: keyIdx, seq: emitSeq[keyIdx],
+			})
+			emitSeq[keyIdx]++
+		}
+	}
+	for _, r := range runners {
+		agg.Merge(r.Metrics())
+	}
+	report(shardMsg{matches: pending, watermark: flushTime, done: true, metrics: agg})
+}
+
+// merge receives shard reports, holds back matches until every shard's
+// watermark has passed their emission time, and releases them in the
+// deterministic (emission time, key index, per-key sequence) order.
+func (s *ShardedRunner) merge(ctx context.Context, cancel context.CancelFunc, merged <-chan shardMsg, out chan<- Match) {
+	defer cancel()
+	defer close(out)
+	watermarks := make([]event.Time, s.shards)
+	for i := range watermarks {
+		watermarks[i] = noTime
+	}
+	var pending []taggedMatch
+	var agg Metrics
+	doneShards := 0
+	release := func() bool {
+		minWM := flushTime
+		for _, wm := range watermarks {
+			if wm < minWM {
+				minWM = wm
+			}
+		}
+		// Partition pending into releasable (emitAt <= minWM) and the
+		// rest, then emit the releasable ones in merge order. Flush
+		// matches (emitAt == flushTime) release only when minWM has
+		// itself reached flushTime, i.e. all shards are done.
+		var ready, rest []taggedMatch
+		for _, tm := range pending {
+			if tm.emitAt <= minWM {
+				ready = append(ready, tm)
+			} else {
+				rest = append(rest, tm)
+			}
+		}
+		if len(ready) == 0 {
+			return true
+		}
+		pending = rest
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if a.emitAt != b.emitAt {
+				return a.emitAt < b.emitAt
+			}
+			if a.keyIdx != b.keyIdx {
+				return a.keyIdx < b.keyIdx
+			}
+			return a.seq < b.seq
+		})
+		for _, tm := range ready {
+			select {
+			case out <- tm.m:
+			case <-ctx.Done():
+				s.setErr(ctx.Err())
+				return false
+			}
+		}
+		return true
+	}
+	for doneShards < s.shards {
+		select {
+		case <-ctx.Done():
+			s.setErr(ctx.Err())
+			return
+		case msg := <-merged:
+			if msg.err != nil {
+				return // setErr already done by the shard
+			}
+			pending = append(pending, msg.matches...)
+			if msg.watermark > watermarks[msg.shard] {
+				watermarks[msg.shard] = msg.watermark
+			}
+			if msg.done {
+				doneShards++
+				agg.Merge(msg.metrics)
+			}
+			if !release() {
+				return
+			}
+		}
+	}
+	s.metricsMu.Lock()
+	s.metrics = agg
+	s.metricsMu.Unlock()
+}
+
+// optionsOf reconstructs the option slice equivalent to a resolved
+// config, for handing a parent evaluator's configuration down to the
+// per-key runners it creates.
+func optionsOf(c config) []Option {
+	return []Option{func(dst *config) { *dst = c }}
+}
+
+// RunSharded evaluates the automaton over a complete relation with the
+// sharded executor, returning the matches in the executor's
+// deterministic merge order plus the merged metrics. It is the batch
+// convenience over ShardedRunner.Run, mainly for tests and benchmarks;
+// batch callers wanting start-time ordering use partitioned matching
+// instead.
+func RunSharded(a *automaton.Automaton, rel *event.Relation, keyAttr string, shards int, opts ...Option) ([]Match, Metrics, error) {
+	if !rel.Sorted() {
+		return nil, Metrics{}, fmt.Errorf("engine: relation is not sorted by time")
+	}
+	if !rel.Schema().Equal(a.Schema) {
+		return nil, Metrics{}, fmt.Errorf("engine: relation schema (%s) differs from automaton schema (%s)",
+			rel.Schema(), a.Schema)
+	}
+	s, err := NewSharded(a, keyAttr, shards, opts...)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan event.Event)
+	go func() {
+		defer close(in)
+		for i := 0; i < rel.Len(); i++ {
+			select {
+			case in <- *rel.Event(i):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out, err := s.Run(ctx, in)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	var matches []Match
+	for m := range out {
+		matches = append(matches, m)
+	}
+	if err := s.Err(); err != nil {
+		return nil, s.Metrics(), err
+	}
+	return matches, s.Metrics(), nil
+}

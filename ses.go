@@ -36,8 +36,9 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/automaton"
 	"repro/internal/engine"
@@ -220,6 +221,16 @@ var (
 	// WithCheckpointing makes Runner.Stream snapshot the runner state
 	// every n events and hand the bytes to a sink.
 	WithCheckpointing = engine.WithCheckpointing
+	// WithWorkers sets the worker-pool size for MatchPartitioned (and
+	// the default shard count for ShardedRunner). 0 or 1 means
+	// sequential.
+	WithWorkers = engine.WithWorkers
+	// WithShardBuffer sets the per-shard input channel capacity of
+	// ShardedRunner (backpressure bound).
+	WithShardBuffer = engine.WithShardBuffer
+	// WithWatermarkEvery sets how many events the ShardedRunner
+	// dispatcher admits between watermark broadcasts.
+	WithWatermarkEvery = engine.WithWatermarkEvery
 )
 
 // Event selection strategies.
@@ -512,32 +523,127 @@ func (q *Query) UnionRunner(opts ...Option) (*UnionRunner, error) {
 //
 // Matches keep the original relation's event sequence numbers and are
 // returned ordered by start time; metrics are aggregated over the
-// partitions.
+// partitions with Metrics merge semantics (throughput counters sum,
+// the instance peak is the per-partition maximum).
+//
+// With WithWorkers(n), n > 1, partitions are evaluated concurrently on
+// a bounded worker pool; the result is byte-identical to the
+// sequential evaluation.
 func (q *Query) MatchPartitioned(rel *Relation, attr string, opts ...Option) ([]Match, Metrics, error) {
-	parts, err := rel.Partition(attr)
+	return q.matchPartitioned(rel, attr, engine.Workers(opts...), opts...)
+}
+
+// MatchPartitionedParallel is MatchPartitioned with an explicit worker
+// count: partitions are evaluated concurrently on a pool of `workers`
+// goroutines (0 means GOMAXPROCS), each reusing one evaluator across
+// the partitions it handles. Matches, their order, and the aggregated
+// metrics are identical to MatchPartitioned's: per-partition results
+// are stably sorted by start time and k-way merged in partition order,
+// which reproduces the sequential output exactly.
+func (q *Query) MatchPartitionedParallel(rel *Relation, attr string, workers int, opts ...Option) ([]Match, Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return q.matchPartitioned(rel, attr, workers, opts...)
+}
+
+func (q *Query) matchPartitioned(rel *Relation, attr string, workers int, opts ...Option) ([]Match, Metrics, error) {
+	_, parts, err := rel.PartitionOrdered(attr)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
-	// Deterministic partition order: by first event position.
-	keys := make([]Value, 0, len(parts))
-	for k := range parts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		return parts[keys[i]].Event(0).Seq < parts[keys[j]].Event(0).Seq
-	})
-	var all []Match
-	var agg Metrics
-	for _, k := range keys {
-		matches, m, err := q.Match(parts[k], opts...)
-		if err != nil {
-			return nil, agg, err
+	results := make([][]Match, len(parts))
+	metrics := make([]Metrics, len(parts))
+	errs := make([]error, len(parts))
+
+	// evalRange evaluates a set of partitions delivered over idx,
+	// reusing one runner for all of them when the query is
+	// single-variant (the common case; multi-variant queries fall back
+	// to a fresh union evaluation per partition).
+	evalRange := func(idx <-chan int) {
+		var r *engine.Runner
+		if len(q.autos) == 1 {
+			r = engine.New(q.autos[0], opts...)
 		}
-		all = append(all, matches...)
-		agg.Add(m)
+		for i := range idx {
+			var ms []Match
+			var m Metrics
+			var err error
+			if r != nil {
+				ms, m, err = engine.RunOn(r, parts[i])
+			} else {
+				ms, m, err = q.Match(parts[i], opts...)
+			}
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			engine.SortByStart(ms)
+			results[i] = ms
+			metrics[i] = m
+		}
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].First < all[j].First })
-	return all, agg, nil
+
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	idx := make(chan int)
+	if workers <= 1 {
+		go func() {
+			for i := range parts {
+				idx <- i
+			}
+			close(idx)
+		}()
+		evalRange(idx)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				evalRange(idx)
+			}()
+		}
+		for i := range parts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var agg Metrics
+	for i := range parts {
+		if errs[i] != nil {
+			return nil, agg, errs[i]
+		}
+		agg.Merge(metrics[i])
+	}
+	// Stable k-way merge of the per-partition sorted lists in partition
+	// order ≡ a stable sort by start time over their concatenation: the
+	// exact order the sequential path historically returned, without
+	// re-sorting the combined result.
+	return engine.MergeByStart(results), agg, nil
+}
+
+// ShardedRunner is the streaming parallel executor: events are
+// hash-partitioned by a key attribute onto per-shard evaluators and
+// completed matches are merged back into one deterministic stream.
+type ShardedRunner = engine.ShardedRunner
+
+// ShardedRunner creates a streaming parallel executor for a
+// single-variant query: incoming events are hash-partitioned by the
+// key attribute onto `shards` single-goroutine evaluators (0 means
+// WithWorkers/GOMAXPROCS), with bounded channels for backpressure and
+// a watermark-driven merge producing a deterministic output order
+// independent of the shard count. Semantics per key are exactly
+// MatchPartitioned's. Checkpointing options are not supported; queries
+// with optional variables are not supported.
+func (q *Query) ShardedRunner(keyAttr string, shards int, opts ...Option) (*ShardedRunner, error) {
+	if len(q.autos) != 1 {
+		return nil, fmt.Errorf("ses: ShardedRunner does not support optional variables (%d variants)", len(q.autos))
+	}
+	return engine.NewSharded(q.autos[0], keyAttr, shards, opts...)
 }
 
 // CSV persistence.

@@ -1,10 +1,13 @@
 package ses_test
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/chemo"
 	"repro/internal/paperdata"
 )
 
@@ -340,5 +343,105 @@ func TestExplain(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("Explain (optional) missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// TestMatchPartitionedParallelDeterministic is the parallel-execution
+// property test: on generated chemotherapy datasets, partitioned
+// evaluation with 1, 2 and 8 workers (and via the WithWorkers option)
+// returns a byte-identical match sequence and identical aggregated
+// metrics to the sequential path.
+func TestMatchPartitionedParallelDeterministic(t *testing.T) {
+	rels, err := chemo.Datasets(chemo.Tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(ms []ses.Match) string {
+		var b strings.Builder
+		for _, m := range ms {
+			fmt.Fprintf(&b, "%s @[%d,%d]\n", m.String(), m.First, m.Last)
+		}
+		return b.String()
+	}
+	for di, rel := range rels {
+		q := ses.MustCompile(q1Text, rel.Schema())
+		seq, seqM, err := q.MatchPartitioned(rel, "ID", ses.WithFilter(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) == 0 {
+			t.Fatalf("D%d: no sequential matches; dataset too small for the property test", di+1)
+		}
+		want := render(seq)
+		for _, workers := range []int{1, 2, 8} {
+			par, parM, err := q.MatchPartitionedParallel(rel, "ID", workers, ses.WithFilter(true))
+			if err != nil {
+				t.Fatalf("D%d workers=%d: %v", di+1, workers, err)
+			}
+			if got := render(par); got != want {
+				t.Errorf("D%d workers=%d: parallel output differs from sequential:\n--- got ---\n%s--- want ---\n%s",
+					di+1, workers, got, want)
+			}
+			if parM != seqM {
+				t.Errorf("D%d workers=%d: metrics differ: parallel %+v, sequential %+v", di+1, workers, parM, seqM)
+			}
+		}
+		opt, optM, err := q.MatchPartitioned(rel, "ID", ses.WithFilter(true), ses.WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(opt); got != want {
+			t.Errorf("D%d WithWorkers(4): output differs from sequential", di+1)
+		}
+		if optM != seqM {
+			t.Errorf("D%d WithWorkers(4): metrics differ", di+1)
+		}
+	}
+}
+
+// TestShardedRunnerExposed drives the streaming sharded executor
+// through the public API and checks it reproduces MatchPartitioned.
+func TestShardedRunnerExposed(t *testing.T) {
+	rel, schema := buildChemoRelation(t)
+	q := ses.MustCompile(q1Text, schema)
+	want, _, err := q.MatchPartitioned(rel, "ID", ses.WithFilter(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := q.ShardedRunner("ID", 3, ses.WithFilter(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan ses.Event)
+	go func() {
+		defer close(in)
+		for i := 0; i < rel.Len(); i++ {
+			in <- *rel.Event(i)
+		}
+	}()
+	out, err := s.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	n := 0
+	for m := range out {
+		got[m.String()]++
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("sharded runner emitted %d matches, MatchPartitioned %d", n, len(want))
+	}
+	for _, m := range want {
+		if got[m.String()] == 0 {
+			t.Errorf("missing match %s", m)
+		}
+	}
+	opt := ses.MustCompile("PATTERN (a, o?) WHERE a.L = 'C' WITHIN 1h", schema)
+	if _, err := opt.ShardedRunner("ID", 2); err == nil {
+		t.Error("ShardedRunner should reject optional variables")
 	}
 }
