@@ -12,12 +12,24 @@
 //
 //	sesbench [-exp all|1|2|3|ablation] [-profile tiny|small|paper]
 //	         [-datasets N] [-maxsize N] [-seed N] [-json FILE]
+//	         [-baseline FILE] [-tolerance F] [-debug-addr ADDR]
 //
 // With -json FILE the command instead measures a fixed benchmark
 // suite with testing.Benchmark and writes a machine-readable baseline
 // artifact (ns/op, B/op, allocs/op, maxΩ, match counts plus the
 // environment and the regeneration command) to FILE — the file
 // committed as BENCH_baseline.json at the repository root.
+//
+// With -baseline FILE the suite is measured and compared against the
+// committed artifact: timing and allocation regressions beyond
+// -tolerance (default 0.25 = +25%) or any drift in the correctness
+// fingerprints (match count, maxΩ) fail the run with a non-zero exit —
+// the CI bench gate. -json may be combined to also write the fresh
+// measurement.
+//
+// -debug-addr starts the observability HTTP server (Prometheus
+// /metrics, expvar, pprof) on the given address for profiling the
+// benchmark process itself.
 //
 // The default "small" profile finishes in well under a minute; the
 // "paper" profile approximates the original D1 (window size W ≈ 1322)
@@ -33,29 +45,92 @@ import (
 	"repro/internal/bench"
 	"repro/internal/chemo"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, 1, 2, 3 or ablation")
-		profile  = flag.String("profile", "small", "dataset profile: tiny, small or paper")
-		datasets = flag.Int("datasets", 5, "number of datasets D1..Dk (k in 1..5)")
-		maxSize  = flag.Int("maxsize", 6, "largest |V1| for experiment 1 (2..6)")
-		seed     = flag.Int64("seed", 0, "override the profile's PRNG seed (0 keeps it)")
-		cap      = flag.Int("cap", 0, "abort any run whose simultaneous instances exceed N (0 = unlimited; prevents OOM on paper-scale D4/D5)")
-		jsonFile = flag.String("json", "", "write a benchmark baseline artifact to this file instead of running the experiments")
+		exp       = flag.String("exp", "all", "experiment to run: all, 1, 2, 3 or ablation")
+		profile   = flag.String("profile", "small", "dataset profile: tiny, small or paper")
+		datasets  = flag.Int("datasets", 5, "number of datasets D1..Dk (k in 1..5)")
+		maxSize   = flag.Int("maxsize", 6, "largest |V1| for experiment 1 (2..6)")
+		seed      = flag.Int64("seed", 0, "override the profile's PRNG seed (0 keeps it)")
+		cap       = flag.Int("cap", 0, "abort any run whose simultaneous instances exceed N (0 = unlimited; prevents OOM on paper-scale D4/D5)")
+		jsonFile  = flag.String("json", "", "write a benchmark baseline artifact to this file instead of running the experiments")
+		baseline  = flag.String("baseline", "", "measure the artifact suite and gate it against this committed baseline file")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression in ns/op and allocs/op for -baseline (0.25 = +25%)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sesbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoints on http://%s/ (/metrics, /debug/pprof)\n", srv.Addr)
+	}
 	var err error
-	if *jsonFile != "" {
+	switch {
+	case *baseline != "":
+		err = runGate(*baseline, *jsonFile, *profile, *datasets, *seed, *tolerance)
+	case *jsonFile != "":
 		err = runJSON(*jsonFile, *profile, *datasets, *seed)
-	} else {
+	default:
 		err = run(*exp, *profile, *datasets, *maxSize, *seed, *cap)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sesbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runGate measures the artifact suite and fails if it regresses beyond
+// tolerance against the committed baseline at basePath.
+func runGate(basePath, jsonFile, profile string, datasets int, seed int64, tolerance float64) error {
+	base, err := bench.LoadArtifact(basePath)
+	if err != nil {
+		return err
+	}
+	if base.Profile != "" && base.Profile != profile {
+		fmt.Printf("note: baseline profile %q, measuring with %q — comparison may be meaningless\n", base.Profile, profile)
+	}
+	cfg, err := profileConfig(profile)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if datasets < 1 || datasets > 5 {
+		return fmt.Errorf("-datasets must be in 1..5, got %d", datasets)
+	}
+	fmt.Printf("measuring %d-entry gate run (profile %s, seed %d, %d datasets) ...\n",
+		len(base.Entries), profile, cfg.Seed, datasets)
+	art, err := bench.BuildArtifact(cfg, profile, datasets)
+	if err != nil {
+		return err
+	}
+	if jsonFile != "" {
+		b, err := art.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonFile, b, 0o644); err != nil {
+			return err
+		}
+	}
+	problems := bench.Compare(base, art, tolerance)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "  regression:", p)
+		}
+		return fmt.Errorf("bench gate failed: %d violation(s) against %s", len(problems), basePath)
+	}
+	fmt.Printf("bench gate passed: %d entries within +%.0f%% of %s\n",
+		len(art.Entries), 100*tolerance, basePath)
+	return nil
 }
 
 // runJSON measures the artifact benchmark suite and writes the JSON

@@ -22,6 +22,15 @@
 //	-checkpoint FILE       periodically snapshot the evaluation state
 //	-checkpoint-every N    events between snapshots (default 1000)
 //	-resume                restore state from -checkpoint and continue
+//	-trace FILE            write instance-lifecycle trace as JSONL
+//	-debug-addr ADDR       serve /metrics and /debug/pprof on ADDR
+//
+// With -trace FILE every instance-lifecycle event of the evaluation —
+// spawn, transition, expire, shed, match — is appended to FILE as one
+// JSON object per line (see engine.TraceRecord for the schema). With
+// -debug-addr the process serves the observability HTTP surface:
+// Prometheus metrics on /metrics, expvar on /debug/vars and the
+// standard profiling handlers under /debug/pprof/.
 //
 // Matches are printed one per line in the paper's substitution
 // notation, followed by the bound events when -verbose is given.
@@ -63,6 +72,8 @@ type options struct {
 	checkpoint      string
 	checkpointEvery int
 	resume          bool
+	traceFile       string
+	debugAddr       string
 	args            []string
 }
 
@@ -84,6 +95,8 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "snapshot the evaluation state to this file periodically")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1000, "events between checkpoint snapshots")
 	flag.BoolVar(&o.resume, "resume", false, "restore state from -checkpoint and skip the consumed input prefix")
+	flag.StringVar(&o.traceFile, "trace", "", "write the instance-lifecycle trace to this file as JSON lines")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	o.args = flag.Args()
 	if err := run(o); err != nil {
@@ -147,15 +160,50 @@ func run(o options) error {
 		}
 	}
 
+	opts := []ses.Option{ses.WithFilter(o.filter)}
+	var traceFile *os.File
+	var traceErr func() error
+	if o.traceFile != "" {
+		traceFile, err = os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		topt, terr, err := q.TraceJSON(traceFile)
+		if err != nil {
+			traceFile.Close()
+			return err
+		}
+		opts = append(opts, topt)
+		traceErr = terr
+	}
+	if o.debugAddr != "" {
+		reg := ses.NewMetricsRegistry()
+		opts = append(opts, ses.WithMetricsRegistry(reg))
+		srv, err := ses.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (/metrics, /debug/pprof)\n", srv.Addr)
+	}
+
 	var matches []ses.Match
 	var m ses.Metrics
 	switch {
 	case o.checkpoint != "":
-		matches, m, err = runCheckpointed(q, rel, o)
+		matches, m, err = runCheckpointed(q, rel, o, opts)
 	case o.partition != "":
-		matches, m, err = q.MatchPartitionedParallel(rel, o.partition, o.workers, ses.WithFilter(o.filter))
+		matches, m, err = q.MatchPartitionedParallel(rel, o.partition, o.workers, opts...)
 	default:
-		matches, m, err = q.Match(rel, ses.WithFilter(o.filter))
+		matches, m, err = q.Match(rel, opts...)
+	}
+	if traceFile != nil {
+		if werr := traceErr(); werr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", werr)
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return err
@@ -196,11 +244,10 @@ func run(o options) error {
 // o.resume, evaluation restores the checkpointed state first and skips
 // the input events it already consumed, so only matches that were
 // still pending at the checkpoint are emitted.
-func runCheckpointed(q *ses.Query, rel *ses.Relation, o options) ([]ses.Match, ses.Metrics, error) {
+func runCheckpointed(q *ses.Query, rel *ses.Relation, o options, opts []ses.Option) ([]ses.Match, ses.Metrics, error) {
 	if q.Variants() != 1 {
 		return nil, ses.Metrics{}, fmt.Errorf("-checkpoint does not support queries with optional variables")
 	}
-	opts := []ses.Option{ses.WithFilter(o.filter)}
 	var r *ses.Runner
 	if o.resume {
 		f, err := os.Open(o.checkpoint)

@@ -38,6 +38,38 @@ func TestRunQueryOverCSV(t *testing.T) {
 	}
 }
 
+func TestRunTraceAndDebugAddr(t *testing.T) {
+	path := writeFixture(t)
+	traceOut := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run(options{queryText: paperdata.QueryQ1Text, filter: true,
+		traceFile: traceOut, debugAddr: "127.0.0.1:0", args: []string{path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines, want several lifecycle events", len(lines))
+	}
+	var kinds []string
+	for _, ln := range lines {
+		for _, k := range []string{"spawn", "transition", "expire", "match"} {
+			if strings.Contains(ln, `"kind":"`+k+`"`) {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	joined := strings.Join(kinds, ",")
+	for _, k := range []string{"spawn", "transition", "match"} {
+		if !strings.Contains(joined, k) {
+			t.Errorf("trace lacks %q records:\n%s", k, string(b))
+		}
+	}
+}
+
 func TestRunQueryFromFile(t *testing.T) {
 	path := writeFixture(t)
 	qf := filepath.Join(t.TempDir(), "q.ses")

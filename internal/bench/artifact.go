@@ -9,6 +9,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/chemo"
 	"repro/internal/engine"
+	"repro/internal/paperdata"
 )
 
 // ArtifactEntry is one benchmark measurement of the machine-readable
@@ -69,6 +70,10 @@ func artifactCases(ds []Dataset) ([]artifactCase, error) {
 	if err != nil {
 		return nil, err
 	}
+	aq1, err := automaton.Compile(paperdata.QueryQ1(), d1.Rel.Schema())
+	if err != nil {
+		return nil, err
+	}
 
 	runOn := func(a *automaton.Automaton, d Dataset, opts ...engine.Option) func() (int64, int, error) {
 		r := engine.New(a, opts...)
@@ -80,6 +85,7 @@ func artifactCases(ds []Dataset) ([]artifactCase, error) {
 
 	cases := []artifactCase{
 		{"Exp1_SES_P1/4/" + d1.Name, runOn(a1, d1, engine.WithFilter(true))},
+		{"ThroughputQ1/" + d1.Name, runOn(aq1, d1, engine.WithFilter(true))},
 		{"Exp3_P5_Filter/" + d1.Name, runOn(a5, d1, engine.WithFilter(true))},
 		{"Exp3_P5_NoFilter/" + d1.Name, runOn(a5, d1)},
 	}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func art(entries ...ArtifactEntry) *Artifact { return &Artifact{Entries: entries} }
+
+func TestCompareTolerance(t *testing.T) {
+	base := art(ArtifactEntry{Name: "X", NsPerOp: 1000, AllocsPerOp: 100, Matches: 5, MaxOmega: 3})
+	cases := []struct {
+		name string
+		cur  ArtifactEntry
+		want string // fragment of the expected problem, "" for pass
+	}{
+		{"identical", ArtifactEntry{Name: "X", NsPerOp: 1000, AllocsPerOp: 100, Matches: 5, MaxOmega: 3}, ""},
+		{"within tolerance", ArtifactEntry{Name: "X", NsPerOp: 1200, AllocsPerOp: 120, Matches: 5, MaxOmega: 3}, ""},
+		{"faster is fine", ArtifactEntry{Name: "X", NsPerOp: 10, AllocsPerOp: 1, Matches: 5, MaxOmega: 3}, ""},
+		{"time regression", ArtifactEntry{Name: "X", NsPerOp: 1300, AllocsPerOp: 100, Matches: 5, MaxOmega: 3}, "ns/op"},
+		{"alloc regression", ArtifactEntry{Name: "X", NsPerOp: 1000, AllocsPerOp: 130, Matches: 5, MaxOmega: 3}, "allocs/op"},
+		{"match drift", ArtifactEntry{Name: "X", NsPerOp: 1000, AllocsPerOp: 100, Matches: 6, MaxOmega: 3}, "match count"},
+		{"omega drift", ArtifactEntry{Name: "X", NsPerOp: 1000, AllocsPerOp: 100, Matches: 5, MaxOmega: 4}, "maxOmega"},
+	}
+	for _, c := range cases {
+		got := Compare(base, art(c.cur), 0.25)
+		if c.want == "" {
+			if len(got) != 0 {
+				t.Errorf("%s: unexpected problems %v", c.name, got)
+			}
+			continue
+		}
+		if len(got) != 1 || !strings.Contains(got[0], c.want) {
+			t.Errorf("%s: problems %v, want one containing %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompareMissingAndExtraEntries(t *testing.T) {
+	base := art(ArtifactEntry{Name: "gone", NsPerOp: 1, Matches: 1})
+	cur := art(ArtifactEntry{Name: "new", NsPerOp: 1, Matches: 1})
+	got := Compare(base, cur, 0.25)
+	if len(got) != 1 || !strings.Contains(got[0], "gone") {
+		t.Errorf("problems %v, want exactly the missing-entry violation", got)
+	}
+}
+
+func TestLoadArtifactRoundTrip(t *testing.T) {
+	a := &Artifact{Profile: "small", Entries: []ArtifactEntry{{Name: "X", NsPerOp: 42, Matches: 7}}}
+	data, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].NsPerOp != 42 || got.Profile != "small" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if problems := Compare(a, got, 0); len(problems) != 0 {
+		t.Errorf("artifact does not compare clean against itself: %v", problems)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/automaton"
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // Strategy selects the event selection strategy.
@@ -41,17 +42,61 @@ func (s Strategy) String() string {
 	return "skip-till-next-match"
 }
 
-// TraceStep describes one fired transition, for execution tracing
-// (cf. the paper's Figure 6).
+// TraceKind classifies an instance-lifecycle event reported to the
+// WithTrace hook.
+type TraceKind uint8
+
+const (
+	// TraceTransition is a fired transition: an instance consumed the
+	// event and moved (cf. the paper's Figure 6).
+	TraceTransition TraceKind = iota
+	// TraceSpawn is the fresh start instance joining Ω for an input
+	// event (Algorithm 1, line 4).
+	TraceSpawn
+	// TraceExpire is an instance aged out by the τ window check.
+	TraceExpire
+	// TraceShed is an instance sacrificed by an overload policy: a
+	// suppressed start instance (ShedStartStates) or an evicted
+	// instance (DropOldest).
+	TraceShed
+	// TraceMatch is a completed matching substitution being emitted.
+	TraceMatch
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSpawn:
+		return "spawn"
+	case TraceExpire:
+		return "expire"
+	case TraceShed:
+		return "shed"
+	case TraceMatch:
+		return "match"
+	default:
+		return "transition"
+	}
+}
+
+// TraceStep describes one instance-lifecycle event, for execution
+// tracing (cf. the paper's Figure 6). Kind selects which fields are
+// meaningful: transitions carry the full transition data; spawns carry
+// the event; expiries and sheds carry the instance's state and buffer
+// (Event is nil for DropOldest evictions, which happen after the
+// event was consumed); matches carry Matched.
 type TraceStep struct {
+	Kind      TraceKind
 	Event     *event.Event
 	FromState int
 	ToState   int
 	Var       int
 	Loop      bool
-	// Buffer is the new instance's match buffer rendered as
+	// Buffer is the instance's match buffer rendered as
 	// "{v1/e0, v2/e3, ...}" in binding order.
 	Buffer string
+	// Matched is the emitted substitution for TraceMatch steps.
+	Matched *Match
 }
 
 // OverloadPolicy selects what happens when the number of simultaneous
@@ -113,6 +158,7 @@ type config struct {
 	workers         int
 	shardBuffer     int
 	watermarkEvery  int64
+	registry        *obs.Registry
 }
 
 // Option configures a Runner.
@@ -151,8 +197,22 @@ func WithCheckpointing(n int64, sink func([]byte) error) Option {
 	return func(c *config) { c.checkpointEvery, c.checkpointSink = n, sink }
 }
 
-// WithTrace installs a hook invoked for every fired transition.
+// WithTrace installs a hook invoked for every instance-lifecycle
+// event: fired transitions, start-instance spawns, window expiries,
+// overload sheds and match emissions (see TraceKind). With no hook
+// installed the fast path pays a single nil check per site; rendering
+// of buffer strings only happens when a hook is present. Evaluators
+// that fan out (ShardedRunner) invoke the hook from several
+// goroutines — it must be safe for concurrent use there.
 func WithTrace(f func(TraceStep)) Option { return func(c *config) { c.trace = f } }
+
+// WithMetricsRegistry attaches an obs.Registry into which streaming
+// executors export live operational gauges: ShardedRunner publishes
+// per-shard queue depth, watermark lag, merge-buffer occupancy,
+// instance counts and throughput counters (see the README's metrics
+// table). A plain Runner ignores the registry on its hot path; with a
+// nil registry (the default) no instrumentation runs at all.
+func WithMetricsRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
 
 // WithWorkers sets the number of goroutines used by evaluators that
 // fan out over independent units of work (partitioned batch matching
@@ -354,6 +414,13 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 			r.metrics.EventsRejected++
 			r.metrics.DegradedSteps++
 			r.metrics.Matches += int64(len(matches))
+			if r.cfg.trace != nil {
+				r.cfg.trace(TraceStep{Kind: TraceShed, Event: e,
+					FromState: r.a.Start, ToState: r.a.Start, Var: -1})
+				for i := range matches {
+					r.cfg.trace(TraceStep{Kind: TraceMatch, Event: e, Var: -1, Matched: &matches[i]})
+				}
+			}
 			return matches, nil
 		}
 		// The expiry pass freed room; fall through and admit the event
@@ -382,8 +449,16 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 	if shed {
 		r.metrics.InstancesShed++
 		r.metrics.DegradedSteps++
+		if r.cfg.trace != nil {
+			r.cfg.trace(TraceStep{Kind: TraceShed, Event: e,
+				FromState: r.a.Start, ToState: r.a.Start, Var: -1})
+		}
 	} else {
 		r.metrics.StartInstances++
+		if r.cfg.trace != nil {
+			r.cfg.trace(TraceStep{Kind: TraceSpawn, Event: e,
+				FromState: r.a.Start, ToState: r.a.Start, Var: -1})
+		}
 	}
 	omega := int64(len(r.insts))
 	if !shed {
@@ -402,6 +477,11 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 			// The instance expires: the time interval spanned by the
 			// earliest buffered event and the current event exceeds τ.
 			r.metrics.ExpiredInstances++
+			if r.cfg.trace != nil {
+				r.cfg.trace(TraceStep{Kind: TraceExpire, Event: e,
+					FromState: int(inst.state), ToState: int(inst.state), Var: -1,
+					Buffer: r.bufferString(inst.buf)})
+			}
 			if int(inst.state) == r.a.Accept {
 				matches = append(matches, r.buildMatch(inst))
 			}
@@ -437,6 +517,11 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 		}
 	}
 	r.metrics.Matches += int64(len(matches))
+	if r.cfg.trace != nil {
+		for i := range matches {
+			r.cfg.trace(TraceStep{Kind: TraceMatch, Event: e, Var: -1, Matched: &matches[i]})
+		}
+	}
 	return matches, nil
 }
 
@@ -452,6 +537,11 @@ func (r *Runner) expire(now event.Time) []Match {
 		inst := &r.insts[i]
 		if inst.buf != nil && event.Duration(now-inst.minT) > r.a.Within {
 			r.metrics.ExpiredInstances++
+			if r.cfg.trace != nil {
+				r.cfg.trace(TraceStep{Kind: TraceExpire,
+					FromState: int(inst.state), ToState: int(inst.state), Var: -1,
+					Buffer: r.bufferString(inst.buf)})
+			}
 			if int(inst.state) == r.a.Accept {
 				matches = append(matches, r.buildMatch(inst))
 			}
@@ -479,6 +569,12 @@ func (r *Runner) evictOldest(n int) {
 	doomed := make([]bool, len(r.insts))
 	for _, i := range idx[:n] {
 		doomed[i] = true
+		if r.cfg.trace != nil {
+			inst := &r.insts[i]
+			r.cfg.trace(TraceStep{Kind: TraceShed,
+				FromState: int(inst.state), ToState: int(inst.state), Var: -1,
+				Buffer: r.bufferString(inst.buf)})
+		}
 	}
 	kept := r.insts[:0]
 	for i := range r.insts {
@@ -526,6 +622,7 @@ func (r *Runner) consume(inst *instance, e *event.Event, out []instance) []insta
 		}
 		if r.cfg.trace != nil {
 			r.cfg.trace(TraceStep{
+				Kind:      TraceTransition,
 				Event:     e,
 				FromState: int(inst.state),
 				ToState:   t.Target,
@@ -626,6 +723,11 @@ func (r *Runner) Flush() []Match {
 	}
 	r.metrics.Matches += int64(len(matches))
 	r.insts = r.insts[:0]
+	if r.cfg.trace != nil {
+		for i := range matches {
+			r.cfg.trace(TraceStep{Kind: TraceMatch, Var: -1, Matched: &matches[i]})
+		}
+	}
 	return matches
 }
 

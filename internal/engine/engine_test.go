@@ -123,6 +123,9 @@ func TestFigure6Trace(t *testing.T) {
 	var steps []string
 	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
 	r := New(a, WithTrace(func(s TraceStep) {
+		if s.Kind != TraceTransition {
+			return // lifecycle events (spawn/expire/match) are not part of Figure 6
+		}
 		if strings.HasPrefix(s.Buffer, "{c/e0") || s.Buffer == "{c/e0}" {
 			steps = append(steps, fmt.Sprintf("e%d: %s->%s %s",
 				s.Event.Seq, a.StateLabel(s.FromState), a.StateLabel(s.ToState), s.Buffer))

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// FuzzReorderer feeds arbitrary timestamp streams (including the
+// reserved sentinels and values adjacent to the domain bounds) through
+// a Reorderer with fuzzed slack and dedup window. Invariants checked:
+// releases are globally time-ordered, no sentinel-timestamped event is
+// ever released, and every pushed event is accounted for exactly once
+// (released, late, or deduplicated).
+func FuzzReorderer(f *testing.F) {
+	mk := func(times ...uint64) []byte {
+		b := make([]byte, 8*len(times))
+		for i, tm := range times {
+			binary.LittleEndian.PutUint64(b[8*i:], tm)
+		}
+		return b
+	}
+	minT, maxT := event.MinTime, event.MaxTime // avoid constant-overflow on conversion
+	f.Add(uint64(5), uint64(0), mk(3, 1, 2, 10, 7, 7))
+	f.Add(uint64(0), uint64(0), mk(1, 2, 3))
+	f.Add(uint64(100), uint64(50), mk(uint64(maxT), uint64(minT), 5))
+	f.Add(uint64(100), uint64(10), mk(uint64(minT+1), uint64(minT+2)))
+	f.Add(uint64(1000), uint64(0), mk(uint64(maxT-1), uint64(maxT-2)))
+	f.Fuzz(func(t *testing.T, slack, window uint64, data []byte) {
+		ro := NewReorderer(event.Duration(slack % 1_000_000))
+		ro.DedupWindow = event.Duration(window % 1_000_000)
+		late := 0
+		ro.Late = func(e event.Event) { late++ }
+		var out []event.Event
+		pushed := 0
+		for i := 0; i+8 <= len(data); i += 8 {
+			tm := event.Time(binary.LittleEndian.Uint64(data[i:]))
+			out = append(out, ro.Push(event.Event{Time: tm, Seq: pushed})...)
+			pushed++
+		}
+		out = append(out, ro.Drain()...)
+		for i := 1; i < len(out); i++ {
+			if out[i].Time < out[i-1].Time {
+				t.Fatalf("release %d at time %d precedes release %d at time %d",
+					i-1, out[i-1].Time, i, out[i].Time)
+			}
+		}
+		for _, e := range out {
+			if event.SentinelTime(e.Time) {
+				t.Fatalf("sentinel timestamp %d released", e.Time)
+			}
+		}
+		if p := ro.Pending(); p != 0 {
+			t.Fatalf("%d events still pending after Drain", p)
+		}
+		if got := len(out) + late + int(ro.DuplicatesDropped); got != pushed {
+			t.Fatalf("accounting: released %d + late %d + dedup %d = %d, pushed %d",
+				len(out), late, ro.DuplicatesDropped, got, pushed)
+		}
+	})
+}

@@ -211,20 +211,30 @@ func FilterMaximal(matches []Match) []Match {
 	return out
 }
 
+// bindingKey identifies one bound event within a match: the variable
+// it is bound to and the event's sequence number. A comparable struct
+// rather than a formatted "var/seq" string: set operations over it
+// allocate no per-event strings, and no separator convention can be
+// confused by variable names containing '/'.
+type bindingKey struct {
+	Var string
+	Seq int
+}
+
 // dropSubsets marks matches (among idxs, which share a start time)
 // whose binding set is a proper subset of another's. It reports
 // whether anything was marked.
 func dropSubsets(matches []Match, idxs []int, drop []bool) bool {
-	keysOf := func(m Match) map[string]bool {
-		ks := make(map[string]bool, m.EventCount())
+	keysOf := func(m Match) map[bindingKey]bool {
+		ks := make(map[bindingKey]bool, m.EventCount())
 		for _, b := range m.Bindings {
 			for _, e := range b.Events {
-				ks[fmt.Sprintf("%s/%d", b.Var, e.Seq)] = true
+				ks[bindingKey{Var: b.Var, Seq: e.Seq}] = true
 			}
 		}
 		return ks
 	}
-	subset := func(a, b map[string]bool) bool {
+	subset := func(a, b map[bindingKey]bool) bool {
 		if len(a) >= len(b) {
 			return false
 		}
@@ -235,7 +245,7 @@ func dropSubsets(matches []Match, idxs []int, drop []bool) bool {
 		}
 		return true
 	}
-	keys := make([]map[string]bool, len(idxs))
+	keys := make([]map[bindingKey]bool, len(idxs))
 	for i, idx := range idxs {
 		keys[i] = keysOf(matches[idx])
 	}

@@ -299,3 +299,32 @@ func TestMetricsAdd(t *testing.T) {
 		t.Errorf("Add = %+v", a)
 	}
 }
+
+// BenchmarkFilterMaximal measures the subset-elimination pass on a
+// worst-case input: runs of matches sharing a start time where each
+// match's binding set is a prefix of the next one's, so every pair is
+// actually compared and the subset relation holds for half of them.
+func BenchmarkFilterMaximal(b *testing.B) {
+	vars := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	evs := make([]*event.Event, 64)
+	for i := range evs {
+		evs[i] = &event.Event{Time: event.Time(i), Seq: i}
+	}
+	var matches []Match
+	for g := 0; g < 64; g++ {
+		for k := 1; k <= len(vars); k++ {
+			binds := make([]Binding, k)
+			for v := 0; v < k; v++ {
+				binds[v] = Binding{Var: vars[v], Events: []*event.Event{evs[(g+v)%len(evs)]}}
+			}
+			matches = append(matches, Match{Bindings: binds, First: event.Time(g), Last: event.Time(g + k)})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := FilterMaximal(matches); len(got) != 64 {
+			b.Fatalf("survivors = %d, want one maximal match per group", len(got))
+		}
+	}
+}

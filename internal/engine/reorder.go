@@ -50,9 +50,12 @@ func NewReorderer(slack event.Duration) *Reorderer {
 
 // Push accepts the next arriving event and returns the events that
 // have become releasable, in timestamp order (ties in arrival order).
-// A nil return means the event was buffered (or dropped as too late).
+// A nil return means the event was buffered (or rejected: too late, or
+// carrying one of the reserved sentinel timestamps event.MinTime /
+// event.MaxTime, which would corrupt the watermark arithmetic —
+// rejected events go to the Late callback).
 func (r *Reorderer) Push(e event.Event) []event.Event {
-	if r.seen && e.Time < r.maxSeen-event.Time(r.Slack) {
+	if event.SentinelTime(e.Time) || (r.seen && e.Time < satSub(r.maxSeen, r.Slack)) {
 		if r.Late != nil {
 			r.Late(e)
 		}
@@ -66,7 +69,21 @@ func (r *Reorderer) Push(e event.Event) []event.Event {
 	if !r.seen || e.Time > r.maxSeen {
 		r.maxSeen, r.seen = e.Time, true
 	}
-	return r.release(r.maxSeen - event.Time(r.Slack))
+	return r.release(satSub(r.maxSeen, r.Slack))
+}
+
+// satSub returns t - d saturating at the domain bounds: near
+// event.MinTime the subtraction would otherwise wrap around to a huge
+// positive watermark and misclassify every subsequent event as late.
+func satSub(t event.Time, d event.Duration) event.Time {
+	res := t - event.Time(d)
+	if d >= 0 && res > t {
+		return event.MinTime
+	}
+	if d < 0 && res < t {
+		return event.MaxTime
+	}
+	return res
 }
 
 // duplicate records e's (time, payload) identity and reports whether
@@ -91,7 +108,7 @@ func (r *Reorderer) duplicate(e event.Event) bool {
 	// duplicate. Pruning once per window advance keeps the map bounded
 	// by roughly two windows' worth of distinct events at amortized
 	// constant cost.
-	if floor := e.Time - event.Time(r.DedupWindow); floor > r.lastPrune+event.Time(r.DedupWindow) {
+	if floor := satSub(e.Time, r.DedupWindow); floor > r.lastPrune+event.Time(r.DedupWindow) {
 		for k, t := range r.recent {
 			if t < floor {
 				delete(r.recent, k)

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestShardedRejectsSentinelTimestamps is the regression test for the
+// flushTime aliasing bug: an input event at event.MaxTime used to be
+// indistinguishable from the end-of-input flush sentinel inside the
+// watermark merge (and event.MinTime from the no-progress sentinel),
+// silently corrupting the release order. Dispatch now refuses both.
+func TestShardedRejectsSentinelTimestamps(t *testing.T) {
+	a, _ := compileSharded(t)
+	for _, ts := range []event.Time{event.MaxTime, event.MinTime} {
+		s, err := NewSharded(a, "ID", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan event.Event)
+		out, err := s.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			if ts != event.MinTime {
+				// A normal event first: the rejection must also fire
+				// mid-stream, not only on the first event.
+				in <- event.Event{Time: 1, Attrs: []event.Value{event.Int(1), event.String("A")}}
+			}
+			in <- event.Event{Time: ts, Attrs: []event.Value{event.Int(1), event.String("B")}}
+			close(in)
+		}()
+		for range out {
+		}
+		err = s.Err()
+		if err == nil || !strings.Contains(err.Error(), "reserved") {
+			t.Errorf("time=%d: Err() = %v, want sentinel rejection", ts, err)
+		}
+	}
+}
+
+// TestShardedMaxTimeDoesNotCorruptOrdering verifies the failure mode
+// end to end: with the sentinel rejected, a run whose input contains a
+// MaxTime event terminates with an error instead of emitting a
+// watermark-corrupted (nondeterministic) match stream.
+func TestShardedMaxTimeDoesNotCorruptOrdering(t *testing.T) {
+	a, rel := compileSharded(t)
+	s, err := NewSharded(a, "ID", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan event.Event)
+	out, err := s.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(in)
+		for i := 0; i < rel.Len(); i++ {
+			in <- *rel.Event(i)
+		}
+		in <- event.Event{Time: event.MaxTime, Attrs: []event.Value{event.Int(0), event.String("B")}}
+	}()
+	var got []Match
+	for m := range out {
+		got = append(got, m)
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("MaxTime event accepted; flush sentinel aliasing is back")
+	}
+	// Matches released before the poisoned event must still be a prefix
+	// of the deterministic order (the error does not retro-corrupt).
+	want, _, err := RunSharded(a, rel, "ID", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > len(want) {
+		t.Fatalf("got %d matches, reference run has only %d", len(got), len(want))
+	}
+	for i, m := range got {
+		if m.String() != want[i].String() {
+			t.Errorf("match %d = %s, want %s", i, m, want[i])
+		}
+	}
+}
+
+// TestReordererRejectsSentinels: the reorderer routes events carrying
+// reserved sentinel timestamps to Late instead of letting them poison
+// maxSeen (a MaxTime event would instantly classify every real event
+// as too late).
+func TestReordererRejectsSentinels(t *testing.T) {
+	ro := NewReorderer(10)
+	var late []event.Time
+	ro.Late = func(e event.Event) { late = append(late, e.Time) }
+	if out := ro.Push(event.Event{Time: event.MaxTime}); out != nil {
+		t.Fatalf("MaxTime released %d events", len(out))
+	}
+	if out := ro.Push(event.Event{Time: event.MinTime}); out != nil {
+		t.Fatalf("MinTime released %d events", len(out))
+	}
+	// A normal event afterwards must still be accepted, not late.
+	ro.Push(event.Event{Time: 100, Seq: 0})
+	got := ro.Drain()
+	if len(got) != 1 || got[0].Time != 100 {
+		t.Fatalf("normal event after sentinels: drained %v", got)
+	}
+	if len(late) != 2 || late[0] != event.MaxTime || late[1] != event.MinTime {
+		t.Fatalf("late callback saw %v, want both sentinels", late)
+	}
+}
+
+// TestReordererSlackUnderflow: with events near the bottom of the time
+// domain, maxSeen - Slack used to wrap around to a huge positive
+// watermark, releasing everything immediately and marking every
+// subsequent event late. The subtraction now saturates.
+func TestReordererSlackUnderflow(t *testing.T) {
+	ro := NewReorderer(100)
+	var late int
+	ro.Late = func(event.Event) { late++ }
+	lo := event.MinTime + 1 // smallest non-sentinel time
+	if out := ro.Push(event.Event{Time: lo, Seq: 0}); len(out) != 0 {
+		t.Fatalf("event at MinTime+1 released immediately: %v", out)
+	}
+	if out := ro.Push(event.Event{Time: lo + 1, Seq: 1}); len(out) != 0 {
+		t.Fatalf("event at MinTime+2 released immediately: %v", out)
+	}
+	if late != 0 {
+		t.Fatalf("%d events misclassified as late near MinTime", late)
+	}
+	got := ro.Drain()
+	if len(got) != 2 || got[0].Time != lo || got[1].Time != lo+1 {
+		t.Fatalf("drained %v, want the two pushed events in order", got)
+	}
+}
+
+// TestReordererDedupNearMinTime exercises the dedup window's prune
+// arithmetic at the bottom of the time domain.
+func TestReordererDedupNearMinTime(t *testing.T) {
+	ro := NewReorderer(0)
+	ro.DedupWindow = 50
+	lo := event.MinTime + 1
+	ro.Push(event.Event{Time: lo, Attrs: []event.Value{event.Int(7)}, Seq: 0})
+	ro.Push(event.Event{Time: lo, Attrs: []event.Value{event.Int(7)}, Seq: 1})
+	if ro.DuplicatesDropped != 1 {
+		t.Fatalf("DuplicatesDropped = %d, want 1", ro.DuplicatesDropped)
+	}
+}

@@ -4,13 +4,14 @@ import (
 	"context"
 	"fmt"
 	"hash/maphash"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // ShardedRunner evaluates a SES automaton over a keyed event stream in
@@ -62,6 +63,77 @@ type ShardedRunner struct {
 	metrics   Metrics
 
 	started bool
+
+	// o holds the live observability instruments; nil without
+	// WithMetricsRegistry, in which case no instrumentation runs.
+	o *shardedObs
+}
+
+// shardedObs bundles the live gauges a running sharded executor
+// exports into an obs.Registry: per-shard queue depth and instance
+// counts, dispatch/merge watermarks and their lag, merge-buffer
+// occupancy, and throughput counters. Hot-path updates are single
+// atomic operations; channel occupancy and watermark lag are sampled
+// at scrape time via gauge funcs and cost nothing between scrapes.
+type shardedObs struct {
+	dispatched     *obs.Counter
+	matchesOut     *obs.Counter
+	mergePending   *obs.Gauge
+	maxInstances   *obs.Gauge
+	releaseBatch   *obs.Histogram
+	shardInstances []*obs.Gauge
+	inputWM        atomic.Int64
+	outputWM       atomic.Int64
+}
+
+// instrument registers the executor's metrics and binds the sampling
+// funcs to this run's channels. Re-running against the same registry
+// rebinds the samplers to the newest executor.
+func (s *ShardedRunner) instrument(reg *obs.Registry, inputs []chan shardInput) {
+	o := &shardedObs{
+		dispatched:   reg.Counter("ses_sharded_events_dispatched_total", "Events routed to shard workers."),
+		matchesOut:   reg.Counter("ses_sharded_matches_total", "Matches released by the deterministic merge."),
+		mergePending: reg.Gauge("ses_sharded_merge_pending", "Matches buffered in the merge awaiting their watermark."),
+		maxInstances: reg.Gauge("ses_max_simultaneous_instances", "Peak simultaneous automaton instances (|Omega|) over all per-key runners."),
+		releaseBatch: reg.Histogram("ses_sharded_release_batch_size", "Matches released per merge batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	}
+	o.inputWM.Store(int64(noTime))
+	o.outputWM.Store(int64(noTime))
+	reg.GaugeFunc("ses_sharded_shards", "Number of shard workers.",
+		func() int64 { return int64(s.shards) })
+	reg.GaugeFunc("ses_sharded_input_watermark", "Timestamp of the newest dispatched event.",
+		func() int64 { return sampleWM(&o.inputWM) })
+	reg.GaugeFunc("ses_sharded_output_watermark", "Timestamp up to which the merge has released matches.",
+		func() int64 { return sampleWM(&o.outputWM) })
+	reg.GaugeFunc("ses_sharded_watermark_lag", "Input minus output watermark: the time span the merge is holding back.",
+		func() int64 {
+			in, out := o.inputWM.Load(), o.outputWM.Load()
+			if in == int64(noTime) || out == int64(noTime) || out == int64(flushTime) {
+				return 0
+			}
+			return in - out
+		})
+	o.shardInstances = make([]*obs.Gauge, s.shards)
+	for i := range inputs {
+		i := i
+		reg.GaugeFunc(fmt.Sprintf("ses_shard_queue_depth{shard=%q}", fmt.Sprint(i)),
+			"Events queued on the shard's input channel.",
+			func() int64 { return int64(len(inputs[i])) })
+		o.shardInstances[i] = reg.Gauge(fmt.Sprintf("ses_shard_active_instances{shard=%q}", fmt.Sprint(i)),
+			"Live automaton instances on the shard, summed over its keys (updated per watermark).")
+	}
+	s.o = o
+}
+
+// sampleWM renders a watermark atomic for a gauge: 0 until a real
+// value is seen (noTime and flushTime are internal sentinels).
+func sampleWM(a *atomic.Int64) int64 {
+	v := a.Load()
+	if v == int64(noTime) || v == int64(flushTime) {
+		return 0
+	}
+	return v
 }
 
 // shardInput is one element of a shard worker's input channel: either
@@ -82,8 +154,11 @@ type taggedMatch struct {
 }
 
 // flushTime tags matches emitted by the end-of-input flush: they order
-// after every event-time emission.
-const flushTime = event.Time(math.MaxInt64)
+// after every event-time emission. It equals event.MaxTime, which is
+// why that timestamp is reserved — an input event carrying it would
+// alias the flush sentinel and corrupt the watermark merge; dispatch
+// rejects such events (and the MinTime = noTime sentinel) up front.
+const flushTime = event.MaxTime
 
 // shardMsg is what a shard worker reports to the merger: the matches
 // emitted since the previous message and the watermark up to which
@@ -180,6 +255,9 @@ func (s *ShardedRunner) Run(ctx context.Context, in <-chan event.Event) (<-chan 
 	for i := range inputs {
 		inputs[i] = make(chan shardInput, s.cfg.shardBuffer)
 	}
+	if s.cfg.registry != nil {
+		s.instrument(s.cfg.registry, inputs)
+	}
 	merged := make(chan shardMsg, s.shards)
 	out := make(chan Match)
 
@@ -238,6 +316,10 @@ func (s *ShardedRunner) dispatch(ctx context.Context, in <-chan event.Event, inp
 			if !ok {
 				return
 			}
+			if event.SentinelTime(e.Time) {
+				s.setErr(fmt.Errorf("engine: event timestamp %d is reserved as an internal watermark sentinel and cannot appear on a stream", e.Time))
+				return
+			}
 			if !first && e.Time < last {
 				s.setErr(fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last))
 				return
@@ -268,6 +350,10 @@ func (s *ShardedRunner) dispatch(ctx context.Context, in <-chan event.Event, inp
 			if !send(ki.shard, shardInput{ev: ev, keyIdx: ki.idx}) {
 				return
 			}
+			if s.o != nil {
+				s.o.dispatched.Inc()
+				s.o.inputWM.Store(int64(e.Time))
+			}
 		}
 	}
 }
@@ -292,6 +378,23 @@ func (s *ShardedRunner) shardWorker(ctx context.Context, shard int, in <-chan sh
 		s.setErr(err)
 		report(shardMsg{err: err})
 	}
+	// observe refreshes the shard's live instance gauges; called per
+	// watermark (not per event), so its O(keys) sweep stays off the
+	// per-event path.
+	observe := func() {
+		if s.o == nil {
+			return
+		}
+		var active, peak int64
+		for _, r := range runners {
+			active += int64(r.ActiveInstances())
+			if m := r.Metrics().MaxSimultaneousInstances; m > peak {
+				peak = m
+			}
+		}
+		s.o.shardInstances[shard].Set(active)
+		s.o.maxInstances.SetMax(peak)
+	}
 	var processed event.Time = noTime
 	for item := range in {
 		if item.ev == nil {
@@ -300,6 +403,7 @@ func (s *ShardedRunner) shardWorker(ctx context.Context, shard int, in <-chan sh
 			if item.watermark > processed {
 				processed = item.watermark
 			}
+			observe()
 			if !report(shardMsg{matches: pending, watermark: processed}) {
 				return
 			}
@@ -342,6 +446,7 @@ func (s *ShardedRunner) shardWorker(ctx context.Context, shard int, in <-chan sh
 	for _, r := range runners {
 		agg.Merge(r.Metrics())
 	}
+	observe()
 	report(shardMsg{matches: pending, watermark: flushTime, done: true, metrics: agg})
 }
 
@@ -365,6 +470,10 @@ func (s *ShardedRunner) merge(ctx context.Context, cancel context.CancelFunc, me
 				minWM = wm
 			}
 		}
+		if s.o != nil {
+			s.o.outputWM.Store(int64(minWM))
+			s.o.mergePending.Set(int64(len(pending)))
+		}
 		// Partition pending into releasable (emitAt <= minWM) and the
 		// rest, then emit the releasable ones in merge order. Flush
 		// matches (emitAt == flushTime) release only when minWM has
@@ -381,6 +490,11 @@ func (s *ShardedRunner) merge(ctx context.Context, cancel context.CancelFunc, me
 			return true
 		}
 		pending = rest
+		if s.o != nil {
+			s.o.mergePending.Set(int64(len(pending)))
+			s.o.matchesOut.Add(int64(len(ready)))
+			s.o.releaseBatch.Observe(float64(len(ready)))
+		}
 		sort.Slice(ready, func(i, j int) bool {
 			a, b := ready[i], ready[j]
 			if a.emitAt != b.emitAt {

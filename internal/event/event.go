@@ -2,6 +2,7 @@ package event
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -9,8 +10,26 @@ import (
 
 // Time is an instant in the discrete, ordered time domain T. The unit
 // is application-defined ticks; the canonical unit used throughout the
-// repository is one second. Timestamps need not be positive.
+// repository is one second. Timestamps need not be positive, but the
+// two extreme int64 values are reserved as sentinels (see MinTime and
+// MaxTime) and must not appear as event timestamps.
 type Time int64
+
+// MinTime and MaxTime are the extreme values of the time domain,
+// reserved as internal sentinels: MaxTime marks end-of-stream flushes
+// in the sharded executor and MinTime marks "no time seen yet".
+// Streaming evaluators reject events carrying either timestamp — an
+// event at MaxTime would alias the flush sentinel and silently corrupt
+// watermark ordering, and both values break window arithmetic by
+// overflowing Time ± Duration.
+const (
+	MinTime = Time(math.MinInt64)
+	MaxTime = Time(math.MaxInt64)
+)
+
+// SentinelTime reports whether t is one of the reserved sentinel
+// timestamps that cannot appear on a stream event.
+func SentinelTime(t Time) bool { return t == MinTime || t == MaxTime }
 
 // Duration is a span of time in the same ticks as Time.
 type Duration int64

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing sensible to do.
+			return
+		}
+	})
+}
+
+// RegisterRuntimeMetrics adds process-level gauges to the registry,
+// sampled at scrape time: goroutine count, heap occupancy, cumulative
+// allocation, GC cycles and pauses. Scrape-time sampling replaces a
+// background snapshot goroutine: the snapshot is exactly as fresh as
+// the scrape, with zero cost between scrapes.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("ses_go_goroutines", "Number of live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	sample := func(pick func(*runtime.MemStats) int64) func() int64 {
+		return func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	r.GaugeFunc("ses_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		sample(func(ms *runtime.MemStats) int64 { return int64(ms.HeapAlloc) }))
+	r.GaugeFunc("ses_go_total_alloc_bytes", "Cumulative bytes allocated for heap objects.",
+		sample(func(ms *runtime.MemStats) int64 { return int64(ms.TotalAlloc) }))
+	r.GaugeFunc("ses_go_gc_cycles_total", "Completed GC cycles.",
+		sample(func(ms *runtime.MemStats) int64 { return int64(ms.NumGC) }))
+	r.GaugeFunc("ses_go_gc_pause_ns_total", "Cumulative GC stop-the-world pause time.",
+		sample(func(ms *runtime.MemStats) int64 { return int64(ms.PauseTotalNs) }))
+	start := time.Now()
+	r.GaugeFunc("ses_process_uptime_seconds", "Seconds since the debug server started.",
+		func() int64 { return int64(time.Since(start).Seconds()) })
+}
+
+// DebugServer is a running observability HTTP server.
+type DebugServer struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts an HTTP server on addr exposing the observability
+// surface:
+//
+//	/metrics           Prometheus text exposition of the registry
+//	/debug/vars        expvar JSON (includes the registry under "ses")
+//	/debug/pprof/...   the standard net/http/pprof profiling handlers
+//
+// Runtime gauges (goroutines, heap, GC) are registered on the
+// registry, and the registry is published as the expvar variable
+// "ses". The server runs until Close is called; serving errors after
+// Close are discarded. addr may use port 0 to pick a free port — the
+// resolved address is in DebugServer.Addr.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	RegisterRuntimeMetrics(reg)
+	PublishExpvar("ses", reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	d := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}

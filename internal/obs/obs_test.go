@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ses_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("ses_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ses_x_total", "")
+	b := r.Counter("ses_x_total", "")
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	n := 0
+	r.GaugeFunc("ses_fn", "", func() int64 { n++; return 1 })
+	r.GaugeFunc("ses_fn", "", func() int64 { return 42 })
+	if v, ok := r.Value("ses_fn"); !ok || v != 42 {
+		t.Fatalf("gauge func not rebound: %d %v", v, ok)
+	}
+	if n != 0 {
+		t.Fatalf("stale sampler invoked %d times", n)
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ses_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind collision")
+		}
+	}()
+	r.Gauge("ses_x", "")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ses_events_total", "Input events.").Add(12)
+	r.Gauge(`ses_shard_queue_depth{shard="0"}`, "Queued events per shard.").Set(3)
+	r.Gauge(`ses_shard_queue_depth{shard="1"}`, "Queued events per shard.").Set(5)
+	h := r.Histogram("ses_batch_size", "Release batch sizes.", []float64{1, 10, 100})
+	h.Observe(1)
+	h.Observe(7)
+	h.Observe(2000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ses_events_total Input events.",
+		"# TYPE ses_events_total counter",
+		"ses_events_total 12",
+		"# TYPE ses_shard_queue_depth gauge",
+		`ses_shard_queue_depth{shard="0"} 3`,
+		`ses_shard_queue_depth{shard="1"} 5`,
+		"# TYPE ses_batch_size histogram",
+		`ses_batch_size_bucket{le="1"} 1`,
+		`ses_batch_size_bucket{le="10"} 2`,
+		`ses_batch_size_bucket{le="100"} 2`,
+		`ses_batch_size_bucket{le="+Inf"} 3`,
+		"ses_batch_size_sum 2008",
+		"ses_batch_size_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The two shard series share exactly one TYPE header.
+	if strings.Count(out, "# TYPE ses_shard_queue_depth") != 1 {
+		t.Errorf("labelled series not grouped under one header:\n%s", out)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ses_n_total", "")
+	g := r.Gauge("ses_g", "")
+	h := r.Histogram("ses_h", "", []float64{10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.SetMax(int64(j))
+				h.Observe(float64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 999 {
+		t.Fatalf("gauge max = %d, want 999", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ses_events_total", "Input events.").Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{"ses_events_total 3", "ses_go_goroutines", "ses_go_heap_alloc_bytes"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "ses_events_total") {
+		t.Errorf("/debug/vars missing registry export")
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index incomplete")
+	}
+}

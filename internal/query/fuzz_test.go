@@ -1,0 +1,50 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary inputs. The
+// contract under fuzzing: Parse never panics, every error is a
+// *SyntaxError carrying a valid 1-based position, and every accepted
+// pattern passes its own validation with a positive window.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"PATTERN PERMUTE(c, p+, d) THEN (b) WHERE c.L = 'C' AND d.L = 'D' WITHIN 264h",
+		"PATTERN (a) WITHIN 1",
+		"PATTERN (a, b?) THEN SET (c*) WHERE a.ID = b.ID AND c.V < -2.5 WITHIN 10 m",
+		"PATTERN (a) WHERE a.L = 'it''s' WITHIN 1 w",
+		"PATTERN (a) -- comment\nWITHIN 10",
+		"PATTERN (a) WITHIN -5h",
+		"PATTERN (a) WITHIN 1.5",
+		"PATTERN (a) WITHIN 99999999999999999999",
+		"PATTERN (a) WHERE a.L ! 'x' WITHIN 1",
+		"PATTERN (a) WHERE a.L = \"dq\"\"x\" WITHIN 1",
+		"PATTERN (where) WITHIN 1",
+		"PATTERN (aé) WITHIN 1",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse(%q) returned a non-SyntaxError: %T %v", src, err, err)
+			}
+			if se.Line < 1 || se.Col < 1 {
+				t.Fatalf("Parse(%q) error at invalid position %d:%d", src, se.Line, se.Col)
+			}
+			return
+		}
+		if p.Window <= 0 {
+			t.Fatalf("Parse(%q) accepted a non-positive window %d", src, p.Window)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid pattern: %v", src, err)
+		}
+	})
+}

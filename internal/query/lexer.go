@@ -38,6 +38,7 @@ const (
 	tokPlus
 	tokQuestion
 	tokStar
+	tokMinus
 	tokOp // = != <> < <= > >=
 )
 
@@ -65,6 +66,8 @@ func (k tokenKind) String() string {
 		return "'?'"
 	case tokStar:
 		return "'*'"
+	case tokMinus:
+		return "'-'"
 	case tokOp:
 		return "comparison operator"
 	default:
@@ -185,6 +188,12 @@ func (l *lexer) next() (token, error) {
 	case r == '*':
 		l.advance(r, size)
 		return mk(tokStar, "*"), nil
+	case r == '-':
+		// A single '-' (doubled ones were consumed as comments above):
+		// sign of a numeric literal or a misplaced negative duration,
+		// classified by the parser with a proper diagnostic.
+		l.advance(r, size)
+		return mk(tokMinus, "-"), nil
 	case r == '=':
 		l.advance(r, size)
 		return mk(tokOp, "="), nil

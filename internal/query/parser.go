@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -242,6 +243,22 @@ func (p *parser) parseOperand() (operand, error) {
 			return operand{}, err
 		}
 		return operand{val: v, tok: t}, nil
+	case tokMinus:
+		p.next()
+		numTok, err := p.expect(tokNumber)
+		if err != nil {
+			return operand{}, p.errf(t, "expected a number after '-', got %s", p.cur().describe())
+		}
+		v, err := parseNumber(numTok)
+		if err != nil {
+			return operand{}, err
+		}
+		if v.Kind() == event.KindFloat {
+			v = event.Float(-v.Float64())
+		} else {
+			v = event.Int(-v.Int64())
+		}
+		return operand{val: v, tok: t}, nil
 	default:
 		return operand{}, p.errf(t, "expected a condition operand (v.A, string or number), got %s", t.describe())
 	}
@@ -280,19 +297,33 @@ func parseOp(t token) (pattern.Op, error) {
 	return 0, &SyntaxError{Line: t.line, Col: t.col, Msg: "unknown operator " + t.text}
 }
 
-// parseDuration := NUMBER [unit] with unit in s, m, h, d, w
-// (seconds when omitted). The number must be a positive integer.
+// parseDuration := ['-'] NUMBER [unit] with unit in s, m, h, d, w
+// (seconds when omitted). The number must be a positive integer; a
+// leading '-' or a fractional value is diagnosed as such, positioned
+// at the start of the duration expression.
 func (p *parser) parseDuration() (event.Duration, error) {
+	start := p.cur()
+	neg := start.kind == tokMinus
+	if neg {
+		p.next()
+	}
 	numTok, err := p.expect(tokNumber)
 	if err != nil {
 		return 0, err
 	}
-	if strings.Contains(numTok.text, ".") {
-		return 0, p.errf(numTok, "duration must be an integer, got %q", numTok.text)
+	if neg || strings.Contains(numTok.text, ".") {
+		text := numTok.text
+		if neg {
+			text = "-" + text
+		}
+		return 0, p.errf(start, "duration must be a positive integer, got %q", text)
 	}
 	n, err2 := strconv.ParseInt(numTok.text, 10, 64)
-	if err2 != nil || n <= 0 {
-		return 0, p.errf(numTok, "invalid duration %q", numTok.text)
+	if err2 != nil {
+		return 0, p.errf(numTok, "invalid duration %q (does not fit a 64-bit integer)", numTok.text)
+	}
+	if n <= 0 {
+		return 0, p.errf(numTok, "duration must be a positive integer, got %q", numTok.text)
 	}
 	unit := event.Second
 	if p.cur().kind == tokIdent {
@@ -311,6 +342,9 @@ func (p *parser) parseDuration() (event.Duration, error) {
 		default:
 			return 0, p.errf(u, "unknown duration unit %q (use s, m, h, d or w)", u.text)
 		}
+	}
+	if event.Duration(n) > event.Duration(math.MaxInt64)/unit {
+		return 0, p.errf(numTok, "duration %s overflows the time domain", numTok.text)
 	}
 	return event.Duration(n) * unit, nil
 }

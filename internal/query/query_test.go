@@ -124,6 +124,33 @@ func TestParseComments(t *testing.T) {
 	}
 }
 
+func TestParseNegativeConstants(t *testing.T) {
+	p := MustParse("PATTERN (a) WHERE a.V = -3 AND a.W < -2.5 AND -1 < a.U WITHIN 1")
+	if got := p.Conds[0].Const.Int64(); got != -3 {
+		t.Errorf("a.V const = %d, want -3", got)
+	}
+	if got := p.Conds[1].Const.Float64(); got != -2.5 {
+		t.Errorf("a.W const = %g, want -2.5", got)
+	}
+	if got := p.Conds[2].Const.Int64(); got != -1 {
+		t.Errorf("a.U const = %d, want -1", got)
+	}
+}
+
+func TestNegativeDurationPosition(t *testing.T) {
+	_, err := Parse("PATTERN (a)\nWITHIN -3h")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T (%v)", err, err)
+	}
+	if se.Line != 2 || se.Col != 8 {
+		t.Errorf("position = %d:%d, want 2:8 (%s)", se.Line, se.Col, se)
+	}
+	if !strings.Contains(se.Msg, `duration must be a positive integer, got "-3"`) {
+		t.Errorf("message = %q", se.Msg)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		src  string
@@ -136,10 +163,17 @@ func TestParseErrors(t *testing.T) {
 		{"PATTERN (a", "expected ',' or ')'"},
 		{"PATTERN (a,) WITHIN 1", "expected identifier"},
 		{"PATTERN (a) WITHIN", "expected number"},
-		{"PATTERN (a) WITHIN 0", "invalid duration"},
-		{"PATTERN (a) WITHIN 1.5", "integer"},
+		{"PATTERN (a) WITHIN 0", "duration must be a positive integer"},
+		{"PATTERN (a) WITHIN 1.5", "duration must be a positive integer"},
+		{"PATTERN (a) WITHIN -5", `duration must be a positive integer, got "-5"`},
+		{"PATTERN (a) WITHIN -5h", `duration must be a positive integer, got "-5"`},
+		{"PATTERN (a) WITHIN -1.5h", `duration must be a positive integer, got "-1.5"`},
+		{"PATTERN (a) WITHIN - h", "expected number"},
+		{"PATTERN (a) WITHIN 99999999999999999999", "does not fit"},
+		{"PATTERN (a) WITHIN 9223372036854775807 w", "overflows the time domain"},
 		{"PATTERN (a) WITHIN 1 parsecs", "unknown duration unit"},
 		{"PATTERN (a) WITHIN 1 extra", "unknown duration unit"},
+		{"PATTERN (a) WHERE a.V = - 'x' WITHIN 1", "expected a number after '-'"},
 		{"PATTERN (a) WHERE WITHIN 1", "operand"},
 		{"PATTERN (a) WHERE a.L WITHIN 1", "comparison operator"},
 		{"PATTERN (a) WHERE a.L = WITHIN 1", "operand"},

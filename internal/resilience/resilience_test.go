@@ -11,6 +11,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/engine"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 )
 
@@ -336,5 +337,76 @@ func TestChaosSourceReorderBound(t *testing.T) {
 	}
 	if pos != 500 {
 		t.Fatalf("forwarded %d events, want all 500", pos)
+	}
+}
+
+// TestSupervisorRegistry: with Config.Registry set, the supervisor
+// mirrors its counters into the registry (restarts, dead letters,
+// checkpoints, duplicates, events) and exposes a checkpoint-age gauge.
+func TestSupervisorRegistry(t *testing.T) {
+	a := testAutomaton(t, 100)
+	rel := tortureRelation(t, 40)
+	chaos := NewChaosSource(feed(rel), ChaosConfig{
+		Seed:       7,
+		PanicAfter: []int64{10},
+		DupProb:    0.3,
+	})
+	reg := obs.NewRegistry()
+	out, s := Supervise(context.Background(), a, nil, chaos.Events(), Config{
+		Slack:           5,
+		DedupWindow:     5,
+		CheckpointEvery: 8,
+		Backoff:         1,
+		FaultHook:       chaos.FaultHook,
+		Registry:        reg,
+	})
+	collect(out)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{
+		"ses_resilience_restarts_total":           s.Restarts(),
+		"ses_resilience_dead_letters_total":       s.DeadLetters(),
+		"ses_resilience_checkpoints_total":        s.Checkpoints(),
+		"ses_resilience_duplicates_dropped_total": s.DuplicatesDropped(),
+		"ses_resilience_events_total":             s.Metrics().EventsProcessed,
+	}
+	for name, want := range counters {
+		if got, ok := reg.Value(name); !ok || got != want {
+			t.Errorf("%s = %d (present=%v), want %d", name, got, ok, want)
+		}
+	}
+	if s.Restarts() == 0 || s.Checkpoints() == 0 || s.DuplicatesDropped() == 0 {
+		t.Errorf("test exercised too little: restarts=%d checkpoints=%d dups=%d",
+			s.Restarts(), s.Checkpoints(), s.DuplicatesDropped())
+	}
+	if age, ok := reg.Value("ses_resilience_checkpoint_age_seconds"); !ok || age < 0 {
+		t.Errorf("checkpoint age = %d (present=%v), want >= 0 after a checkpoint", age, ok)
+	}
+}
+
+// TestSupervisorSentinelDeadLetter: events carrying reserved sentinel
+// timestamps are dead-lettered with ErrSentinelTime instead of
+// reaching the reorderer.
+func TestSupervisorSentinelDeadLetter(t *testing.T) {
+	a := testAutomaton(t, 100)
+	in := make(chan event.Event, 3)
+	in <- event.Event{Time: 1, Attrs: []event.Value{event.Int(1), event.String("A"), event.Float(0)}}
+	in <- event.Event{Time: event.MaxTime, Attrs: []event.Value{event.Int(1), event.String("B"), event.Float(0)}}
+	in <- event.Event{Time: 2, Attrs: []event.Value{event.Int(1), event.String("B"), event.Float(0)}}
+	close(in)
+	var reasons []error
+	out, s := Supervise(context.Background(), a, nil, in, Config{
+		DeadLetter: func(e event.Event, reason error) { reasons = append(reasons, reason) },
+	})
+	got := collect(out)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(reasons) != 1 || !errors.Is(reasons[0], ErrSentinelTime) {
+		t.Fatalf("dead-letter reasons = %v, want [ErrSentinelTime]", reasons)
+	}
+	if len(got) != 1 {
+		t.Errorf("matches = %v, want the one A-B pair from the valid events", got)
 	}
 }

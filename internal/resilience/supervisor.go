@@ -8,11 +8,13 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/automaton"
 	"repro/internal/engine"
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // Dead-letter reasons passed to Config.DeadLetter.
@@ -23,6 +25,10 @@ var (
 	// ErrSchema marks an event whose attributes do not conform to the
 	// automaton's schema.
 	ErrSchema = errors.New("resilience: event fails schema validation")
+	// ErrSentinelTime marks an event carrying one of the reserved
+	// timestamps event.MinTime / event.MaxTime, which the runtime uses
+	// internally as watermark sentinels and therefore cannot process.
+	ErrSentinelTime = errors.New("resilience: event timestamp is a reserved sentinel")
 )
 
 // Config parameterizes Supervise. The zero value gives a working
@@ -68,6 +74,12 @@ type Config struct {
 	// OnRestart, when non-nil, is notified of every recovery with the
 	// restart ordinal and the causing fault.
 	OnRestart func(attempt int, cause error)
+	// Registry, when non-nil, receives live supervision metrics:
+	// restart, dead-letter, checkpoint, duplicate and event counters
+	// plus a checkpoint-age gauge (see newSupObs for the series names).
+	// Several supervisors may share one registry; the counters are then
+	// cumulative across them.
+	Registry *obs.Registry
 }
 
 // Supervisor reports the health of a supervised stream. All methods
@@ -81,6 +93,64 @@ type Supervisor struct {
 	checkpoints int64
 	duplicates  int64
 	metrics     engine.Metrics
+
+	o *supObs // nil unless Config.Registry was set
+}
+
+// supObs bundles the supervisor's registry-exported metrics. All
+// fields are updated at the same sites as the Supervisor's own
+// mutex-guarded counters; the checkpoint-age gauge is sampled at
+// scrape time from the atomically stored wall-clock instant of the
+// last completed checkpoint.
+type supObs struct {
+	restarts    *obs.Counter
+	deadLetters *obs.Counter
+	checkpoints *obs.Counter
+	duplicates  *obs.Counter
+	events      *obs.Counter
+	lastCkpt    atomic.Int64 // UnixNano of the last checkpoint, 0 before the first
+	prevDup     int64        // last synced Reorderer.DuplicatesDropped (run goroutine only)
+}
+
+func newSupObs(r *obs.Registry) *supObs {
+	o := &supObs{
+		restarts:    r.Counter("ses_resilience_restarts_total", "Recoveries performed after pipeline panics."),
+		deadLetters: r.Counter("ses_resilience_dead_letters_total", "Events refused by the pipeline (late, schema-invalid, sentinel-timestamped)."),
+		checkpoints: r.Counter("ses_resilience_checkpoints_total", "Runner state checkpoints taken."),
+		duplicates:  r.Counter("ses_resilience_duplicates_dropped_total", "Redelivered events removed by the dedup window."),
+		events:      r.Counter("ses_resilience_events_total", "Events accepted and stepped through the supervised runner."),
+	}
+	r.GaugeFunc("ses_resilience_checkpoint_age_seconds",
+		"Seconds since the last completed checkpoint (-1 before the first).",
+		func() int64 {
+			last := o.lastCkpt.Load()
+			if last == 0 {
+				return -1
+			}
+			return int64(time.Since(time.Unix(0, last)).Seconds())
+		})
+	return o
+}
+
+// markCheckpoint records a completed checkpoint. Nil-safe.
+func (o *supObs) markCheckpoint() {
+	if o == nil {
+		return
+	}
+	o.checkpoints.Inc()
+	o.lastCkpt.Store(time.Now().UnixNano())
+}
+
+// syncDuplicates folds the reorderer's cumulative duplicate count into
+// the exported counter. Nil-safe; called only from the run goroutine.
+func (o *supObs) syncDuplicates(total int64) {
+	if o == nil {
+		return
+	}
+	if d := total - o.prevDup; d > 0 {
+		o.duplicates.Add(d)
+		o.prevDup = total
+	}
 }
 
 // Err returns the error that terminated the stream, or nil for a clean
@@ -142,6 +212,9 @@ func (p panicError) Error() string { return fmt.Sprintf("resilience: pipeline pa
 func Supervise(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
 	in <-chan event.Event, cfg Config) (<-chan engine.Match, *Supervisor) {
 	s := &Supervisor{}
+	if cfg.Registry != nil {
+		s.o = newSupObs(cfg.Registry)
+	}
 	out := make(chan engine.Match)
 	go s.run(ctx, a, opts, in, cfg, out)
 	return out, s
@@ -197,6 +270,11 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		s.fail(err)
 		return
 	}
+	if s.o != nil {
+		// The initial snapshot starts the checkpoint-age clock without
+		// counting toward Checkpoints(), which reports periodic saves.
+		s.o.lastCkpt.Store(time.Now().UnixNano())
+	}
 	var replay []event.Event
 	emittedSince := 0
 
@@ -240,6 +318,7 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		s.mu.Lock()
 		s.checkpoints++
 		s.mu.Unlock()
+		s.o.markCheckpoint()
 		return true
 	}
 
@@ -254,6 +333,9 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 			s.restarts++
 			attempt := int(s.restarts)
 			s.mu.Unlock()
+			if s.o != nil {
+				s.o.restarts.Inc()
+			}
 			if attempt > maxRestarts {
 				s.fail(fmt.Errorf("resilience: giving up after %d restarts: %w", attempt-1, cause))
 				return false
@@ -328,6 +410,9 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 					return false
 				}
 			}
+			if s.o != nil {
+				s.o.events.Inc()
+			}
 			replay = append(replay, e)
 			if len(replay) >= ckptEvery {
 				return saveCheckpoint()
@@ -361,16 +446,21 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		}
 	}
 
-	ro := engine.NewReorderer(cfg.Slack)
-	ro.DedupWindow = cfg.DedupWindow
-	ro.Late = func(e event.Event) {
+	deadLetter := func(e event.Event, reason error) {
 		s.mu.Lock()
 		s.deadLetters++
 		s.mu.Unlock()
+		if s.o != nil {
+			s.o.deadLetters.Inc()
+		}
 		if cfg.DeadLetter != nil {
-			cfg.DeadLetter(e, ErrLate)
+			cfg.DeadLetter(e, reason)
 		}
 	}
+
+	ro := engine.NewReorderer(cfg.Slack)
+	ro.DedupWindow = cfg.DedupWindow
+	ro.Late = func(e event.Event) { deadLetter(e, ErrLate) }
 	defer func() {
 		s.mu.Lock()
 		s.duplicates = ro.DuplicatesDropped
@@ -394,12 +484,14 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 				return
 			}
 			if err := a.Schema.Check(e.Attrs); err != nil {
-				s.mu.Lock()
-				s.deadLetters++
-				s.mu.Unlock()
-				if cfg.DeadLetter != nil {
-					cfg.DeadLetter(e, fmt.Errorf("%w: %v", ErrSchema, err))
-				}
+				deadLetter(e, fmt.Errorf("%w: %v", ErrSchema, err))
+				continue
+			}
+			if event.SentinelTime(e.Time) {
+				// The reorderer would reject these anyway (through its
+				// Late callback); classifying them here gives the
+				// dead-letter consumer the precise reason.
+				deadLetter(e, ErrSentinelTime)
 				continue
 			}
 			e.Seq = arrival // arrival order, for the reorderer's stable tie-break
@@ -409,6 +501,7 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 					return
 				}
 			}
+			s.o.syncDuplicates(ro.DuplicatesDropped)
 		}
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/engine"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/query"
 	"repro/internal/resilience"
@@ -281,7 +282,70 @@ var (
 	ErrLate = resilience.ErrLate
 	// ErrSchema is the dead-letter reason for schema-invalid events.
 	ErrSchema = resilience.ErrSchema
+	// ErrSentinelTime is the dead-letter reason for events carrying a
+	// reserved sentinel timestamp (MinTime/MaxTime of the time domain).
+	ErrSentinelTime = resilience.ErrSentinelTime
 )
+
+// Observability re-exports: the metrics registry, the debug HTTP
+// server and instance-lifecycle tracing. See package internal/obs and
+// the engine's WithTrace documentation.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// renders them in the Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// DebugServer is a running observability HTTP server (/metrics,
+	// /debug/vars, /debug/pprof).
+	DebugServer = obs.DebugServer
+	// TraceStep describes one instance-lifecycle event delivered to a
+	// WithTrace hook.
+	TraceStep = engine.TraceStep
+	// TraceKind classifies a TraceStep (transition, spawn, expire,
+	// shed, match).
+	TraceKind = engine.TraceKind
+)
+
+// Trace step kinds.
+const (
+	TraceTransition = engine.TraceTransition
+	TraceSpawn      = engine.TraceSpawn
+	TraceExpire     = engine.TraceExpire
+	TraceShed       = engine.TraceShed
+	TraceMatch      = engine.TraceMatch
+)
+
+var (
+	// NewMetricsRegistry creates an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// ServeDebug starts the observability HTTP server on an address,
+	// exposing the registry on /metrics plus expvar and pprof.
+	ServeDebug = obs.ServeDebug
+	// MetricsHandler returns an http.Handler serving a registry in the
+	// Prometheus text format, for embedding into an existing server.
+	MetricsHandler = obs.Handler
+	// WithMetricsRegistry attaches a registry into which streaming
+	// evaluators (ShardedRunner, Supervise via SuperviseConfig.Registry)
+	// export live gauges and counters.
+	WithMetricsRegistry = engine.WithMetricsRegistry
+	// WithTrace installs a hook invoked for every instance-lifecycle
+	// event (spawn, transition, expire, shed, match).
+	WithTrace = engine.WithTrace
+)
+
+// TraceJSON returns an evaluation option that streams every
+// instance-lifecycle event of a run as one JSON object per line to w
+// (the `sesmatch -trace out.jsonl` format), plus a function reporting
+// the first write error once evaluation is done. The hook is safe for
+// concurrent use under sharded execution. Queries with optional
+// variables are rejected: their variant automata would render
+// ambiguous state labels.
+func (q *Query) TraceJSON(w io.Writer) (Option, func() error, error) {
+	if len(q.autos) != 1 {
+		return nil, nil, fmt.Errorf("ses: TraceJSON does not support optional variables (%d variants)", len(q.autos))
+	}
+	tw := engine.NewTraceJSON(w, q.autos[0])
+	return engine.WithTrace(tw.Hook()), tw.Err, nil
+}
 
 // MatchJSON encodes a match as JSON, using the schema for attribute
 // names.
