@@ -1,0 +1,166 @@
+// Command sesd is the SES pattern matching server: a long-running
+// process that ingests one event stream over HTTP and evaluates every
+// registered SES query against it concurrently.
+//
+// Usage:
+//
+//	sesd -schema 'ID:int,L:string,V:float,U:string'
+//	sesd -schema 'ID:int,L:string' -addr :9000 -checkpoint-dir /var/lib/sesd
+//
+// Flags:
+//
+//	-addr ADDR             HTTP listen address (default :8134)
+//	-schema SPEC           event schema as name:type,... (required;
+//	                       types: string, int, float)
+//	-mailbox N             per-query mailbox capacity (default 1024)
+//	-matchlog N            retained matches per query (default 4096)
+//	-checkpoint-dir DIR    persist checkpoints and the query manifest
+//	-checkpoint-every N    events between checkpoints (default 256)
+//	-drain-timeout D       max graceful-drain wait (default 30s)
+//
+// The HTTP API (see docs/OPERATIONS.md for the full reference):
+//
+//	POST   /events               ingest events, one JSON object per line
+//	POST   /queries              register a query
+//	GET    /queries              list queries
+//	GET    /queries/{id}         one query's state
+//	DELETE /queries/{id}         remove a query
+//	GET    /queries/{id}/matches stream matches (NDJSON or SSE, ?follow=1)
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus metrics
+//	GET    /debug/pprof/         profiling
+//
+// On SIGTERM or SIGINT the server drains gracefully: ingest is
+// refused, every query's pipeline consumes its backlog and flushes its
+// window, supervised queries write a final checkpoint, and the query
+// set is persisted. A sesd restarted with the same -checkpoint-dir
+// re-registers the persisted queries and resumes their checkpoints.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+// options collects the command line configuration of one run.
+type options struct {
+	addr            string
+	schemaSpec      string
+	mailbox         int
+	matchLog        int
+	checkpointDir   string
+	checkpointEvery int
+	drainTimeout    time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8134", "HTTP listen address")
+	flag.StringVar(&o.schemaSpec, "schema", "", "event schema as name:type,... (types: string, int, float)")
+	flag.IntVar(&o.mailbox, "mailbox", 0, "per-query mailbox capacity (default 1024)")
+	flag.IntVar(&o.matchLog, "matchlog", 0, "retained matches per query (default 4096)")
+	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for checkpoints and the query manifest")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "events between checkpoints (default 256)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain wait on shutdown")
+	flag.Parse()
+	if err := run(o, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sesd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSchema parses "name:type,name:type,..." into a schema.
+func parseSchema(spec string) (*ses.Schema, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-schema is required (e.g. 'ID:int,L:string,V:float,U:string')")
+	}
+	var fields []ses.Field
+	for _, part := range strings.Split(spec, ",") {
+		name, typ, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("schema field %q: want name:type", part)
+		}
+		var t ses.Type
+		switch strings.ToLower(strings.TrimSpace(typ)) {
+		case "string", "str", "text":
+			t = ses.TypeString
+		case "int", "integer", "int64":
+			t = ses.TypeInt
+		case "float", "float64", "double", "real":
+			t = ses.TypeFloat
+		default:
+			return nil, fmt.Errorf("schema field %q: unknown type %q", name, typ)
+		}
+		fields = append(fields, ses.Field{Name: strings.TrimSpace(name), Type: t})
+	}
+	return ses.NewSchema(fields...)
+}
+
+// run starts the server and blocks until a termination signal drains
+// it. When ready is non-nil it receives the resolved listen address
+// once the server accepts connections (used by tests).
+func run(o options, logw *os.File, ready chan<- string) error {
+	schema, err := parseSchema(o.schemaSpec)
+	if err != nil {
+		return err
+	}
+	reg := ses.NewMetricsRegistry()
+	srv, err := ses.NewServer(ses.ServerConfig{
+		Schema:          schema,
+		Registry:        reg,
+		Mailbox:         o.mailbox,
+		MatchLog:        o.matchLog,
+		CheckpointDir:   o.checkpointDir,
+		CheckpointEvery: o.checkpointEvery,
+		DrainTimeout:    o.drainTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "sesd: serving schema (%s) on http://%s/\n", schema, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(logw, "sesd: draining (up to %s)\n", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout+5*time.Second)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	shutdownErr := hs.Shutdown(drainCtx)
+	if drainErr != nil {
+		return drainErr
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	fmt.Fprintln(logw, "sesd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("ID:int, L:string, V:float, U:string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "ID:int, L:string, V:float, U:string" {
+		t.Fatalf("schema = %q", got)
+	}
+	for _, spec := range []string{"", "ID", "ID:bogus", "ID:int,ID:int", "bad.name:int"} {
+		if _, err := parseSchema(spec); err == nil {
+			t.Errorf("parseSchema(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestRunSmoke boots the full server in-process, registers a query,
+// ingests events, scrapes /metrics and shuts down with SIGTERM — the
+// same smoke sequence the CI workflow runs against the built binary.
+func TestRunSmoke(t *testing.T) {
+	o := options{
+		addr:         "127.0.0.1:0",
+		schemaSpec:   "ID:int,L:string,V:float,U:string",
+		drainTimeout: 10 * time.Second,
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(o, os.Stderr, ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+
+	post := func(path, body string) string {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s = %d: %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	post("/queries", `{"id": "smoke", "query": "PATTERN PERMUTE(c, d) THEN (b) WHERE c.L = 'C' AND d.L = 'D' AND b.L = 'B' WITHIN 264h"}`)
+	post("/events", `{"time": 1000, "attrs": {"ID": 1, "L": "C", "V": 1.5, "U": "mg"}}
+{"time": 2000, "attrs": {"ID": 1, "L": "D", "V": 84, "U": "mgl"}}
+{"time": 3000, "attrs": {"ID": 1, "L": "B", "V": 0, "U": "WHO-Tox"}}`)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{"ses_server_events_ingested_total 3", `ses_server_query_events_total{query="smoke"} 3`} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("/metrics lacks %q:\n%s", series, metrics)
+		}
+	}
+
+	// SIGTERM drains and exits cleanly; the drain flushes the window
+	// so the registered query emits its match before shutdown.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

@@ -103,6 +103,20 @@ func artifactCases(ds []Dataset) ([]artifactCase, error) {
 			},
 		})
 	}
+	// The serving layer: one shared ingest pass fanned out to three
+	// registered queries, against the same three queries evaluated as
+	// independent standalone runs (maxΩ is not defined across queries,
+	// so it is reported as 0; the match count is the fingerprint).
+	cases = append(cases,
+		artifactCase{"ServerThroughput/shared/3q/" + d1.Name, func() (int64, int, error) {
+			n, err := RunServerShared(d1)
+			return 0, n, err
+		}},
+		artifactCase{"ServerThroughput/independent/3q/" + d1.Name, func() (int64, int, error) {
+			n, err := RunServerIndependent(d1)
+			return 0, n, err
+		}},
+	)
 	return cases, nil
 }
 

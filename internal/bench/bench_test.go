@@ -207,6 +207,48 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestServerSharedMatchesIndependent(t *testing.T) {
+	d := tinyDatasets(t, 1)[0]
+	shared, err := RunServerShared(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	independent, err := RunServerIndependent(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != independent {
+		t.Errorf("shared ingest found %d matches, independent runs %d", shared, independent)
+	}
+	if shared == 0 {
+		t.Errorf("no matches found; the benchmark would measure nothing")
+	}
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	ds, err := MakeDatasets(chemo.Tiny(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := ds[0]
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunServerShared(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunServerIndependent(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func TestFmtDur(t *testing.T) {
 	for _, c := range []struct {
 		ns   int64

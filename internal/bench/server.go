@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/pattern"
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+// ServerQueryTexts are the queries of the multi-query serving
+// benchmark: the paper's Q1 plus two overlapping chemotherapy
+// patterns, so the three automata share most of the event stream but
+// build different instance sets.
+var ServerQueryTexts = []string{
+	paperdata.QueryQ1Text,
+	`PATTERN PERMUTE(c, d, p) THEN (b)
+WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+WITHIN 264h`,
+	`PATTERN PERMUTE(c, d) THEN (b)
+WHERE c.L = 'C' AND d.L = 'D' AND b.L = 'B'
+WITHIN 264h`,
+}
+
+// compileText compiles one query text for the dataset's schema (the
+// benchmark queries have no optional variables, so exactly one
+// automaton results).
+func compileText(text string, schema *event.Schema) (*automaton.Automaton, error) {
+	p, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	variants, err := pattern.ExpandOptionals(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(variants) != 1 {
+		return nil, fmt.Errorf("query expands to %d variants, want 1", len(variants))
+	}
+	return automaton.Compile(variants[0], schema)
+}
+
+// RunServerShared evaluates the benchmark queries against the dataset
+// through the serving layer: one server, one shared ingest pass that
+// fans every event out to all registered queries, then a drain that
+// flushes the windows. It returns the total match count across the
+// queries.
+func RunServerShared(d Dataset) (int, error) {
+	s, err := server.New(server.Config{Schema: d.Rel.Schema()})
+	if err != nil {
+		return 0, err
+	}
+	for i, text := range ServerQueryTexts {
+		if _, err := s.AddQuery(server.QuerySpec{
+			ID:     fmt.Sprintf("q%d", i+1),
+			Query:  text,
+			Filter: true,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Ingest(d.Rel.Events()); err != nil {
+		return 0, err
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, info := range s.Queries() {
+		if info.Err != "" {
+			return 0, fmt.Errorf("query %s: %s", info.ID, info.Err)
+		}
+		total += int(info.Matches)
+	}
+	return total, nil
+}
+
+// RunServerIndependent evaluates the same queries as standalone
+// engine runs, one full pass over the relation per query — the
+// baseline the shared-ingest path is compared against.
+func RunServerIndependent(d Dataset) (int, error) {
+	total := 0
+	for _, text := range ServerQueryTexts {
+		a, err := compileText(text, d.Rel.Schema())
+		if err != nil {
+			return 0, err
+		}
+		ms, _, err := engine.RunOn(engine.New(a, engine.WithFilter(true)), d.Rel)
+		if err != nil {
+			return 0, err
+		}
+		total += len(ms)
+	}
+	return total, nil
+}

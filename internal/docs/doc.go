@@ -1,0 +1,8 @@
+// Package docs holds the repository's documentation gate: tests that
+// keep the markdown documentation and the godoc surface in sync with
+// the code. The package has no runtime code — it exists so `go test
+// ./internal/docs/` can be used as a CI job that fails when an
+// intra-repository markdown link points at a missing file or section,
+// or when an exported identifier in a documented package lacks a doc
+// comment.
+package docs

@@ -1,0 +1,182 @@
+package docs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot returns the repository root (this package lives at
+// internal/docs, two levels below it).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// mdLink matches the target of an inline markdown link or image:
+// ](target) — optionally with a "title".
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// TestMarkdownLinks fails when an intra-repository link in any
+// markdown file points at a path that does not exist. External
+// (http/https/mailto) and pure-anchor links are not checked.
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, file)
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			// Strip a trailing #section anchor; only the file part is
+			// resolvable from the filesystem.
+			path, _, _ := strings.Cut(target, "#")
+			if path == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", rel, target, err)
+			}
+		}
+	}
+}
+
+// docPackages are the package directories (relative to the repo root)
+// whose exported identifiers must all carry doc comments.
+var docPackages = []string{
+	".",
+	"internal/engine",
+	"internal/obs",
+	"internal/server",
+}
+
+// TestGodocComments fails when an exported top-level identifier in
+// one of docPackages lacks a doc comment, or a package lacks a
+// package comment.
+func TestGodocComments(t *testing.T) {
+	root := repoRoot(t)
+	for _, dir := range docPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			hasPkgDoc := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					hasPkgDoc = true
+				}
+				for _, decl := range f.Decls {
+					checkDecl(t, fset, root, decl)
+				}
+			}
+			if !hasPkgDoc {
+				t.Errorf("%s: package %s has no package comment", dir, name)
+			}
+		}
+	}
+}
+
+// checkDecl reports every exported identifier in a top-level
+// declaration that is not covered by a doc comment.
+func checkDecl(t *testing.T, fset *token.FileSet, root string, decl ast.Decl) {
+	t.Helper()
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		rel, _ := filepath.Rel(root, p.Filename)
+		t.Errorf("%s:%d: exported %s %s has no doc comment", rel, p.Line, kind, name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+			report(d.Pos(), "function", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a function declaration belongs to the
+// package's exported API: a plain function, or a method on an
+// exported receiver type.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

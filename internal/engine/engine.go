@@ -159,6 +159,7 @@ type config struct {
 	shardBuffer     int
 	watermarkEvery  int64
 	registry        *obs.Registry
+	metricLabels    []string
 }
 
 // Option configures a Runner.
@@ -213,6 +214,17 @@ func WithTrace(f func(TraceStep)) Option { return func(c *config) { c.trace = f 
 // table). A plain Runner ignores the registry on its hot path; with a
 // nil registry (the default) no instrumentation runs at all.
 func WithMetricsRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
+
+// WithMetricLabels attaches label key/value pairs to every metric
+// series an executor registers via WithMetricsRegistry, e.g.
+// WithMetricLabels("query", "q1") turns ses_sharded_matches_total into
+// ses_sharded_matches_total{query="q1"}. It lets several executors —
+// such as the per-query runners of the serving layer — share one
+// registry without colliding on series names. kv must alternate keys
+// and values; with no labels (the default) series names are unchanged.
+func WithMetricLabels(kv ...string) Option {
+	return func(c *config) { c.metricLabels = append(c.metricLabels, kv...) }
+}
 
 // WithWorkers sets the number of goroutines used by evaluators that
 // fan out over independent units of work (partitioned batch matching

@@ -90,23 +90,29 @@ type shardedObs struct {
 // funcs to this run's channels. Re-running against the same registry
 // rebinds the samplers to the newest executor.
 func (s *ShardedRunner) instrument(reg *obs.Registry, inputs []chan shardInput) {
+	// name composes a series name with the executor's WithMetricLabels
+	// labels (plus any extra per-series labels); with no labels it is
+	// the base name unchanged, preserving the single-executor layout.
+	name := func(base string, extra ...string) string {
+		return obs.SeriesName(base, append(append([]string(nil), s.cfg.metricLabels...), extra...)...)
+	}
 	o := &shardedObs{
-		dispatched:   reg.Counter("ses_sharded_events_dispatched_total", "Events routed to shard workers."),
-		matchesOut:   reg.Counter("ses_sharded_matches_total", "Matches released by the deterministic merge."),
-		mergePending: reg.Gauge("ses_sharded_merge_pending", "Matches buffered in the merge awaiting their watermark."),
-		maxInstances: reg.Gauge("ses_max_simultaneous_instances", "Peak simultaneous automaton instances (|Omega|) over all per-key runners."),
-		releaseBatch: reg.Histogram("ses_sharded_release_batch_size", "Matches released per merge batch.",
+		dispatched:   reg.Counter(name("ses_sharded_events_dispatched_total"), "Events routed to shard workers."),
+		matchesOut:   reg.Counter(name("ses_sharded_matches_total"), "Matches released by the deterministic merge."),
+		mergePending: reg.Gauge(name("ses_sharded_merge_pending"), "Matches buffered in the merge awaiting their watermark."),
+		maxInstances: reg.Gauge(name("ses_max_simultaneous_instances"), "Peak simultaneous automaton instances (|Omega|) over all per-key runners."),
+		releaseBatch: reg.Histogram(name("ses_sharded_release_batch_size"), "Matches released per merge batch.",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 	}
 	o.inputWM.Store(int64(noTime))
 	o.outputWM.Store(int64(noTime))
-	reg.GaugeFunc("ses_sharded_shards", "Number of shard workers.",
+	reg.GaugeFunc(name("ses_sharded_shards"), "Number of shard workers.",
 		func() int64 { return int64(s.shards) })
-	reg.GaugeFunc("ses_sharded_input_watermark", "Timestamp of the newest dispatched event.",
+	reg.GaugeFunc(name("ses_sharded_input_watermark"), "Timestamp of the newest dispatched event.",
 		func() int64 { return sampleWM(&o.inputWM) })
-	reg.GaugeFunc("ses_sharded_output_watermark", "Timestamp up to which the merge has released matches.",
+	reg.GaugeFunc(name("ses_sharded_output_watermark"), "Timestamp up to which the merge has released matches.",
 		func() int64 { return sampleWM(&o.outputWM) })
-	reg.GaugeFunc("ses_sharded_watermark_lag", "Input minus output watermark: the time span the merge is holding back.",
+	reg.GaugeFunc(name("ses_sharded_watermark_lag"), "Input minus output watermark: the time span the merge is holding back.",
 		func() int64 {
 			in, out := o.inputWM.Load(), o.outputWM.Load()
 			if in == int64(noTime) || out == int64(noTime) || out == int64(flushTime) {
@@ -117,10 +123,10 @@ func (s *ShardedRunner) instrument(reg *obs.Registry, inputs []chan shardInput) 
 	o.shardInstances = make([]*obs.Gauge, s.shards)
 	for i := range inputs {
 		i := i
-		reg.GaugeFunc(fmt.Sprintf("ses_shard_queue_depth{shard=%q}", fmt.Sprint(i)),
+		reg.GaugeFunc(name("ses_shard_queue_depth", "shard", fmt.Sprint(i)),
 			"Events queued on the shard's input channel.",
 			func() int64 { return int64(len(inputs[i])) })
-		o.shardInstances[i] = reg.Gauge(fmt.Sprintf("ses_shard_active_instances{shard=%q}", fmt.Sprint(i)),
+		o.shardInstances[i] = reg.Gauge(name("ses_shard_active_instances", "shard", fmt.Sprint(i)),
 			"Live automaton instances on the shard, summed over its keys (updated per watermark).")
 	}
 	s.o = o

@@ -62,8 +62,7 @@ type DebugServer struct {
 // Close shuts the server down immediately.
 func (d *DebugServer) Close() error { return d.srv.Close() }
 
-// ServeDebug starts an HTTP server on addr exposing the observability
-// surface:
+// DebugMux builds the observability request mux for a registry:
 //
 //	/metrics           Prometheus text exposition of the registry
 //	/debug/vars        expvar JSON (includes the registry under "ses")
@@ -71,10 +70,10 @@ func (d *DebugServer) Close() error { return d.srv.Close() }
 //
 // Runtime gauges (goroutines, heap, GC) are registered on the
 // registry, and the registry is published as the expvar variable
-// "ses". The server runs until Close is called; serving errors after
-// Close are discarded. addr may use port 0 to pick a free port — the
-// resolved address is in DebugServer.Addr.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// "ses" (a no-op if already published). ServeDebug serves this mux on
+// its own listener; embedding servers (such as the sesd serving layer)
+// mount it on their API mux instead.
+func DebugMux(reg *Registry) *http.ServeMux {
 	RegisterRuntimeMetrics(reg)
 	PublishExpvar("ses", reg)
 
@@ -86,6 +85,15 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts an HTTP server on addr exposing the observability
+// surface built by DebugMux. The server runs until Close is called;
+// serving errors after Close are discarded. addr may use port 0 to
+// pick a free port — the resolved address is in DebugServer.Addr.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := DebugMux(reg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -158,6 +158,52 @@ func baseName(name string) string {
 	return name
 }
 
+// seriesLabels returns the label block of a series name without the
+// surrounding braces, or "" for an unlabeled name.
+func seriesLabels(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[i+1 : len(name)-1]
+	}
+	return ""
+}
+
+// labelEscaper escapes label values per the Prometheus text format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// SeriesName composes a metric series name from a base name and label
+// key/value pairs:
+//
+//	SeriesName("ses_shard_queue_depth", "query", "q1", "shard", "0")
+//	→ `ses_shard_queue_depth{query="q1",shard="0"}`
+//
+// With no pairs the base name is returned unchanged. Values are
+// escaped per the Prometheus text exposition format. Series that share
+// a base name are grouped under one # HELP/# TYPE header, which is how
+// concurrent executors (e.g. the queries of a multi-query server) keep
+// their instruments apart inside one registry.
+func SeriesName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: SeriesName needs an even number of key/value strings")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // register adds m under its name unless a metric of the same name and
 // kind exists, which is returned instead. A name collision across
 // kinds panics: it is a programming error, not an operational state.
@@ -199,16 +245,44 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 
 // Histogram returns the named histogram with the given bucket upper
 // bounds (sorted ascending; +Inf is implicit), creating it on first
-// use. Histogram names must not carry label blocks.
+// use. A name may carry a label block (see SeriesName); the labels are
+// merged with the per-bucket le label in the exposition.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
-	if strings.IndexByte(name, '{') >= 0 {
-		panic("obs: histogram names must not carry label blocks: " + name)
-	}
 	h := &Histogram{bounds: append([]float64(nil), buckets...)}
 	sort.Float64s(h.bounds)
 	h.counts = make([]atomic.Int64, len(h.bounds)+1)
-	m := r.register(&metric{name: name, base: name, help: help, kind: kindHistogram, hist: h})
+	m := r.register(&metric{name: name, base: baseName(name), help: help, kind: kindHistogram, hist: h})
 	return m.hist
+}
+
+// Unregister removes the series with the exact given name (including
+// any label block) from the registry, so a future scrape no longer
+// reports it. It returns whether the series existed. Removing a series
+// does not invalidate handles previously returned by Counter/Gauge/
+// Histogram — they keep working but are no longer exported.
+func (r *Registry) Unregister(name string) bool {
+	return r.UnregisterMatching(func(n string) bool { return n == name }) > 0
+}
+
+// UnregisterMatching removes every series whose full name (including
+// the label block) satisfies pred, returning the number removed. It is
+// how the serving layer retires all series labeled with a removed
+// query's id in one sweep.
+func (r *Registry) UnregisterMatching(pred func(name string) bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	keep := r.order[:0]
+	for _, name := range r.order {
+		if pred(name) {
+			delete(r.metrics, name)
+			n++
+			continue
+		}
+		keep = append(keep, name)
+	}
+	r.order = keep
+	return n
 }
 
 // snapshot returns the registered metrics grouped by base name in
@@ -267,21 +341,36 @@ func writeSeries(w io.Writer, m *metric) error {
 		return err
 	case kindHistogram:
 		h := m.hist
+		labels := seriesLabels(m.name)
+		// Histogram sub-series merge the series' own labels with the
+		// per-bucket le label: base_bucket{labels,le="..."}.
+		bucket := func(le string) string {
+			if labels == "" {
+				return fmt.Sprintf("%s_bucket{le=%q}", m.base, le)
+			}
+			return fmt.Sprintf("%s_bucket{%s,le=%q}", m.base, labels, le)
+		}
+		suffixed := func(sfx string) string {
+			if labels == "" {
+				return m.base + sfx
+			}
+			return m.base + sfx + "{" + labels + "}"
+		}
 		cum := int64(0)
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucket(formatBound(bound)), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n", m.name, h.Sum()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %g\n", suffixed("_sum"), h.Sum()); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, h.Count())
+		_, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), h.Count())
 		return err
 	}
 	return nil

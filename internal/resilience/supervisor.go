@@ -77,9 +77,20 @@ type Config struct {
 	// Registry, when non-nil, receives live supervision metrics:
 	// restart, dead-letter, checkpoint, duplicate and event counters
 	// plus a checkpoint-age gauge (see newSupObs for the series names).
-	// Several supervisors may share one registry; the counters are then
-	// cumulative across them.
+	// Several supervisors may share one registry; without MetricLabels
+	// the counters are then cumulative across them.
 	Registry *obs.Registry
+	// MetricLabels, when non-empty, are label key/value pairs appended
+	// to every series this supervisor registers (via obs.SeriesName),
+	// so supervisors sharing one registry — e.g. the per-query runners
+	// of the serving layer — export distinguishable series instead of
+	// cumulative ones.
+	MetricLabels []string
+	// CheckpointOnDrain takes a final checkpoint to CheckpointPath when
+	// the input channel closes, before the end-of-input flush. A
+	// process that drains its supervisors on shutdown can then restart
+	// with Resume and skip the entire consumed input.
+	CheckpointOnDrain bool
 }
 
 // Supervisor reports the health of a supervised stream. All methods
@@ -112,15 +123,16 @@ type supObs struct {
 	prevDup     int64        // last synced Reorderer.DuplicatesDropped (run goroutine only)
 }
 
-func newSupObs(r *obs.Registry) *supObs {
+func newSupObs(r *obs.Registry, labels []string) *supObs {
+	name := func(base string) string { return obs.SeriesName(base, labels...) }
 	o := &supObs{
-		restarts:    r.Counter("ses_resilience_restarts_total", "Recoveries performed after pipeline panics."),
-		deadLetters: r.Counter("ses_resilience_dead_letters_total", "Events refused by the pipeline (late, schema-invalid, sentinel-timestamped)."),
-		checkpoints: r.Counter("ses_resilience_checkpoints_total", "Runner state checkpoints taken."),
-		duplicates:  r.Counter("ses_resilience_duplicates_dropped_total", "Redelivered events removed by the dedup window."),
-		events:      r.Counter("ses_resilience_events_total", "Events accepted and stepped through the supervised runner."),
+		restarts:    r.Counter(name("ses_resilience_restarts_total"), "Recoveries performed after pipeline panics."),
+		deadLetters: r.Counter(name("ses_resilience_dead_letters_total"), "Events refused by the pipeline (late, schema-invalid, sentinel-timestamped)."),
+		checkpoints: r.Counter(name("ses_resilience_checkpoints_total"), "Runner state checkpoints taken."),
+		duplicates:  r.Counter(name("ses_resilience_duplicates_dropped_total"), "Redelivered events removed by the dedup window."),
+		events:      r.Counter(name("ses_resilience_events_total"), "Events accepted and stepped through the supervised runner."),
 	}
-	r.GaugeFunc("ses_resilience_checkpoint_age_seconds",
+	r.GaugeFunc(name("ses_resilience_checkpoint_age_seconds"),
 		"Seconds since the last completed checkpoint (-1 before the first).",
 		func() int64 {
 			last := o.lastCkpt.Load()
@@ -213,7 +225,7 @@ func Supervise(ctx context.Context, a *automaton.Automaton, opts []engine.Option
 	in <-chan event.Event, cfg Config) (<-chan engine.Match, *Supervisor) {
 	s := &Supervisor{}
 	if cfg.Registry != nil {
-		s.o = newSupObs(cfg.Registry)
+		s.o = newSupObs(cfg.Registry, cfg.MetricLabels)
 	}
 	out := make(chan engine.Match)
 	go s.run(ctx, a, opts, in, cfg, out)
@@ -479,6 +491,9 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 					if !feedOne(re) {
 						return
 					}
+				}
+				if cfg.CheckpointOnDrain && cfg.CheckpointPath != "" && !saveCheckpoint() {
+					return
 				}
 				finish()
 				return

@@ -1,0 +1,31 @@
+// Package server is the multi-query serving layer of the SES runtime:
+// one event stream, fanned out to a registry of concurrently running
+// SES pattern queries (Cadonna, Gamper, Böhlen: "Sequenced Event Set
+// Pattern Matching", EDBT 2011).
+//
+// A Server owns a query registry with add/remove at runtime. Each
+// registered query compiles its text into a pattern and a SES
+// automaton (Definition 3 of the paper); duplicates are rejected by
+// the automaton's structural fingerprint. Ingested events are
+// dispatched once and routed to every query's bounded mailbox, behind
+// which an independent per-query pipeline evaluates the automaton —
+// either a supervised single runner (resilience.Supervise: schema
+// validation, reorder slack, checkpoint/replay crash recovery) or a
+// sharded parallel executor (engine.ShardedRunner) for keyed queries.
+// Matches are encoded once (engine.MatchJSON) into an in-memory,
+// offset-addressed match log that HTTP clients read as NDJSON or SSE,
+// including live follow.
+//
+// The HTTP surface (see Server.Handler) exposes batch NDJSON ingest,
+// query management, match streaming, health, and the observability
+// endpoints of internal/obs (/metrics, /debug/vars, /debug/pprof).
+// Every per-query metric series carries a query="<id>" label, so the
+// queries sharing one registry stay distinguishable; the series are
+// unregistered when the query is removed.
+//
+// Shutdown is graceful: Drain stops admission, closes every mailbox,
+// waits for the pipelines to flush their windows (emitting the
+// end-of-input matches of Definition 2), checkpoints supervised
+// runners to the checkpoint directory, and persists the query set as
+// a manifest from which a restarted server resumes.
+package server

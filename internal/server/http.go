@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/obs"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /events               NDJSON batch ingest (one event per line)
+//	GET    /queries              list registered queries
+//	POST   /queries              register a query (JSON QuerySpec body)
+//	GET    /queries/{id}         one query's state
+//	DELETE /queries/{id}         unregister a query
+//	GET    /queries/{id}/matches stream matches as NDJSON or SSE
+//	GET    /healthz              liveness probe
+//
+// With a configured metrics registry the observability surface of
+// internal/obs is mounted as well: /metrics (Prometheus text format),
+// /debug/vars and /debug/pprof/.
+//
+// The match stream accepts ?from=N to start at match-log offset N
+// (older offsets clamp to the retention window) and ?follow=1 to keep
+// the connection open for live matches until the query's pipeline
+// terminates or the client disconnects. With an Accept header of
+// text/event-stream matches are sent as SSE events whose id field is
+// the match-log offset; otherwise one JSON object per line (NDJSON).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /events", s.handleIngest)
+	mux.HandleFunc("GET /queries", s.handleListQueries)
+	mux.HandleFunc("POST /queries", s.handleAddQuery)
+	mux.HandleFunc("GET /queries/{id}", s.handleGetQuery)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleRemoveQuery)
+	mux.HandleFunc("GET /queries/{id}/matches", s.handleMatches)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if s.cfg.Registry != nil {
+		dm := obs.DebugMux(s.cfg.Registry)
+		mux.Handle("/metrics", dm)
+		mux.Handle("/debug/", dm)
+	}
+	return mux
+}
+
+// writeJSON renders v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps a registry/ingest error to its HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicate):
+		status = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxEventLine bounds one NDJSON ingest line (1 MiB).
+const maxEventLine = 1 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxEventLine)
+	var events []event.Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, err := s.parseEvent(line)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("line %d: %v", lineNo, err)})
+			return
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	n, err := s.Ingest(events)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ingested": n})
+}
+
+// parseEvent decodes one ingest line: {"time": T, "attrs": {name: value}}.
+// Every schema attribute must be present with a JSON value of its
+// type; unknown attribute names are rejected.
+func (s *Server) parseEvent(line string) (event.Event, error) {
+	var raw struct {
+		Time  *int64                     `json:"time"`
+		Attrs map[string]json.RawMessage `json:"attrs"`
+	}
+	dec := json.NewDecoder(strings.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return event.Event{}, err
+	}
+	if raw.Time == nil {
+		return event.Event{}, fmt.Errorf("missing \"time\"")
+	}
+	schema := s.cfg.Schema
+	for name := range raw.Attrs {
+		if _, ok := schema.Index(name); !ok {
+			return event.Event{}, fmt.Errorf("unknown attribute %q (schema: %s)", name, schema)
+		}
+	}
+	attrs := make([]event.Value, schema.NumFields())
+	for i := 0; i < schema.NumFields(); i++ {
+		f := schema.Field(i)
+		rawVal, ok := raw.Attrs[f.Name]
+		if !ok {
+			return event.Event{}, fmt.Errorf("missing attribute %q (schema: %s)", f.Name, schema)
+		}
+		v, err := parseJSONValue(f, rawVal)
+		if err != nil {
+			return event.Event{}, err
+		}
+		attrs[i] = v
+	}
+	return event.Event{Time: event.Time(*raw.Time), Attrs: attrs}, nil
+}
+
+// parseJSONValue decodes one attribute value of the field's type.
+func parseJSONValue(f event.Field, raw json.RawMessage) (event.Value, error) {
+	switch f.Type {
+	case event.TypeString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return event.Value{}, fmt.Errorf("attribute %q: want a string: %v", f.Name, err)
+		}
+		return event.String(s), nil
+	case event.TypeInt:
+		var i int64
+		if err := json.Unmarshal(raw, &i); err != nil {
+			return event.Value{}, fmt.Errorf("attribute %q: want an integer: %v", f.Name, err)
+		}
+		return event.Int(i), nil
+	default:
+		var fl float64
+		if err := json.Unmarshal(raw, &fl); err != nil {
+			return event.Value{}, fmt.Errorf("attribute %q: want a number: %v", f.Name, err)
+		}
+		return event.Float(fl), nil
+	}
+}
+
+func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
+	var spec QuerySpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	info, err := s.AddQuery(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"queries": s.Queries()})
+}
+
+func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Query(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRemoveQuery(w http.ResponseWriter, r *http.Request) {
+	if err := s.RemoveQuery(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	var from int64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid from offset %q", v)})
+			return
+		}
+		from = n
+	}
+	follow := false
+	switch v := r.URL.Query().Get("follow"); v {
+	case "", "0", "false":
+	case "1", "true":
+		follow = true
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid follow value %q", v)})
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	// Commit the headers before the first (possibly delayed) match so
+	// a live follower's request completes immediately.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	off := from
+	for {
+		lines, next, wait := q.log.read(off)
+		for i, line := range lines {
+			if sse {
+				fmt.Fprintf(w, "id: %d\ndata: %s\n\n", off+int64(i), line)
+			} else {
+				w.Write(line)
+				w.Write([]byte{'\n'})
+			}
+		}
+		off = next
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if wait == nil {
+			// The pipeline has terminated; the log is complete.
+			if sse {
+				fmt.Fprintf(w, "event: end\ndata: {}\n\n")
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/event"
+)
+
+// QuerySpec is the registration request for one SES query: the query
+// text plus the execution knobs of its per-query pipeline. It is the
+// JSON body of POST /queries and the unit persisted in the query
+// manifest.
+type QuerySpec struct {
+	// ID names the query. It appears in URLs, metric labels and
+	// checkpoint file names, so it is restricted to letters, digits,
+	// '_', '-' and '.' (max 64 characters).
+	ID string `json:"id"`
+	// Query is the SES query text, e.g. the paper's running example
+	// "PATTERN PERMUTE(c, p+, d) THEN (b) WHERE ... WITHIN 264h".
+	// Queries with optional variables (multi-variant automata) are
+	// rejected: the streaming runtime evaluates one automaton per
+	// query.
+	Query string `json:"query"`
+	// Filter enables the event filtering optimisation (Section 4.5 of
+	// the paper) on the query's runner.
+	Filter bool `json:"filter,omitempty"`
+	// MaxInstances caps the simultaneous automaton instances; 0 means
+	// unlimited. What happens at the cap is chosen by Policy.
+	MaxInstances int `json:"max_instances,omitempty"`
+	// Policy names the overload policy applied at the MaxInstances
+	// cap: "fail" (default), "reject-new", "drop-oldest" or
+	// "shed-start-states".
+	Policy string `json:"policy,omitempty"`
+	// ShedLowWater is the resume mark of the shed-start-states policy
+	// (default: half the cap).
+	ShedLowWater int `json:"shed_low_water,omitempty"`
+	// Admission selects what happens when the query's mailbox is full:
+	// "block" (default) applies backpressure to the shared ingest,
+	// "drop" sheds the event for this query only (counted in the shed
+	// metric) so one slow query cannot stall the others.
+	Admission string `json:"admission,omitempty"`
+	// Key, when non-empty, runs the query on the sharded parallel
+	// executor partitioned by this attribute instead of the supervised
+	// single runner. Sharded queries do not checkpoint.
+	Key string `json:"key,omitempty"`
+	// Shards is the worker count for sharded mode; 0 means GOMAXPROCS.
+	Shards int `json:"shards,omitempty"`
+	// Slack is the reorder slack in time ticks granted to out-of-order
+	// events (supervised mode; late events dead-letter).
+	Slack int64 `json:"slack,omitempty"`
+	// CheckpointEvery overrides the server's checkpoint cadence for
+	// this query (supervised mode, events between snapshots).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// parsePolicy maps a QuerySpec.Policy name to the engine policy.
+func parsePolicy(s string) (engine.OverloadPolicy, error) {
+	switch s {
+	case "", "fail":
+		return engine.Fail, nil
+	case "reject-new":
+		return engine.RejectNew, nil
+	case "drop-oldest":
+		return engine.DropOldest, nil
+	case "shed-start-states":
+		return engine.ShedStartStates, nil
+	}
+	return engine.Fail, fmt.Errorf("server: unknown overload policy %q", s)
+}
+
+// validID reports whether id is acceptable as a query identifier:
+// non-empty, at most 64 bytes, only [A-Za-z0-9_.-], not starting with
+// a dot (checkpoint files must not be hidden or path-traversing).
+func validID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '_' || c == '-' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// QueryInfo is the externally visible state of a registered query, as
+// returned by GET /queries and GET /queries/{id}.
+type QueryInfo struct {
+	// ID and Query echo the registration spec.
+	ID    string `json:"id"`
+	Query string `json:"query"`
+	// Fingerprint is the automaton's structural digest; two query
+	// texts compiling to the same automaton share it, which is how
+	// duplicate registrations are rejected.
+	Fingerprint string `json:"fingerprint"`
+	// States and Transitions describe the compiled SES automaton
+	// (|Q| and |∆| of the paper's Definition 3).
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
+	// Mode is "supervised" (resilient single runner) or "sharded"
+	// (parallel keyed executor).
+	Mode string `json:"mode"`
+	// Events counts events accepted into the query's mailbox; Shed
+	// counts events dropped for this query by the "drop" admission
+	// policy or because its pipeline had terminated.
+	Events int64 `json:"events"`
+	Shed   int64 `json:"shed"`
+	// Matches counts matches emitted by the query's pipeline.
+	Matches int64 `json:"matches"`
+	// QueueDepth is the current mailbox occupancy.
+	QueueDepth int `json:"queue_depth"`
+	// LogStart and LogEnd delimit the retained match-log offsets:
+	// GET /queries/{id}/matches?from=LogStart replays everything still
+	// buffered, LogEnd is the offset the next match will get.
+	LogStart int64 `json:"log_start"`
+	LogEnd   int64 `json:"log_end"`
+	// Done reports that the pipeline has terminated (drained, removed
+	// or failed); Err carries its terminal error, if any.
+	Done bool   `json:"done"`
+	Err  string `json:"err,omitempty"`
+}
+
+// matchLog is a bounded, offset-addressed ring of pre-encoded match
+// JSON lines. Offsets grow monotonically from 0 as matches are
+// appended; once the ring is full the oldest lines are discarded and
+// the start offset advances. Readers poll read and block on the
+// returned notify channel for live follow.
+type matchLog struct {
+	mu     sync.Mutex
+	ring   [][]byte
+	base   int64 // offset of ring[start]
+	start  int   // index of the oldest retained line
+	count  int
+	notify chan struct{} // closed and replaced on append; nil once closed
+	done   bool
+}
+
+func newMatchLog(capacity int) *matchLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &matchLog{ring: make([][]byte, capacity), notify: make(chan struct{})}
+}
+
+// append adds one encoded match line, evicting the oldest line when
+// the ring is full, and wakes all follow readers.
+func (l *matchLog) append(line []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	if l.count == len(l.ring) {
+		l.ring[l.start] = nil
+		l.start = (l.start + 1) % len(l.ring)
+		l.base++
+		l.count--
+	}
+	l.ring[(l.start+l.count)%len(l.ring)] = line
+	l.count++
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// close marks the log complete — no further appends — and wakes all
+// follow readers so they can observe the end of the stream.
+func (l *matchLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	close(l.notify)
+	l.notify = nil
+}
+
+// read returns every retained line at offset >= from, the offset
+// following the last returned line, and a channel that is closed on
+// the next append — nil once the log is complete. Offsets older than
+// the retention window are skipped (next reports how far the reader
+// actually is).
+func (l *matchLog) read(from int64) (lines [][]byte, next int64, wait <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		from = l.base
+	}
+	next = from
+	for next < l.base+int64(l.count) {
+		lines = append(lines, l.ring[(l.start+int(next-l.base))%len(l.ring)])
+		next++
+	}
+	return lines, next, l.notify
+}
+
+// bounds returns the retained offset window [start, end).
+func (l *matchLog) bounds() (start, end int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base, l.base + int64(l.count)
+}
+
+// validate checks the parts of a spec that do not require compiling
+// the query text.
+func (spec *QuerySpec) validate(schema *event.Schema) error {
+	if !validID(spec.ID) {
+		return fmt.Errorf("server: invalid query id %q (want [A-Za-z0-9_.-]{1,64}, not starting with '.')", spec.ID)
+	}
+	if spec.Query == "" {
+		return fmt.Errorf("server: query %q has empty query text", spec.ID)
+	}
+	if _, err := parsePolicy(spec.Policy); err != nil {
+		return err
+	}
+	switch spec.Admission {
+	case "", "block", "drop":
+	default:
+		return fmt.Errorf("server: unknown admission mode %q (want \"block\" or \"drop\")", spec.Admission)
+	}
+	if spec.Key != "" {
+		if _, ok := schema.Index(spec.Key); !ok {
+			return fmt.Errorf("server: shard key %q is not a schema attribute (%s)", spec.Key, schema)
+		}
+	}
+	if spec.Slack < 0 {
+		return fmt.Errorf("server: negative reorder slack %d", spec.Slack)
+	}
+	return nil
+}

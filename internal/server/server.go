@@ -1,0 +1,630 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+	"repro/internal/query"
+	"repro/internal/resilience"
+)
+
+// Sentinel errors returned by the registry and ingest operations. The
+// HTTP layer maps them to status codes (see Handler).
+var (
+	// ErrDraining rejects registrations and ingest after Drain began.
+	ErrDraining = errors.New("server: draining")
+	// ErrDuplicate rejects a registration whose id is taken or whose
+	// automaton fingerprint equals an already-registered query's.
+	ErrDuplicate = errors.New("server: duplicate query")
+	// ErrNotFound reports an unknown query id.
+	ErrNotFound = errors.New("server: no such query")
+)
+
+// Config parameterizes a Server. Schema is required; every other
+// field has a working default.
+type Config struct {
+	// Schema is the event schema of the ingest stream. Every
+	// registered query compiles against it.
+	Schema *event.Schema
+	// Registry, when non-nil, receives the server's metrics and those
+	// of every per-query pipeline (labeled query="<id>"), and is
+	// served on /metrics by Handler.
+	Registry *obs.Registry
+	// Mailbox is the capacity of each query's input mailbox
+	// (default 1024). Together with the per-query Admission mode it
+	// bounds how far a slow query may lag the shared ingest.
+	Mailbox int
+	// MatchLog is the number of encoded matches retained per query for
+	// the streaming endpoint (default 4096); older matches are evicted.
+	MatchLog int
+	// CheckpointDir, when non-empty, persists supervised runner
+	// checkpoints as <dir>/<id>.ckpt and the query manifest as
+	// <dir>/queries.json. A server started over an existing directory
+	// re-registers the manifest queries and resumes their checkpoints.
+	CheckpointDir string
+	// CheckpointEvery is the default checkpoint cadence in events for
+	// supervised queries (default 256); QuerySpec.CheckpointEvery
+	// overrides it per query.
+	CheckpointEvery int
+	// DrainTimeout caps how long Drain waits for the per-query
+	// pipelines to flush (default 30s).
+	DrainTimeout time.Duration
+}
+
+// Server fans one ingested event stream out to a registry of
+// concurrently running SES queries. Create it with New; all methods
+// are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// ingestMu serializes Ingest calls: events enter every mailbox in
+	// one global order, so each query's Seq numbering matches the
+	// stream positions a standalone evaluation would see.
+	ingestMu sync.Mutex
+
+	mu       sync.RWMutex
+	queries  map[string]*queryState
+	order    []string // registration order, for stable listings
+	draining bool
+
+	drainOnce sync.Once
+	drainErr  error
+
+	eventsIngested *obs.Counter
+	ingestBatches  *obs.Counter
+}
+
+// queryState is one registered query and its running pipeline.
+type queryState struct {
+	spec QuerySpec
+	auto *automaton.Automaton
+	fp   string
+	mode string // "supervised" | "sharded"
+
+	mailbox chan event.Event
+	// removed is closed by RemoveQuery so a blocked mailbox send
+	// unblocks immediately; the pipeline context is cancelled with it.
+	removed chan struct{}
+	// finished is closed when the pipeline's match channel has closed
+	// and the match log is complete.
+	finished chan struct{}
+	cancel   context.CancelFunc
+
+	log *matchLog
+	sup *resilience.Supervisor // nil in sharded mode
+	shr *engine.ShardedRunner  // nil in supervised mode
+
+	events  *obs.Counter
+	shed    *obs.Counter
+	matches *obs.Counter
+
+	errMu sync.Mutex
+	err   error
+}
+
+func (q *queryState) setErr(err error) {
+	if err == nil {
+		return
+	}
+	q.errMu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.errMu.Unlock()
+}
+
+func (q *queryState) terminalErr() error {
+	q.errMu.Lock()
+	defer q.errMu.Unlock()
+	return q.err
+}
+
+// info renders the query's externally visible state.
+func (q *queryState) info() QueryInfo {
+	start, end := q.log.bounds()
+	done := false
+	select {
+	case <-q.finished:
+		done = true
+	default:
+	}
+	info := QueryInfo{
+		ID:          q.spec.ID,
+		Query:       q.spec.Query,
+		Fingerprint: q.fp,
+		States:      q.auto.NumStates(),
+		Transitions: q.auto.NumTransitions(),
+		Mode:        q.mode,
+		Events:      q.events.Value(),
+		Shed:        q.shed.Value(),
+		Matches:     q.matches.Value(),
+		QueueDepth:  len(q.mailbox),
+		LogStart:    start,
+		LogEnd:      end,
+		Done:        done,
+	}
+	if err := q.terminalErr(); err != nil {
+		info.Err = err.Error()
+	}
+	return info
+}
+
+// New creates a Server and, when Config.CheckpointDir holds a query
+// manifest from a previous drained run, re-registers those queries and
+// resumes their checkpoints.
+func New(cfg Config) (*Server, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("server: Config.Schema is required")
+	}
+	if cfg.Mailbox <= 0 {
+		cfg.Mailbox = 1024
+	}
+	if cfg.MatchLog <= 0 {
+		cfg.MatchLog = 4096
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 256
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		queries: make(map[string]*queryState),
+	}
+	if cfg.Registry != nil {
+		s.eventsIngested = cfg.Registry.Counter("ses_server_events_ingested_total",
+			"Events accepted by the shared ingest path.")
+		s.ingestBatches = cfg.Registry.Counter("ses_server_ingest_batches_total",
+			"Ingest batches accepted.")
+		cfg.Registry.GaugeFunc("ses_server_queries_active",
+			"Currently registered queries.",
+			func() int64 {
+				s.mu.RLock()
+				defer s.mu.RUnlock()
+				return int64(len(s.queries))
+			})
+	} else {
+		s.eventsIngested = &obs.Counter{}
+		s.ingestBatches = &obs.Counter{}
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			cancel()
+			return nil, err
+		}
+		specs, err := loadManifest(filepath.Join(cfg.CheckpointDir, "queries.json"))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		for _, spec := range specs {
+			if _, err := s.AddQuery(spec); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("server: restoring query %q from manifest: %w", spec.ID, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// compile turns a spec's query text into its single-variant SES
+// automaton.
+func (s *Server) compile(spec QuerySpec) (*automaton.Automaton, error) {
+	p, err := query.Parse(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	variants, err := pattern.ExpandOptionals(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(variants) != 1 {
+		return nil, fmt.Errorf("server: query %q expands into %d variant automata; the serving runtime requires single-variant queries (no optional variables)", spec.ID, len(variants))
+	}
+	return automaton.Compile(variants[0], s.cfg.Schema)
+}
+
+// AddQuery compiles and registers a query and starts its pipeline. It
+// returns ErrDuplicate when the id is taken or another registered
+// query compiles to the same automaton fingerprint, and ErrDraining
+// after Drain has begun.
+func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
+	if err := spec.validate(s.cfg.Schema); err != nil {
+		return QueryInfo{}, err
+	}
+	auto, err := s.compile(spec)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	fp := auto.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return QueryInfo{}, ErrDraining
+	}
+	if _, ok := s.queries[spec.ID]; ok {
+		return QueryInfo{}, fmt.Errorf("%w: id %q is already registered", ErrDuplicate, spec.ID)
+	}
+	for _, other := range s.queries {
+		if other.fp == fp {
+			return QueryInfo{}, fmt.Errorf("%w: %q compiles to the same automaton as registered query %q (fingerprint %s)",
+				ErrDuplicate, spec.ID, other.spec.ID, fp)
+		}
+	}
+
+	q, err := s.startPipeline(spec, auto, fp)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	s.queries[spec.ID] = q
+	s.order = append(s.order, spec.ID)
+	if err := s.saveManifestLocked(); err != nil {
+		return q.info(), err
+	}
+	return q.info(), nil
+}
+
+// startPipeline builds the query's mailbox, evaluator and match
+// collector. Called with s.mu held.
+func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp string) (*queryState, error) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	q := &queryState{
+		spec:     spec,
+		auto:     auto,
+		fp:       fp,
+		mailbox:  make(chan event.Event, s.cfg.Mailbox),
+		removed:  make(chan struct{}),
+		finished: make(chan struct{}),
+		cancel:   cancel,
+		log:      newMatchLog(s.cfg.MatchLog),
+	}
+	if reg := s.cfg.Registry; reg != nil {
+		label := []string{"query", spec.ID}
+		q.events = reg.Counter(obs.SeriesName("ses_server_query_events_total", label...),
+			"Events accepted into the query's mailbox.")
+		q.shed = reg.Counter(obs.SeriesName("ses_server_query_shed_total", label...),
+			"Events dropped for this query by admission control or after pipeline termination.")
+		q.matches = reg.Counter(obs.SeriesName("ses_server_query_matches_total", label...),
+			"Matches emitted by the query's pipeline.")
+		mailbox := q.mailbox
+		reg.GaugeFunc(obs.SeriesName("ses_server_query_queue_depth", label...),
+			"Events queued in the query's mailbox.",
+			func() int64 { return int64(len(mailbox)) })
+	} else {
+		q.events, q.shed, q.matches = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+	}
+
+	pol, _ := parsePolicy(spec.Policy) // validated in spec.validate
+	opts := []engine.Option{engine.WithFilter(spec.Filter)}
+	if spec.MaxInstances > 0 {
+		opts = append(opts,
+			engine.WithMaxInstances(spec.MaxInstances),
+			engine.WithOverloadPolicy(pol))
+		if spec.ShedLowWater > 0 {
+			opts = append(opts, engine.WithShedLowWater(spec.ShedLowWater))
+		}
+	}
+
+	var matches <-chan engine.Match
+	if spec.Key != "" {
+		q.mode = "sharded"
+		if s.cfg.Registry != nil {
+			opts = append(opts,
+				engine.WithMetricsRegistry(s.cfg.Registry),
+				engine.WithMetricLabels("query", spec.ID))
+		}
+		shr, err := engine.NewSharded(auto, spec.Key, spec.Shards, opts...)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		out, err := shr.Run(ctx, q.mailbox)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		q.shr, matches = shr, out
+	} else {
+		q.mode = "supervised"
+		rcfg := resilience.Config{
+			Slack:           event.Duration(spec.Slack),
+			CheckpointEvery: spec.CheckpointEvery,
+			Registry:        s.cfg.Registry,
+			MetricLabels:    []string{"query", spec.ID},
+		}
+		if rcfg.CheckpointEvery <= 0 {
+			rcfg.CheckpointEvery = s.cfg.CheckpointEvery
+		}
+		if s.cfg.CheckpointDir != "" {
+			rcfg.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, spec.ID+".ckpt")
+			rcfg.Resume = true
+			rcfg.CheckpointOnDrain = true
+		}
+		out, sup := resilience.Supervise(ctx, auto, opts, q.mailbox, rcfg)
+		q.sup, matches = sup, out
+	}
+
+	go s.collect(q, matches)
+	return q, nil
+}
+
+// collect drains a pipeline's match channel into the query's match
+// log, encoding each match once. It closes the log and the finished
+// channel when the pipeline terminates.
+func (s *Server) collect(q *queryState, matches <-chan engine.Match) {
+	defer close(q.finished)
+	defer q.log.close()
+	for m := range matches {
+		b, err := engine.MatchJSON(m, s.cfg.Schema)
+		if err != nil {
+			q.setErr(err)
+			continue
+		}
+		q.log.append(b)
+		q.matches.Inc()
+	}
+	if q.sup != nil {
+		q.setErr(q.sup.Err())
+	} else if q.shr != nil {
+		q.setErr(q.shr.Err())
+	}
+}
+
+// RemoveQuery unregisters the query, stops its pipeline and retires
+// its metric series. In-flight state is discarded; the match log stays
+// readable through an already-held reference, but the query no longer
+// appears in the registry.
+func (s *Server) RemoveQuery(id string) error {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	delete(s.queries, id)
+	for i, qid := range s.order {
+		if qid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	err := s.saveManifestLocked()
+	s.mu.Unlock()
+
+	close(q.removed)
+	q.cancel()
+	if reg := s.cfg.Registry; reg != nil {
+		tag := fmt.Sprintf("query=%q", id)
+		reg.UnregisterMatching(func(name string) bool { return strings.Contains(name, tag) })
+	}
+	return err
+}
+
+// Query returns the state of one registered query.
+func (s *Server) Query(id string) (QueryInfo, error) {
+	s.mu.RLock()
+	q, ok := s.queries[id]
+	s.mu.RUnlock()
+	if !ok {
+		return QueryInfo{}, ErrNotFound
+	}
+	return q.info(), nil
+}
+
+// Queries lists all registered queries in registration order.
+func (s *Server) Queries() []QueryInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]QueryInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.queries[id].info())
+	}
+	return out
+}
+
+// Matches returns the retained encoded match lines (engine.MatchJSON
+// objects) of a query at offsets >= from; see QueryInfo.LogStart and
+// LogEnd for the retention window. The HTTP streaming endpoint is the
+// same data with live follow.
+func (s *Server) Matches(id string, from int64) ([][]byte, error) {
+	q, ok := s.lookup(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	lines, _, _ := q.log.read(from)
+	return lines, nil
+}
+
+// lookup returns the live state of a query, for the HTTP layer.
+func (s *Server) lookup(id string) (*queryState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q, ok := s.queries[id]
+	return q, ok
+}
+
+// Ingest validates a batch of events and dispatches each one to every
+// registered query's mailbox, in order. The batch is rejected as a
+// whole (nothing dispatched) when any event fails schema validation
+// or carries a reserved sentinel timestamp. A query whose mailbox is
+// full blocks the ingest ("block" admission, the default) or sheds the
+// event ("drop"); a query whose pipeline has terminated sheds. It
+// returns the number of events dispatched.
+func (s *Server) Ingest(events []event.Event) (int, error) {
+	for i := range events {
+		if err := s.cfg.Schema.Check(events[i].Attrs); err != nil {
+			return 0, fmt.Errorf("server: event %d: %w", i, err)
+		}
+		if event.SentinelTime(events[i].Time) {
+			return 0, fmt.Errorf("server: event %d: timestamp %d is a reserved sentinel", i, events[i].Time)
+		}
+	}
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return 0, ErrDraining
+	}
+	targets := make([]*queryState, 0, len(s.order))
+	for _, id := range s.order {
+		targets = append(targets, s.queries[id])
+	}
+	s.mu.RUnlock()
+
+	for i := range events {
+		for _, q := range targets {
+			s.deliver(q, events[i])
+		}
+	}
+	s.eventsIngested.Add(int64(len(events)))
+	s.ingestBatches.Inc()
+	return len(events), nil
+}
+
+// deliver routes one event into a query's mailbox under its admission
+// policy. It never blocks indefinitely: a removal or pipeline
+// termination unblocks a full mailbox, counting the event as shed.
+func (s *Server) deliver(q *queryState, e event.Event) {
+	if q.spec.Admission == "drop" {
+		select {
+		case q.mailbox <- e:
+			q.events.Inc()
+		default:
+			q.shed.Inc()
+		}
+		return
+	}
+	select {
+	case q.mailbox <- e:
+		q.events.Inc()
+	case <-q.removed:
+		q.shed.Inc()
+	case <-q.finished:
+		q.shed.Inc()
+	}
+}
+
+// Drain shuts the server down gracefully: it stops admitting ingest
+// and registrations, closes every query's mailbox so the pipelines
+// consume their backlog, flush their windows (the end-of-input matches
+// of Definition 2) and — for supervised queries with a checkpoint
+// directory — write a final checkpoint, then persists the query
+// manifest. It waits up to Config.DrainTimeout (and ctx) for the
+// pipelines to finish; queries still running after that are cancelled
+// and an error is returned. Drain is idempotent: concurrent and
+// repeated calls share the first call's outcome.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	targets := make([]*queryState, 0, len(s.order))
+	for _, id := range s.order {
+		targets = append(targets, s.queries[id])
+	}
+	s.mu.Unlock()
+
+	// Wait out any in-flight Ingest; later ones observe draining.
+	s.ingestMu.Lock()
+	for _, q := range targets {
+		close(q.mailbox)
+	}
+	s.ingestMu.Unlock()
+
+	timeout := time.NewTimer(s.cfg.DrainTimeout)
+	defer timeout.Stop()
+	var err error
+	for _, q := range targets {
+		select {
+		case <-q.finished:
+		case <-timeout.C:
+			err = fmt.Errorf("server: drain timed out after %s waiting for query %q", s.cfg.DrainTimeout, q.spec.ID)
+		case <-ctx.Done():
+			err = fmt.Errorf("server: drain aborted waiting for query %q: %w", q.spec.ID, ctx.Err())
+		}
+		if err != nil {
+			break
+		}
+	}
+	s.cancel() // stop any pipeline still running after a timeout
+
+	s.mu.Lock()
+	merr := s.saveManifestLocked()
+	s.mu.Unlock()
+	if err == nil {
+		err = merr
+	}
+	return err
+}
+
+// Close stops the server immediately, cancelling every pipeline
+// without flushing or checkpointing. Use Drain for a graceful stop.
+func (s *Server) Close() { s.cancel() }
+
+// manifest is the persisted query set, written to
+// CheckpointDir/queries.json.
+type manifest struct {
+	Queries []QuerySpec `json:"queries"`
+}
+
+// saveManifestLocked persists the registered specs in registration
+// order. Called with s.mu held; a no-op without a checkpoint dir.
+func (s *Server) saveManifestLocked() error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	m := manifest{Queries: make([]QuerySpec, 0, len(s.order))}
+	for _, id := range s.order {
+		m.Queries = append(m.Queries, s.queries[id].spec)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, "queries.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadManifest reads a query manifest; a missing file is an empty set.
+func loadManifest(path string) ([]QuerySpec, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: reading manifest %s: %w", path, err)
+	}
+	return m.Queries, nil
+}

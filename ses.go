@@ -47,6 +47,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/query"
 	"repro/internal/resilience"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -327,9 +328,43 @@ var (
 	// evaluators (ShardedRunner, Supervise via SuperviseConfig.Registry)
 	// export live gauges and counters.
 	WithMetricsRegistry = engine.WithMetricsRegistry
+	// WithMetricLabels attaches label key/value pairs to every metric
+	// series an evaluator registers, so several evaluators can share
+	// one registry without colliding on series names.
+	WithMetricLabels = engine.WithMetricLabels
 	// WithTrace installs a hook invoked for every instance-lifecycle
 	// event (spawn, transition, expire, shed, match).
 	WithTrace = engine.WithTrace
+)
+
+// Serving-layer re-exports: the multi-query server behind cmd/sesd.
+// See package internal/server for full documentation.
+type (
+	// Server fans one ingested event stream out to a registry of
+	// concurrently running SES queries, each evaluated by its own
+	// supervised or sharded pipeline behind a bounded mailbox, with
+	// matches streamed over HTTP as NDJSON or SSE.
+	Server = server.Server
+	// ServerConfig parameterizes NewServer.
+	ServerConfig = server.Config
+	// QuerySpec is the registration request for one served query.
+	QuerySpec = server.QuerySpec
+	// QueryInfo is the externally visible state of a served query.
+	QueryInfo = server.QueryInfo
+)
+
+var (
+	// NewServer creates a multi-query serving layer over one event
+	// schema; see Server.Handler for its HTTP API.
+	NewServer = server.New
+	// ErrServerDraining rejects registrations and ingest after
+	// Server.Drain has begun.
+	ErrServerDraining = server.ErrDraining
+	// ErrDuplicateQuery rejects a registration whose id is taken or
+	// whose automaton fingerprint equals a registered query's.
+	ErrDuplicateQuery = server.ErrDuplicate
+	// ErrQueryNotFound reports an unknown query id.
+	ErrQueryNotFound = server.ErrNotFound
 )
 
 // TraceJSON returns an evaluation option that streams every
