@@ -17,6 +17,17 @@
 //	-checkpoint-dir DIR    persist checkpoints and the query manifest
 //	-checkpoint-every N    events between checkpoints (default 256)
 //	-drain-timeout D       max graceful-drain wait (default 30s)
+//	-wal-dir DIR           append every admitted event to a durable
+//	                       segmented log in DIR before fan-out
+//	-fsync POLICY          WAL flush policy: always, interval or never
+//	                       (default interval)
+//	-fsync-interval D      flush period of the interval policy
+//	                       (default 100ms)
+//	-segment-bytes N       WAL segment rotation size (default 64 MiB)
+//	-retain-bytes N        reclaim oldest WAL segments beyond this
+//	                       total size (default: keep everything)
+//	-retain-age D          reclaim WAL segments older than D
+//	                       (default: keep everything)
 //
 // The HTTP API (see docs/OPERATIONS.md for the full reference):
 //
@@ -35,6 +46,13 @@
 // window, supervised queries write a final checkpoint, and the query
 // set is persisted. A sesd restarted with the same -checkpoint-dir
 // re-registers the persisted queries and resumes their checkpoints.
+//
+// With -wal-dir the server additionally owns its ingest durability: a
+// crashed or killed sesd restarted over the same directories rebuilds
+// every query by replaying its own log from the per-query checkpoint
+// watermark (or registration offset) — the upstream source does not
+// re-send anything — and POST /queries?backfill=true bootstraps a new
+// query from the retained history.
 package main
 
 import (
@@ -61,6 +79,12 @@ type options struct {
 	checkpointDir   string
 	checkpointEvery int
 	drainTimeout    time.Duration
+	walDir          string
+	fsync           string
+	fsyncInterval   time.Duration
+	segmentBytes    int64
+	retainBytes     int64
+	retainAge       time.Duration
 }
 
 func main() {
@@ -72,6 +96,12 @@ func main() {
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for checkpoints and the query manifest")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "events between checkpoints (default 256)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain wait on shutdown")
+	flag.StringVar(&o.walDir, "wal-dir", "", "directory for the durable ingest WAL (enables crash replay and backfill)")
+	flag.StringVar(&o.fsync, "fsync", "", "WAL flush policy: always, interval or never (default interval)")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "flush period of the interval policy (default 100ms)")
+	flag.Int64Var(&o.segmentBytes, "segment-bytes", 0, "WAL segment rotation size in bytes (default 64 MiB)")
+	flag.Int64Var(&o.retainBytes, "retain-bytes", 0, "reclaim oldest WAL segments beyond this total size (default: keep everything)")
+	flag.DurationVar(&o.retainAge, "retain-age", 0, "reclaim WAL segments older than this (default: keep everything)")
 	flag.Parse()
 	if err := run(o, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sesd:", err)
@@ -116,13 +146,19 @@ func run(o options, logw *os.File, ready chan<- string) error {
 	}
 	reg := ses.NewMetricsRegistry()
 	srv, err := ses.NewServer(ses.ServerConfig{
-		Schema:          schema,
-		Registry:        reg,
-		Mailbox:         o.mailbox,
-		MatchLog:        o.matchLog,
-		CheckpointDir:   o.checkpointDir,
-		CheckpointEvery: o.checkpointEvery,
-		DrainTimeout:    o.drainTimeout,
+		Schema:           schema,
+		Registry:         reg,
+		Mailbox:          o.mailbox,
+		MatchLog:         o.matchLog,
+		CheckpointDir:    o.checkpointDir,
+		CheckpointEvery:  o.checkpointEvery,
+		DrainTimeout:     o.drainTimeout,
+		WALDir:           o.walDir,
+		WALFsync:         o.fsync,
+		WALFsyncInterval: o.fsyncInterval,
+		WALSegmentBytes:  o.segmentBytes,
+		WALRetainBytes:   o.retainBytes,
+		WALRetainAge:     o.retainAge,
 	})
 	if err != nil {
 		return err

@@ -1,15 +1,21 @@
 // Command sesgen generates synthetic chemotherapy event relations (the
 // substitute for the paper's proprietary hospital dataset, see
-// DESIGN.md) and writes them as typed CSV files readable by sesmatch.
+// DESIGN.md) and writes them as typed CSV files readable by sesmatch,
+// or as NDJSON ingest batches for the sesd server.
 //
 // Usage:
 //
 //	sesgen [-profile tiny|small|paper] [-patients N] [-cycles N]
-//	       [-noise F] [-seed N] [-dup K] [-o FILE] [-stats]
+//	       [-noise F] [-seed N] [-dup K] [-ndjson] [-o FILE] [-stats]
 //
 // With -dup K every event is duplicated K times, producing the
-// datasets D2..D5 of the evaluation. Without -o the CSV goes to
-// stdout.
+// datasets D2..D5 of the evaluation. With -ndjson the output is one
+// {"time": T, "attrs": {...}} object per line — the body format of
+// sesd's POST /events — so a dataset streams straight into a server:
+//
+//	sesgen -profile small -ndjson | curl --data-binary @- http://localhost:8134/events
+//
+// Without -o the output goes to stdout.
 package main
 
 import (
@@ -29,17 +35,18 @@ func main() {
 		noise    = flag.Float64("noise", -1, "override noise events per patient per day")
 		seed     = flag.Int64("seed", 0, "override the PRNG seed")
 		dup      = flag.Int("dup", 1, "duplicate every event K times (datasets D2..D5)")
+		ndjson   = flag.Bool("ndjson", false, "write NDJSON ingest lines for sesd's POST /events instead of CSV")
 		out      = flag.String("o", "", "output file (default stdout)")
 		stats    = flag.Bool("stats", false, "print dataset statistics to stderr")
 	)
 	flag.Parse()
-	if err := run(*profile, *patients, *cycles, *noise, *seed, *dup, *out, *stats); err != nil {
+	if err := run(*profile, *patients, *cycles, *noise, *seed, *dup, *ndjson, *out, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "sesgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, patients, cycles int, noise float64, seed int64, dup int, out string, stats bool) error {
+func run(profile string, patients, cycles int, noise float64, seed int64, dup int, ndjson bool, out string, stats bool) error {
 	var cfg chemo.Config
 	switch profile {
 	case "tiny":
@@ -77,8 +84,14 @@ func run(profile string, patients, cycles int, noise float64, seed int64, dup in
 	if stats {
 		fmt.Fprintln(os.Stderr, chemo.Describe(rel))
 	}
-	if out == "" {
+	switch {
+	case ndjson && out == "":
+		return store.WriteNDJSON(os.Stdout, rel)
+	case ndjson:
+		return store.SaveNDJSONFile(out, rel)
+	case out == "":
 		return store.Write(os.Stdout, rel)
+	default:
+		return store.SaveFile(out, rel)
 	}
-	return store.SaveFile(out, rel)
 }

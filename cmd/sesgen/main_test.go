@@ -1,17 +1,20 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/event"
 	"repro/internal/store"
 )
 
 func TestRunGeneratesCSV(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "d1.csv")
-	if err := run("tiny", 0, 0, -1, 0, 1, out, true); err != nil {
+	if err := run("tiny", 0, 0, -1, 0, 1, false, out, true); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := store.LoadFile(out, store.ReadOptions{})
@@ -30,10 +33,10 @@ func TestRunOverridesAndDup(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.csv")
 	dup := filepath.Join(dir, "dup.csv")
-	if err := run("tiny", 2, 1, 0.5, 99, 1, base, false); err != nil {
+	if err := run("tiny", 2, 1, 0.5, 99, 1, false, base, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("tiny", 2, 1, 0.5, 99, 3, dup, false); err != nil {
+	if err := run("tiny", 2, 1, 0.5, 99, 3, false, dup, false); err != nil {
 		t.Fatal(err)
 	}
 	b, err := store.LoadFile(base, store.ReadOptions{})
@@ -49,15 +52,81 @@ func TestRunOverridesAndDup(t *testing.T) {
 	}
 }
 
+// TestRunGeneratesNDJSON checks the -ndjson output decodes back to the
+// same events the CSV writer produces, in sesd's ingest line format.
+func TestRunGeneratesNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	csvOut := filepath.Join(dir, "d1.csv")
+	ndOut := filepath.Join(dir, "d1.ndjson")
+	if err := run("tiny", 2, 1, 0.5, 7, 1, false, csvOut, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("tiny", 2, 1, 0.5, 7, 1, true, ndOut, false); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := store.LoadFile(csvOut, store.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ndOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != rel.Len() {
+		t.Fatalf("ndjson has %d lines, relation has %d events", len(lines), rel.Len())
+	}
+	schema := rel.Schema()
+	for i, line := range lines {
+		var obj struct {
+			Time  *int64                     `json:"time"`
+			Attrs map[string]json.RawMessage `json:"attrs"`
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields() // exactly the shape sesd's /events accepts
+		if err := dec.Decode(&obj); err != nil {
+			t.Fatalf("line %d: %v\n%s", i+1, err, line)
+		}
+		e := rel.Event(i)
+		if obj.Time == nil || *obj.Time != int64(e.Time) {
+			t.Fatalf("line %d: time = %v, want %d", i+1, obj.Time, e.Time)
+		}
+		if len(obj.Attrs) != schema.NumFields() {
+			t.Fatalf("line %d: %d attrs, want %d", i+1, len(obj.Attrs), schema.NumFields())
+		}
+		for j := 0; j < schema.NumFields(); j++ {
+			f := schema.Field(j)
+			raw, ok := obj.Attrs[f.Name]
+			if !ok {
+				t.Fatalf("line %d: missing attribute %q", i+1, f.Name)
+			}
+			var got string
+			switch f.Type {
+			case event.TypeString:
+				var s string
+				if err := json.Unmarshal(raw, &s); err != nil {
+					t.Fatalf("line %d, %s: %v", i+1, f.Name, err)
+				}
+				got = s
+			default:
+				got = strings.TrimSpace(string(raw))
+			}
+			if want := e.Attrs[j].Encode(); got != want {
+				t.Errorf("line %d, %s = %q, want %q", i+1, f.Name, got, want)
+			}
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := []struct {
 		name string
 		err  string
 		call func() error
 	}{
-		{"bad profile", "unknown profile", func() error { return run("huge", 0, 0, -1, 0, 1, "", false) }},
-		{"bad dup", "-dup", func() error { return run("tiny", 0, 0, -1, 0, 0, "", false) }},
-		{"bad dir", "", func() error { return run("tiny", 0, 0, -1, 0, 1, "/nonexistent/dir/x.csv", false) }},
+		{"bad profile", "unknown profile", func() error { return run("huge", 0, 0, -1, 0, 1, false, "", false) }},
+		{"bad dup", "-dup", func() error { return run("tiny", 0, 0, -1, 0, 0, false, "", false) }},
+		{"bad dir", "", func() error { return run("tiny", 0, 0, -1, 0, 1, false, "/nonexistent/dir/x.csv", false) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

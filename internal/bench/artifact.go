@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/chemo"
 	"repro/internal/engine"
 	"repro/internal/paperdata"
+	"repro/internal/wal"
 )
 
 // ArtifactEntry is one benchmark measurement of the machine-readable
@@ -50,29 +53,31 @@ type artifactCase struct {
 	run  func() (int64, int, error)
 }
 
-// artifactCases builds the benchmark suite over the prepared datasets.
-// The selection mirrors the experiments whose hot paths the engine
+// artifactCases builds the benchmark suite over the prepared datasets
+// and returns a cleanup releasing its scratch directories. The
+// selection mirrors the experiments whose hot paths the engine
 // optimises: Exp-1 P1 (mutually exclusive sets), Exp-3 P5 with the
-// Section 4.5 filter, the running-example throughput query, and the
-// partitioned evaluation sequential vs sharded.
-func artifactCases(ds []Dataset) ([]artifactCase, error) {
+// Section 4.5 filter, the running-example throughput query, the
+// partitioned evaluation sequential vs sharded, and the durable-ingest
+// paths (WAL append, backfill replay).
+func artifactCases(ds []Dataset) ([]artifactCase, func(), error) {
 	d1 := ds[0]
 
 	p1, err := Exclusive(4)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	a1, err := automaton.Compile(p1, d1.Rel.Schema())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	a5, err := automaton.Compile(P5(), d1.Rel.Schema())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	aq1, err := automaton.Compile(paperdata.QueryQ1(), d1.Rel.Schema())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	runOn := func(a *automaton.Automaton, d Dataset, opts ...engine.Option) func() (int64, int, error) {
@@ -117,7 +122,36 @@ func artifactCases(ds []Dataset) ([]artifactCase, error) {
 			return 0, n, err
 		}},
 	)
-	return cases, nil
+	// The durable ingest paths: appending the stream to the WAL under
+	// the two deterministic fsync policies ("always" is measured by
+	// BenchmarkWALAppend but kept out of the gated baseline — its cost
+	// is the device's, not the code's), and bootstrapping a query from
+	// retained history.
+	scratch, err := os.MkdirTemp("", "sesbench-wal-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(scratch) }
+	backfillDir := filepath.Join(scratch, "backfill")
+	if err := FillWAL(backfillDir, d1); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	cases = append(cases,
+		artifactCase{"WALAppend/fsync=never/" + d1.Name, func() (int64, int, error) {
+			n, err := RunWALAppend(filepath.Join(scratch, "never"), d1, wal.FsyncNever)
+			return 0, n, err
+		}},
+		artifactCase{"WALAppend/fsync=interval/" + d1.Name, func() (int64, int, error) {
+			n, err := RunWALAppend(filepath.Join(scratch, "interval"), d1, wal.FsyncInterval)
+			return 0, n, err
+		}},
+		artifactCase{"BackfillReplay/q1/" + d1.Name, func() (int64, int, error) {
+			n, err := RunBackfillReplay(backfillDir)
+			return 0, n, err
+		}},
+	)
+	return cases, cleanup, nil
 }
 
 // BuildArtifact generates the datasets for cfg and measures the
@@ -128,10 +162,11 @@ func BuildArtifact(cfg chemo.Config, profile string, k int) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	cases, err := artifactCases(ds)
+	cases, cleanup, err := artifactCases(ds)
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
 	art := &Artifact{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// walAppendBatch is the ingest batch size of the WAL append benchmark,
+// matching the serving layer's typical /events batch granularity.
+const walAppendBatch = 128
+
+// RunWALAppend appends the dataset to a fresh WAL in dir under the
+// given fsync policy, in ingest-sized batches, and returns the record
+// count (the correctness fingerprint). The directory is wiped first so
+// every run measures the same work.
+func RunWALAppend(dir string, d Dataset, policy wal.FsyncPolicy) (int, error) {
+	if err := os.RemoveAll(dir); err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	l, err := wal.Open(wal.Options{Dir: dir, Schema: d.Rel.Schema(), Fsync: policy})
+	if err != nil {
+		return 0, err
+	}
+	events := d.Rel.Events()
+	for i := 0; i < len(events); i += walAppendBatch {
+		j := i + walAppendBatch
+		if j > len(events) {
+			j = len(events)
+		}
+		if _, err := l.AppendBatch(events[i:j]); err != nil {
+			l.Close()
+			return 0, err
+		}
+	}
+	if err := l.Close(); err != nil {
+		return 0, err
+	}
+	return int(l.NextOffset()), nil
+}
+
+// FillWAL writes the dataset into a WAL in dir once, as the prepared
+// history the backfill benchmark replays.
+func FillWAL(dir string, d Dataset) error {
+	_, err := RunWALAppend(dir, d, wal.FsyncNever)
+	return err
+}
+
+// RunBackfillReplay registers the paper's Q1 with backfill on a server
+// whose WAL directory already holds the dataset (see FillWAL), waits
+// for the catch-up feeder to hand off at the tail, drains, and returns
+// the match count — the whole ingest-free bootstrap path: segment
+// reads, record decoding, mailbox delivery and query evaluation.
+func RunBackfillReplay(dir string) (int, error) {
+	s, err := server.New(server.Config{
+		Schema:   chemoSchema(),
+		WALDir:   dir,
+		WALFsync: "never",
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.AddQueryBackfill(server.QuerySpec{ID: "q1", Query: paperdata.QueryQ1Text, Filter: true}); err != nil {
+		s.Close()
+		return 0, err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		info, err := s.Query("q1")
+		if err != nil {
+			s.Close()
+			return 0, err
+		}
+		if !info.CatchingUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			s.Close()
+			return 0, fmt.Errorf("backfill never caught up: %+v", info)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		return 0, err
+	}
+	info, err := s.Query("q1")
+	if err != nil {
+		return 0, err
+	}
+	if info.Err != "" {
+		return 0, fmt.Errorf("backfill query failed: %s", info.Err)
+	}
+	return int(info.Matches), nil
+}
+
+// chemoSchema returns the generated datasets' schema.
+func chemoSchema() *event.Schema {
+	return paperdata.Schema()
+}

@@ -119,6 +119,40 @@ func (r *Reorderer) duplicate(e event.Event) bool {
 	return false
 }
 
+// ReordererState is a serializable snapshot of a Reorderer's ordering
+// state: the buffered events (in internal heap order) and the
+// watermark. The dedup identity map is deliberately excluded — it is a
+// transport-facing filter whose loss across a restart costs at most
+// one window of re-admitted duplicates, not correctness of ordering.
+type ReordererState struct {
+	// Buffered holds the not-yet-released events, including their Seq
+	// arrival counters (the heap tie-break).
+	Buffered []event.Event
+	// MaxSeen is the newest timestamp observed; meaningful only when
+	// Seen is true.
+	MaxSeen event.Time
+	// Seen reports whether any event has been accepted.
+	Seen bool
+}
+
+// Snapshot captures the reorderer's ordering state. The returned
+// buffer is a copy; the reorderer may keep running.
+func (r *Reorderer) Snapshot() ReordererState {
+	buf := make([]event.Event, len(r.buf))
+	copy(buf, r.buf)
+	return ReordererState{Buffered: buf, MaxSeen: r.maxSeen, Seen: r.seen}
+}
+
+// RestoreState replaces the reorderer's ordering state with a snapshot
+// previously taken by Snapshot, re-establishing the heap invariant.
+// Slack, Late and DedupWindow are left as configured.
+func (r *Reorderer) RestoreState(st ReordererState) {
+	r.buf = make(eventHeap, len(st.Buffered))
+	copy(r.buf, st.Buffered)
+	heap.Init(&r.buf)
+	r.maxSeen, r.seen = st.MaxSeen, st.Seen
+}
+
 // Drain releases all buffered events in timestamp order.
 func (r *Reorderer) Drain() []event.Event {
 	if len(r.buf) == 0 {

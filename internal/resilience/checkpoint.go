@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// ckptMagic introduces the versioned on-disk checkpoint envelope. A
+// file without it is a legacy checkpoint: a bare runner snapshot with
+// no source-offset watermark and no reorderer state, as written before
+// the WAL existed. Those still restore (the watermark just reports
+// unknown).
+const ckptMagic = "SESCKPT2"
+
+// ckptState is the decoded on-disk checkpoint: everything a restarted
+// process needs to resume the supervised pipeline exactly where the
+// persisted one stopped, given a replayable source.
+type ckptState struct {
+	// srcLast is the source offset (event.Seq as delivered by the
+	// feeder, e.g. a WAL offset) of the last event received from the
+	// input channel, or -1 if none / unknown. Every event at or below
+	// it is accounted for: consumed into the runner snapshot, buffered
+	// in the reorderer state, or deterministically dead-lettered.
+	srcLast int64
+	// arrival continues the reorderer tie-break counter.
+	arrival int64
+	// reorder restores the in-flight buffered events.
+	reorder engine.ReordererState
+	// runner is the embedded engine snapshot (engine.SnapshotBytes).
+	runner []byte
+}
+
+// encodeCheckpoint renders the v2 envelope. Buffered events are
+// encoded with the WAL event codec over the automaton's schema.
+func encodeCheckpoint(schema *event.Schema, st ckptState) []byte {
+	buf := make([]byte, 0, len(ckptMagic)+len(st.runner)+len(st.reorder.Buffered)*32+64)
+	buf = append(buf, ckptMagic...)
+	buf = binary.AppendVarint(buf, st.srcLast)
+	buf = binary.AppendVarint(buf, st.arrival)
+	if st.reorder.Seen {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendVarint(buf, int64(st.reorder.MaxSeen))
+	buf = binary.AppendUvarint(buf, uint64(len(st.reorder.Buffered)))
+	var scratch []byte
+	for i := range st.reorder.Buffered {
+		e := &st.reorder.Buffered[i]
+		buf = binary.AppendVarint(buf, int64(e.Seq))
+		scratch = wal.EncodeEvent(scratch[:0], schema, e)
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		buf = append(buf, scratch...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.runner)))
+	return append(buf, st.runner...)
+}
+
+// decodeCheckpoint parses a v2 envelope. ok is false when data lacks
+// the magic (a legacy bare-snapshot checkpoint); err is non-nil only
+// for a corrupt v2 payload.
+func decodeCheckpoint(schema *event.Schema, data []byte) (st ckptState, ok bool, err error) {
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return ckptState{}, false, nil
+	}
+	data = data[len(ckptMagic):]
+	bad := func(what string) (ckptState, bool, error) {
+		return ckptState{}, false, fmt.Errorf("resilience: corrupt checkpoint: %s", what)
+	}
+	var n int
+	if st.srcLast, n = binary.Varint(data); n <= 0 {
+		return bad("source offset")
+	}
+	data = data[n:]
+	if st.arrival, n = binary.Varint(data); n <= 0 {
+		return bad("arrival counter")
+	}
+	data = data[n:]
+	if len(data) < 1 {
+		return bad("seen flag")
+	}
+	st.reorder.Seen = data[0] == 1
+	data = data[1:]
+	maxSeen, n := binary.Varint(data)
+	if n <= 0 {
+		return bad("watermark")
+	}
+	st.reorder.MaxSeen = event.Time(maxSeen)
+	data = data[n:]
+	nbuf, n := binary.Uvarint(data)
+	if n <= 0 || nbuf > uint64(len(data)) {
+		return bad("buffer length")
+	}
+	data = data[n:]
+	st.reorder.Buffered = make([]event.Event, 0, nbuf)
+	for i := uint64(0); i < nbuf; i++ {
+		seq, n := binary.Varint(data)
+		if n <= 0 {
+			return bad("buffered event seq")
+		}
+		data = data[n:]
+		plen, n := binary.Uvarint(data)
+		if n <= 0 || plen > uint64(len(data)-n) {
+			return bad("buffered event length")
+		}
+		data = data[n:]
+		e, err := wal.DecodeEvent(data[:plen], schema)
+		if err != nil {
+			return ckptState{}, false, fmt.Errorf("resilience: corrupt checkpoint: %w", err)
+		}
+		e.Seq = int(seq)
+		st.reorder.Buffered = append(st.reorder.Buffered, e)
+		data = data[plen:]
+	}
+	rlen, n := binary.Uvarint(data)
+	if n <= 0 || rlen != uint64(len(data)-n) {
+		return bad("runner snapshot length")
+	}
+	st.runner = data[n : n+int(rlen)]
+	return st, true, nil
+}
+
+// CheckpointOffset reports the source-offset watermark recorded in the
+// checkpoint file at path: every source event with offset at or below
+// the returned value is covered by the checkpoint, so a replaying
+// feeder should resume at watermark+1. ok is false when the file does
+// not exist, is a legacy (pre-WAL) checkpoint, or records no watermark
+// — the feeder must then replay from the query's registration offset.
+func CheckpointOffset(path string) (watermark int64, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	// Only the header is needed; schema-dependent parts come later in
+	// the layout, so a nil schema never gets dereferenced here.
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return 0, false, nil
+	}
+	v, n := binary.Varint(data[len(ckptMagic):])
+	if n <= 0 {
+		return 0, false, fmt.Errorf("resilience: corrupt checkpoint %s: source offset", path)
+	}
+	if v < 0 {
+		return 0, false, nil
+	}
+	return v, true, nil
+}

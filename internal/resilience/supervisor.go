@@ -256,9 +256,22 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 	}
 
 	runner := engine.New(a, opts...)
+	var resumed *ckptState
 	if cfg.Resume && cfg.CheckpointPath != "" {
 		if data, err := os.ReadFile(cfg.CheckpointPath); err == nil {
-			restored, err := engine.RestoreRunnerBytes(a, data, opts...)
+			st, v2, derr := decodeCheckpoint(a.Schema, data)
+			if derr != nil {
+				s.fail(fmt.Errorf("resilience: resuming from %s: %w", cfg.CheckpointPath, derr))
+				return
+			}
+			// Legacy checkpoints are bare runner snapshots; v2 wraps the
+			// snapshot with the source watermark and reorderer state.
+			snap := data
+			if v2 {
+				snap = st.runner
+				resumed = &st
+			}
+			restored, err := engine.RestoreRunnerBytes(a, snap, opts...)
 			if err != nil {
 				s.fail(fmt.Errorf("resilience: resuming from %s: %w", cfg.CheckpointPath, err))
 				return
@@ -274,6 +287,37 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		s.metrics = runner.Metrics()
 		s.mu.Unlock()
 	}()
+
+	deadLetter := func(e event.Event, reason error) {
+		s.mu.Lock()
+		s.deadLetters++
+		s.mu.Unlock()
+		if s.o != nil {
+			s.o.deadLetters.Inc()
+		}
+		if cfg.DeadLetter != nil {
+			cfg.DeadLetter(e, reason)
+		}
+	}
+
+	ro := engine.NewReorderer(cfg.Slack)
+	ro.DedupWindow = cfg.DedupWindow
+	ro.Late = func(e event.Event) { deadLetter(e, ErrLate) }
+	defer func() {
+		s.mu.Lock()
+		s.duplicates = ro.DuplicatesDropped
+		s.mu.Unlock()
+	}()
+
+	// arrival numbers events for the reorderer's stable tie-break;
+	// srcLast tracks the source offset (event.Seq as stamped by the
+	// feeder, e.g. a WAL offset) of the last event received, the
+	// watermark persisted with every on-disk checkpoint.
+	arrival, srcLast := 0, int64(-1)
+	if resumed != nil {
+		ro.RestoreState(resumed.reorder)
+		arrival, srcLast = int(resumed.arrival), resumed.srcLast
+	}
 
 	// The initial checkpoint makes recovery possible from the very
 	// first event; replay holds everything consumed since the last one.
@@ -319,7 +363,13 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 			return false
 		}
 		if cfg.CheckpointPath != "" {
-			if err := writeFileAtomic(cfg.CheckpointPath, data); err != nil {
+			env := encodeCheckpoint(a.Schema, ckptState{
+				srcLast: srcLast,
+				arrival: int64(arrival),
+				reorder: ro.Snapshot(),
+				runner:  data,
+			})
+			if err := writeFileAtomic(cfg.CheckpointPath, env); err != nil {
 				s.fail(err)
 				return false
 			}
@@ -425,10 +475,12 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 			if s.o != nil {
 				s.o.events.Inc()
 			}
+			// Checkpoints are deliberately NOT taken here: feedOne runs
+			// inside a reorderer release batch, whose remaining events
+			// are in neither the runner state nor the reorderer buffer —
+			// a checkpoint cut mid-batch would lose them across a
+			// restart. The main loop checkpoints between batches.
 			replay = append(replay, e)
-			if len(replay) >= ckptEvery {
-				return saveCheckpoint()
-			}
 			return true
 		}
 	}
@@ -458,28 +510,6 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		}
 	}
 
-	deadLetter := func(e event.Event, reason error) {
-		s.mu.Lock()
-		s.deadLetters++
-		s.mu.Unlock()
-		if s.o != nil {
-			s.o.deadLetters.Inc()
-		}
-		if cfg.DeadLetter != nil {
-			cfg.DeadLetter(e, reason)
-		}
-	}
-
-	ro := engine.NewReorderer(cfg.Slack)
-	ro.DedupWindow = cfg.DedupWindow
-	ro.Late = func(e event.Event) { deadLetter(e, ErrLate) }
-	defer func() {
-		s.mu.Lock()
-		s.duplicates = ro.DuplicatesDropped
-		s.mu.Unlock()
-	}()
-
-	arrival := 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -492,12 +522,20 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 						return
 					}
 				}
+				if len(replay) >= ckptEvery && !saveCheckpoint() {
+					return
+				}
 				if cfg.CheckpointOnDrain && cfg.CheckpointPath != "" && !saveCheckpoint() {
 					return
 				}
 				finish()
 				return
 			}
+			// The watermark advances on every received event, including
+			// ones about to dead-letter: they are deterministically
+			// refused again if replayed, so a resuming feeder need not
+			// re-send them.
+			srcLast = int64(e.Seq)
 			if err := a.Schema.Check(e.Attrs); err != nil {
 				deadLetter(e, fmt.Errorf("%w: %v", ErrSchema, err))
 				continue
@@ -515,6 +553,12 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 				if !feedOne(re) {
 					return
 				}
+			}
+			// Periodic checkpoints happen here, on the release-batch
+			// boundary, where runner state + reorderer buffer + watermark
+			// together cover every received event exactly once.
+			if len(replay) >= ckptEvery && !saveCheckpoint() {
+				return
 			}
 			s.o.syncDuplicates(ro.DuplicatesDropped)
 		}

@@ -17,7 +17,9 @@ import (
 //
 //	POST   /events               NDJSON batch ingest (one event per line)
 //	GET    /queries              list registered queries
-//	POST   /queries              register a query (JSON QuerySpec body)
+//	POST   /queries              register a query (JSON QuerySpec body);
+//	                             ?backfill=true replays retained WAL
+//	                             history through the new query first
 //	GET    /queries/{id}         one query's state
 //	DELETE /queries/{id}         unregister a query
 //	GET    /queries/{id}/matches stream matches as NDJSON or SSE
@@ -178,7 +180,24 @@ func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	info, err := s.AddQuery(spec)
+	backfill := false
+	switch v := r.URL.Query().Get("backfill"); v {
+	case "", "0", "false":
+	case "1", "true":
+		backfill = true
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid backfill value %q", v)})
+		return
+	}
+	var (
+		info QueryInfo
+		err  error
+	)
+	if backfill {
+		info, err = s.AddQueryBackfill(spec)
+	} else {
+		info, err = s.AddQuery(spec)
+	}
 	if err != nil {
 		writeError(w, err)
 		return

@@ -124,6 +124,16 @@ type QueryInfo struct {
 	// or failed); Err carries its terminal error, if any.
 	Done bool   `json:"done"`
 	Err  string `json:"err,omitempty"`
+	// Backfill reports that the query was registered against retained
+	// WAL history (POST /queries?backfill=true).
+	Backfill bool `json:"backfill,omitempty"`
+	// CatchingUp is true while the query is still replaying the WAL —
+	// after a backfill registration or a server restart — and has not
+	// yet handed off to live delivery.
+	CatchingUp bool `json:"catching_up,omitempty"`
+	// ReplayLag is the number of WAL records between the catch-up
+	// feeder's position and the log tail; 0 once live.
+	ReplayLag int64 `json:"replay_lag,omitempty"`
 }
 
 // matchLog is a bounded, offset-addressed ring of pre-encoded match

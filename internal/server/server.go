@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/automaton"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/query"
 	"repro/internal/resilience"
+	"repro/internal/wal"
 )
 
 // Sentinel errors returned by the registry and ingest operations. The
@@ -61,6 +63,26 @@ type Config struct {
 	// DrainTimeout caps how long Drain waits for the per-query
 	// pipelines to flush (default 30s).
 	DrainTimeout time.Duration
+	// WALDir, when non-empty, enables the durable ingest log: every
+	// admitted event is appended to a segmented WAL in this directory
+	// before fan-out, restarts replay the un-checkpointed suffix from
+	// the server's own log (no upstream re-delivery needed), and
+	// queries may register with backfill to process retained history.
+	WALDir string
+	// WALFsync is the WAL flush policy: "always", "interval" (default)
+	// or "never". See wal.FsyncPolicy for the durability trade-offs.
+	WALFsync string
+	// WALFsyncInterval is the flush period under the "interval" policy
+	// (default 100ms).
+	WALFsyncInterval time.Duration
+	// WALSegmentBytes is the segment rotation size (default 64 MiB).
+	WALSegmentBytes int64
+	// WALRetainBytes caps the WAL's total on-disk size; the oldest
+	// segments are reclaimed beyond it. 0 keeps everything.
+	WALRetainBytes int64
+	// WALRetainAge reclaims segments whose newest record is older than
+	// this. 0 keeps everything.
+	WALRetainAge time.Duration
 }
 
 // Server fans one ingested event stream out to a registry of
@@ -84,8 +106,18 @@ type Server struct {
 	drainOnce sync.Once
 	drainErr  error
 
+	// wal is the durable ingest log, nil when Config.WALDir is empty.
+	wal *wal.Log
+	// drainStarted is closed when Drain begins, so catch-up feeders
+	// stop before the mailboxes close under them.
+	drainStarted chan struct{}
+	// feeders tracks running catch-up feeder goroutines.
+	feeders sync.WaitGroup
+
 	eventsIngested *obs.Counter
 	ingestBatches  *obs.Counter
+	replayEvents   *obs.Counter
+	backfills      *obs.Counter
 }
 
 // queryState is one registered query and its running pipeline.
@@ -107,6 +139,25 @@ type queryState struct {
 	log *matchLog
 	sup *resilience.Supervisor // nil in sharded mode
 	shr *engine.ShardedRunner  // nil in supervised mode
+
+	// registeredAt is the WAL offset fence assigned at registration:
+	// live fan-out covers offsets >= registeredAt for a query that
+	// started live, and a restarted server rebuilds the query's state
+	// from this offset when no checkpoint narrows the replay.
+	registeredAt int64
+	// backfill records that the query was registered against retained
+	// history (AddQueryBackfill).
+	backfill bool
+	// catchingUp is true while a feeder goroutine owns the query's
+	// mailbox, replaying the WAL; live fan-out skips the query until
+	// the feeder hands off at the tail.
+	catchingUp atomic.Bool
+	// lastFed is the highest WAL offset the feeder has delivered
+	// (-1 before the first).
+	lastFed atomic.Int64
+	// replayLag is the number of WAL records between the feeder's
+	// position and the tail; 0 once live.
+	replayLag atomic.Int64
 
 	events  *obs.Counter
 	shed    *obs.Counter
@@ -156,6 +207,9 @@ func (q *queryState) info() QueryInfo {
 		LogStart:    start,
 		LogEnd:      end,
 		Done:        done,
+		Backfill:    q.backfill,
+		CatchingUp:  q.catchingUp.Load(),
+		ReplayLag:   q.replayLag.Load(),
 	}
 	if err := q.terminalErr(); err != nil {
 		info.Err = err.Error()
@@ -184,16 +238,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		ctx:     ctx,
-		cancel:  cancel,
-		queries: make(map[string]*queryState),
+		cfg:          cfg,
+		ctx:          ctx,
+		cancel:       cancel,
+		queries:      make(map[string]*queryState),
+		drainStarted: make(chan struct{}),
 	}
 	if cfg.Registry != nil {
 		s.eventsIngested = cfg.Registry.Counter("ses_server_events_ingested_total",
 			"Events accepted by the shared ingest path.")
 		s.ingestBatches = cfg.Registry.Counter("ses_server_ingest_batches_total",
 			"Ingest batches accepted.")
+		s.replayEvents = cfg.Registry.Counter("ses_server_replay_events_total",
+			"Events delivered to queries from the WAL (restart replay and backfill).")
+		s.backfills = cfg.Registry.Counter("ses_server_backfills_total",
+			"Queries registered against retained history.")
 		cfg.Registry.GaugeFunc("ses_server_queries_active",
 			"Currently registered queries.",
 			func() int64 {
@@ -204,25 +263,74 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		s.eventsIngested = &obs.Counter{}
 		s.ingestBatches = &obs.Counter{}
+		s.replayEvents = &obs.Counter{}
+		s.backfills = &obs.Counter{}
 	}
-	if cfg.CheckpointDir != "" {
-		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
-			cancel()
-			return nil, err
-		}
-		specs, err := loadManifest(filepath.Join(cfg.CheckpointDir, "queries.json"))
+	if cfg.WALDir != "" {
+		policy, err := wal.ParseFsyncPolicy(orDefault(cfg.WALFsync, "interval"))
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		for _, spec := range specs {
-			if _, err := s.AddQuery(spec); err != nil {
+		s.wal, err = wal.Open(wal.Options{
+			Dir:           cfg.WALDir,
+			Schema:        cfg.Schema,
+			SegmentBytes:  cfg.WALSegmentBytes,
+			Fsync:         policy,
+			FsyncInterval: cfg.WALFsyncInterval,
+			RetainBytes:   cfg.WALRetainBytes,
+			RetainAge:     cfg.WALRetainAge,
+			Registry:      cfg.Registry,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			s.Close()
+			return nil, err
+		}
+		m, err := loadManifest(filepath.Join(cfg.CheckpointDir, "queries.json"))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		for _, spec := range m.Queries {
+			reg := registration{registeredAt: m.offsetOf(spec.ID), backfill: m.backfillOf(spec.ID)}
+			if s.wal != nil {
+				// Replay the query's un-checkpointed suffix from the
+				// server's own log: a supervised query resumes at the
+				// watermark persisted in its checkpoint, everything else
+				// rebuilds from its registration offset.
+				reg.catchUp = true
+				reg.replayFrom = reg.registeredAt
+				if spec.Key == "" {
+					ckpt := filepath.Join(cfg.CheckpointDir, spec.ID+".ckpt")
+					if w, ok, err := resilience.CheckpointOffset(ckpt); err != nil {
+						s.Close()
+						return nil, fmt.Errorf("server: restoring query %q: %w", spec.ID, err)
+					} else if ok {
+						reg.replayFrom = w + 1
+					}
+				}
+			}
+			if _, err := s.addQuery(spec, reg); err != nil {
 				s.Close()
 				return nil, fmt.Errorf("server: restoring query %q from manifest: %w", spec.ID, err)
 			}
 		}
 	}
 	return s, nil
+}
+
+// orDefault returns s, or def when s is empty.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 // compile turns a spec's query text into its single-variant SES
@@ -242,11 +350,58 @@ func (s *Server) compile(spec QuerySpec) (*automaton.Automaton, error) {
 	return automaton.Compile(variants[0], s.cfg.Schema)
 }
 
+// registration carries how a query enters the registry: live at the
+// current WAL tail, or catching up from a replay offset.
+type registration struct {
+	// registeredAt is the WAL offset fence recorded for the query
+	// (ignored without a WAL). For a live registration the caller
+	// leaves it to be stamped under the ingest lock.
+	registeredAt int64
+	// catchUp starts a feeder that streams the WAL from replayFrom into
+	// the mailbox before handing off to live fan-out.
+	catchUp    bool
+	replayFrom int64
+	// backfill marks an AddQueryBackfill registration (cosmetic: it is
+	// reported in QueryInfo and persisted in the manifest).
+	backfill bool
+	// stampFence assigns registeredAt = the WAL tail under the ingest
+	// lock — the exact first offset the query will see live.
+	stampFence bool
+}
+
 // AddQuery compiles and registers a query and starts its pipeline. It
 // returns ErrDuplicate when the id is taken or another registered
 // query compiles to the same automaton fingerprint, and ErrDraining
-// after Drain has begun.
+// after Drain has begun. The query sees events ingested after the
+// call; use AddQueryBackfill to include retained history.
 func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
+	return s.addQuery(spec, registration{stampFence: true})
+}
+
+// AddQueryBackfill registers a query like AddQuery, but bootstraps it
+// from the WAL's retained history: a catch-up feeder streams every
+// retained event through the query's pipeline, then hands off to live
+// fan-out at a fenced offset — no event is lost or duplicated across
+// the handoff. The query reports CatchingUp and ReplayLag in its
+// QueryInfo until the handoff completes. Requires a WAL (ErrNoWAL
+// otherwise).
+func (s *Server) AddQueryBackfill(spec QuerySpec) (QueryInfo, error) {
+	if s.wal == nil {
+		return QueryInfo{}, ErrNoWAL
+	}
+	info, err := s.addQuery(spec, registration{
+		catchUp:    true,
+		replayFrom: s.wal.FirstOffset(),
+		backfill:   true,
+		stampFence: true,
+	})
+	if err == nil {
+		s.backfills.Inc()
+	}
+	return info, err
+}
+
+func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 	if err := spec.validate(s.cfg.Schema); err != nil {
 		return QueryInfo{}, err
 	}
@@ -256,6 +411,12 @@ func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
 	}
 	fp := auto.Fingerprint()
 
+	// The ingest lock fences the registration against in-flight
+	// batches: while held, the WAL tail cannot move, so registeredAt
+	// is exactly the first offset the query sees live (or, for a
+	// catch-up query, the offset its feeder replays up to).
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -271,9 +432,26 @@ func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
 		}
 	}
 
+	if reg.stampFence && s.wal != nil {
+		if reg.backfill {
+			// A backfill query's history starts at the oldest retained
+			// offset; restarts rebuild from there.
+			reg.registeredAt = reg.replayFrom
+		} else {
+			reg.registeredAt = s.wal.NextOffset()
+		}
+	}
 	q, err := s.startPipeline(spec, auto, fp)
 	if err != nil {
 		return QueryInfo{}, err
+	}
+	q.registeredAt = reg.registeredAt
+	q.backfill = reg.backfill
+	q.lastFed.Store(reg.replayFrom - 1)
+	if reg.catchUp && s.wal != nil {
+		q.catchingUp.Store(true)
+		s.feeders.Add(1)
+		go s.catchUp(q, reg.replayFrom)
 	}
 	s.queries[spec.ID] = q
 	s.order = append(s.order, spec.ID)
@@ -309,6 +487,11 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 		reg.GaugeFunc(obs.SeriesName("ses_server_query_queue_depth", label...),
 			"Events queued in the query's mailbox.",
 			func() int64 { return int64(len(mailbox)) })
+		if s.wal != nil {
+			reg.GaugeFunc(obs.SeriesName("ses_server_query_replay_lag", label...),
+				"WAL records between the query's catch-up feeder and the tail; 0 once live.",
+				q.replayLag.Load)
+		}
 	} else {
 		q.events, q.shed, q.matches = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
 	}
@@ -492,9 +675,25 @@ func (s *Server) Ingest(events []event.Event) (int, error) {
 	}
 	s.mu.RUnlock()
 
+	// Durability before fan-out: the batch is appended (and, per the
+	// fsync policy, persisted) before any query sees it, so a crash
+	// can never have delivered an event the restarted server cannot
+	// replay. The assigned offsets ride in the events' Seq fields.
+	first := int64(-1)
+	if s.wal != nil {
+		off, err := s.wal.AppendBatch(events)
+		if err != nil {
+			return 0, err
+		}
+		first = off
+	}
 	for i := range events {
+		e := events[i] // copy: callers may retain the slice
+		if first >= 0 {
+			e.Seq = int(first + int64(i))
+		}
 		for _, q := range targets {
-			s.deliver(q, events[i])
+			s.deliver(q, e)
 		}
 	}
 	s.eventsIngested.Add(int64(len(events)))
@@ -506,6 +705,11 @@ func (s *Server) Ingest(events []event.Event) (int, error) {
 // policy. It never blocks indefinitely: a removal or pipeline
 // termination unblocks a full mailbox, counting the event as shed.
 func (s *Server) deliver(q *queryState, e event.Event) {
+	if q.catchingUp.Load() {
+		// The event is already in the WAL; the query's catch-up feeder
+		// delivers it in offset order and hands off at the tail.
+		return
+	}
 	if q.spec.Admission == "drop" {
 		select {
 		case q.mailbox <- e:
@@ -548,6 +752,12 @@ func (s *Server) drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
+	// Stop the catch-up feeders before the mailboxes close under them;
+	// an interrupted catch-up resumes from its checkpoint or
+	// registration offset on the next start.
+	close(s.drainStarted)
+	s.feeders.Wait()
+
 	// Wait out any in-flight Ingest; later ones observe draining.
 	s.ingestMu.Lock()
 	for _, q := range targets {
@@ -578,18 +788,46 @@ func (s *Server) drain(ctx context.Context) error {
 	if err == nil {
 		err = merr
 	}
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
 // Close stops the server immediately, cancelling every pipeline
 // without flushing or checkpointing. Use Drain for a graceful stop.
-func (s *Server) Close() { s.cancel() }
+func (s *Server) Close() {
+	s.cancel()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
 
 // manifest is the persisted query set, written to
-// CheckpointDir/queries.json.
+// CheckpointDir/queries.json. Offsets (absent in manifests written
+// before the WAL existed) records each query's registration fence and
+// backfill flag, so a restart knows where its state rebuild begins.
 type manifest struct {
-	Queries []QuerySpec `json:"queries"`
+	Queries []QuerySpec               `json:"queries"`
+	Offsets map[string]manifestOffset `json:"offsets,omitempty"`
 }
+
+// manifestOffset is the per-query durability record in the manifest.
+type manifestOffset struct {
+	// Registered is the WAL offset fence assigned at registration.
+	Registered int64 `json:"registered"`
+	// Backfill echoes that the query was registered against history.
+	Backfill bool `json:"backfill,omitempty"`
+}
+
+// offsetOf returns the recorded registration offset of a query (0 for
+// pre-WAL manifests).
+func (m manifest) offsetOf(id string) int64 { return m.Offsets[id].Registered }
+
+// backfillOf returns the recorded backfill flag of a query.
+func (m manifest) backfillOf(id string) bool { return m.Offsets[id].Backfill }
 
 // saveManifestLocked persists the registered specs in registration
 // order. Called with s.mu held; a no-op without a checkpoint dir.
@@ -598,8 +836,15 @@ func (s *Server) saveManifestLocked() error {
 		return nil
 	}
 	m := manifest{Queries: make([]QuerySpec, 0, len(s.order))}
+	if s.wal != nil {
+		m.Offsets = make(map[string]manifestOffset, len(s.order))
+	}
 	for _, id := range s.order {
-		m.Queries = append(m.Queries, s.queries[id].spec)
+		q := s.queries[id]
+		m.Queries = append(m.Queries, q.spec)
+		if m.Offsets != nil {
+			m.Offsets[id] = manifestOffset{Registered: q.registeredAt, Backfill: q.backfill}
+		}
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -614,17 +859,17 @@ func (s *Server) saveManifestLocked() error {
 }
 
 // loadManifest reads a query manifest; a missing file is an empty set.
-func loadManifest(path string) ([]QuerySpec, error) {
+func loadManifest(path string) (manifest, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return manifest{}, nil
 	}
 	if err != nil {
-		return nil, err
+		return manifest{}, err
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("server: reading manifest %s: %w", path, err)
+		return manifest{}, fmt.Errorf("server: reading manifest %s: %w", path, err)
 	}
-	return m.Queries, nil
+	return m, nil
 }

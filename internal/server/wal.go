@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// ErrNoWAL rejects a backfill registration on a server running without
+// a WAL (Config.WALDir empty): there is no retained history to replay.
+var ErrNoWAL = errors.New("server: backfill requires a WAL (start the server with a WAL directory)")
+
+// catchUp streams WAL records [from, tail) into q's mailbox, then
+// hands the query off to live fan-out under the ingest lock, at
+// exactly the offset where live delivery takes over. It runs as a
+// goroutine registered in s.feeders; live fan-out skips the query
+// while q.catchingUp is set.
+func (s *Server) catchUp(q *queryState, from int64) {
+	defer s.feeders.Done()
+	r := s.wal.NewReader(from)
+	defer r.Close()
+	for {
+		off, e, err := r.Next()
+		switch {
+		case err == nil:
+			if !s.feedReplay(q, off, e) {
+				return
+			}
+		case errors.Is(err, io.EOF):
+			// Caught up to the committed tail. Take the ingest lock so
+			// the tail freezes, drain the last few records that landed
+			// since the EOF, and flip the query live: every offset below
+			// the frozen tail came through this feeder, every offset
+			// from it on comes through live fan-out.
+			s.ingestMu.Lock()
+			for {
+				off, e, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					q.setErr(fmt.Errorf("server: catch-up for query %q: %w", q.spec.ID, err))
+					q.catchingUp.Store(false)
+					s.ingestMu.Unlock()
+					return
+				}
+				if !s.feedReplay(q, off, e) {
+					s.ingestMu.Unlock()
+					return
+				}
+			}
+			q.replayLag.Store(0)
+			q.catchingUp.Store(false)
+			s.ingestMu.Unlock()
+			return
+		case errors.Is(err, wal.ErrTruncated):
+			// Retention reclaimed the segment under the reader; resume
+			// at the oldest offset still on disk. The gap is reported,
+			// not silently skipped.
+			first := s.wal.FirstOffset()
+			q.setErr(fmt.Errorf("server: catch-up for query %q: offsets %d-%d reclaimed by retention; resuming at %d",
+				q.spec.ID, r.Offset(), first-1, first))
+			r.Close()
+			r = s.wal.NewReader(first)
+		default:
+			q.setErr(fmt.Errorf("server: catch-up for query %q: %w", q.spec.ID, err))
+			q.catchingUp.Store(false)
+			return
+		}
+	}
+}
+
+// feedReplay delivers one replayed WAL record into the query's
+// mailbox, blocking until the pipeline accepts it. It returns false
+// when the feeder must stop: the query was removed, its pipeline
+// terminated, the server began draining, or it was closed. The
+// query's admission policy is deliberately ignored — replay is
+// sequential and self-paced, so backpressure (not shedding) is always
+// correct here.
+func (s *Server) feedReplay(q *queryState, off int64, e event.Event) bool {
+	e.Seq = int(off)
+	select {
+	case q.mailbox <- e:
+		q.lastFed.Store(off)
+		if lag := s.wal.NextOffset() - off - 1; lag > 0 {
+			q.replayLag.Store(lag)
+		} else {
+			q.replayLag.Store(0)
+		}
+		q.events.Inc()
+		s.replayEvents.Inc()
+		return true
+	case <-q.removed:
+	case <-q.finished:
+		// Pipeline dead: flip live so fan-out takes the normal path
+		// (which sheds against the finished channel).
+		q.catchingUp.Store(false)
+	case <-s.drainStarted:
+	case <-s.ctx.Done():
+	}
+	return false
+}
+
+// WALStats reports the durable log's offset window and size; ok is
+// false when the server runs without a WAL.
+func (s *Server) WALStats() (first, next, sizeBytes int64, ok bool) {
+	if s.wal == nil {
+		return 0, 0, 0, false
+	}
+	return s.wal.FirstOffset(), s.wal.NextOffset(), s.wal.SizeBytes(), true
+}
+
+// waitCaughtUp blocks until the query has handed off to live delivery,
+// or the timeout elapses.
+func (s *Server) waitCaughtUp(id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		q, ok := s.lookup(id)
+		if !ok {
+			return ErrNotFound
+		}
+		if !q.catchingUp.Load() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: query %q still catching up after %s", id, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -15,10 +15,16 @@
 //	T:time,ID:int,L:string,V:float,U:string
 //	1278147600,1,C,1672.5,mg
 //	2010-07-03T10:00:00Z,1,B,0,WHO-Tox
+//
+// Relations can also be exported as newline-delimited JSON in the sesd
+// server's ingest format (WriteNDJSON), so generated datasets can be
+// POSTed to a running server unchanged.
 package store
 
 import (
+	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -159,6 +165,59 @@ func Write(w io.Writer, rel *event.Relation) error {
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// WriteNDJSON writes the relation as newline-delimited JSON in the
+// ingest format of the sesd server: one {"time": T, "attrs": {name:
+// value}} object per line, so a generated dataset can be POSTed to
+// /events unchanged.
+func WriteNDJSON(w io.Writer, rel *event.Relation) error {
+	bw := bufio.NewWriter(w)
+	schema := rel.Schema()
+	enc := json.NewEncoder(bw)
+	line := struct {
+		Time  int64                  `json:"time"`
+		Attrs map[string]interface{} `json:"attrs"`
+	}{Attrs: make(map[string]interface{}, schema.NumFields())}
+	for i := 0; i < rel.Len(); i++ {
+		e := rel.Event(i)
+		line.Time = int64(e.Time)
+		for j := 0; j < schema.NumFields(); j++ {
+			f := schema.Field(j)
+			switch f.Type {
+			case event.TypeString:
+				line.Attrs[f.Name] = e.Attrs[j].Str()
+			case event.TypeInt:
+				line.Attrs[f.Name] = e.Attrs[j].Int64()
+			default:
+				line.Attrs[f.Name] = e.Attrs[j].Float64()
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// SaveNDJSONFile writes the relation to the named file in the NDJSON
+// ingest format of WriteNDJSON.
+func SaveNDJSONFile(path string, rel *event.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := WriteNDJSON(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

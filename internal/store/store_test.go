@@ -2,6 +2,7 @@ package store
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -161,4 +162,57 @@ func TestLoadSaveFile(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(dir, "missing.csv"), ReadOptions{}); err == nil {
 		t.Errorf("missing file should fail")
 	}
+}
+
+// TestWriteNDJSON pins the ingest line format byte for byte on the
+// paper's first two events: this is the contract with sesd's
+// POST /events parser.
+func TestWriteNDJSON(t *testing.T) {
+	rel := paperdata.Relation()
+	var b strings.Builder
+	if err := WriteNDJSON(&b, rel); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != rel.Len() {
+		t.Fatalf("%d lines, want %d", len(lines), rel.Len())
+	}
+	want := []string{
+		`{"time":1278147600,"attrs":{"ID":1,"L":"C","U":"mg","V":1672.5}}`,
+		`{"time":1278151200,"attrs":{"ID":1,"L":"B","U":"WHO-Tox","V":0}}`,
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d:\ngot:  %s\nwant: %s", i+1, lines[i], w)
+		}
+	}
+}
+
+func TestSaveNDJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.ndjson")
+	rel := paperdata.Relation()
+	if err := SaveNDJSONFile(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteNDJSON(&b, rel); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFileString(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != b.String() {
+		t.Errorf("file content differs from WriteNDJSON output")
+	}
+	if err := SaveNDJSONFile(filepath.Join(dir, "no/such/dir.ndjson"), rel); err == nil {
+		t.Errorf("bad path should fail")
+	}
+}
+
+// readFileString loads a file as a string.
+func readFileString(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
 }

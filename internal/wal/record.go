@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/event"
+)
+
+// Segment file layout:
+//
+//	header := magic | schemaLen u16 | schema | base i64 | crc u32
+//	record := length u32 | crc u32 | payload
+//
+// All fixed-width integers are little-endian. The header crc is the
+// CRC32C of everything before it; a record's crc is the CRC32C of its
+// payload. Record offsets are implicit: the i-th record of a segment
+// has offset base+i, which is what keeps the log dense and lets a
+// reader locate any offset from the segment file names alone.
+const (
+	segMagic = "SESWAL1\n"
+
+	// maxRecordBytes bounds one record's payload. It exists so a
+	// corrupted length field cannot drive a multi-gigabyte allocation;
+	// real event payloads are tens of bytes.
+	maxRecordBytes = 16 << 20
+
+	// frameSize is the fixed per-record framing overhead.
+	frameSize = 8
+)
+
+// castagnoli is the CRC32C polynomial table shared by all framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errSchemaMismatch distinguishes a configuration error (log opened
+// with the wrong schema) from tail corruption during recovery: the
+// former must abort Open, never trigger truncation.
+var errSchemaMismatch = fmt.Errorf("wal: schema mismatch")
+
+// EncodeEvent appends the canonical WAL payload encoding of e — its
+// occurrence time followed by the schema's attribute values, without
+// framing or sequence number — to dst and returns the extended slice.
+// The encoding is schema-relative: DecodeEvent needs the same schema
+// to reverse it. It is shared with the resilience layer, which embeds
+// reorderer-buffered events in supervisor checkpoints.
+func EncodeEvent(dst []byte, schema *event.Schema, e *event.Event) []byte {
+	dst = binary.AppendVarint(dst, int64(e.Time))
+	for i := 0; i < schema.NumFields(); i++ {
+		v := e.Attrs[i]
+		switch schema.Field(i).Type {
+		case event.TypeString:
+			s := v.Str()
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		case event.TypeInt:
+			dst = binary.AppendVarint(dst, v.Int64())
+		default:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float64()))
+		}
+	}
+	return dst
+}
+
+// DecodeEvent reverses EncodeEvent over the given schema. The payload
+// must be consumed exactly; trailing bytes are corruption. The
+// returned event has Seq zero — callers stamp the record's offset.
+func DecodeEvent(data []byte, schema *event.Schema) (event.Event, error) {
+	t, n := binary.Varint(data)
+	if n <= 0 {
+		return event.Event{}, fmt.Errorf("wal: truncated event time")
+	}
+	data = data[n:]
+	attrs := make([]event.Value, schema.NumFields())
+	for i := 0; i < schema.NumFields(); i++ {
+		switch schema.Field(i).Type {
+		case event.TypeString:
+			l, n := binary.Uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return event.Event{}, fmt.Errorf("wal: truncated string attribute %q", schema.Field(i).Name)
+			}
+			attrs[i] = event.String(string(data[n : n+int(l)]))
+			data = data[n+int(l):]
+		case event.TypeInt:
+			v, n := binary.Varint(data)
+			if n <= 0 {
+				return event.Event{}, fmt.Errorf("wal: truncated int attribute %q", schema.Field(i).Name)
+			}
+			attrs[i] = event.Int(v)
+			data = data[n:]
+		default:
+			if len(data) < 8 {
+				return event.Event{}, fmt.Errorf("wal: truncated float attribute %q", schema.Field(i).Name)
+			}
+			attrs[i] = event.Float(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		}
+	}
+	if len(data) != 0 {
+		return event.Event{}, fmt.Errorf("wal: %d trailing bytes after event payload", len(data))
+	}
+	return event.Event{Time: event.Time(t), Attrs: attrs}, nil
+}
+
+// appendFrame appends one framed record (length, CRC32C, payload) to
+// dst and returns the extended slice.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// encodeHeader renders a segment header for the given schema and base
+// offset.
+func encodeHeader(schema *event.Schema, base int64) []byte {
+	s := schema.String()
+	buf := make([]byte, 0, len(segMagic)+2+len(s)+8+4)
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	buf = append(buf, s...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(base))
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// readHeader reads and validates a segment header from r, returning
+// the declared base offset and the header's byte length.
+func readHeader(r io.Reader, schema *event.Schema) (base int64, size int64, err error) {
+	fixed := make([]byte, len(segMagic)+2)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return 0, 0, fmt.Errorf("wal: segment header: %w", err)
+	}
+	if string(fixed[:len(segMagic)]) != segMagic {
+		return 0, 0, fmt.Errorf("wal: bad segment magic %q", fixed[:len(segMagic)])
+	}
+	schemaLen := int(binary.LittleEndian.Uint16(fixed[len(segMagic):]))
+	rest := make([]byte, schemaLen+8+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, 0, fmt.Errorf("wal: segment header: %w", err)
+	}
+	sum := crc32.Checksum(fixed, castagnoli)
+	sum = crc32.Update(sum, castagnoli, rest[:schemaLen+8])
+	if sum != binary.LittleEndian.Uint32(rest[schemaLen+8:]) {
+		return 0, 0, fmt.Errorf("wal: segment header CRC mismatch")
+	}
+	if got := string(rest[:schemaLen]); got != schema.String() {
+		return 0, 0, fmt.Errorf("%w: segment has (%s), log opened with (%s)", errSchemaMismatch, got, schema)
+	}
+	base = int64(binary.LittleEndian.Uint64(rest[schemaLen : schemaLen+8]))
+	if base < 0 {
+		return 0, 0, fmt.Errorf("wal: negative segment base offset %d", base)
+	}
+	return base, int64(len(fixed) + len(rest)), nil
+}
+
+// readFrame reads one framed record payload from r into buf
+// (reallocating as needed) and returns the payload. io.EOF means a
+// clean end; io.ErrUnexpectedEOF or a CRC/length error means the frame
+// is torn or corrupt.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var head [frameSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(head[:4])
+	if length > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record length %d exceeds limit", length)
+	}
+	if cap(buf) < int(length) {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(head[4:]) {
+		return nil, fmt.Errorf("wal: record CRC mismatch")
+	}
+	return buf, nil
+}

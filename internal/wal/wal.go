@@ -1,0 +1,568 @@
+// Package wal implements a durable, append-only event log for the
+// serving layer: admitted events are framed with CRC32C checksums and
+// appended to size-rotated segment files, so a restarted server can
+// replay the suffix of its own input instead of depending on the
+// upstream re-delivering events, and a newly registered query can
+// backfill from retained history.
+//
+// Offsets are dense: the record appended n-th over the log's lifetime
+// has offset firstEverOffset+n, and each segment file is named after
+// the offset of its first record. Crash recovery truncates a torn tail
+// in the newest segment without touching earlier records.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/obs"
+)
+
+// FsyncPolicy selects when appended records are flushed to stable
+// storage.
+type FsyncPolicy int
+
+// Fsync policies, ordered from most to least durable.
+const (
+	// FsyncAlways fsyncs after every append batch. No acknowledged
+	// event is lost on power failure; slowest.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background timer (Options.FsyncInterval).
+	// Bounds loss on power failure to one interval; process crashes
+	// (panic, SIGKILL) lose nothing because the OS still holds the
+	// written pages.
+	FsyncInterval
+	// FsyncNever leaves flushing entirely to the OS.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the flag spellings "always", "interval" and
+// "never" to their policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// String renders the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// Options configures a Log. Dir and Schema are required.
+type Options struct {
+	// Dir is the segment directory; created if absent.
+	Dir string
+	// Schema types the encoded events. A log replays only through the
+	// schema it was written with; Open rejects segments written under a
+	// different one.
+	Schema *event.Schema
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes (default 64 MiB).
+	SegmentBytes int64
+	// Fsync selects the flush policy (default FsyncAlways, the zero value).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background flush period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// RetainBytes deletes the oldest sealed segments once the log
+	// exceeds this total size. Zero keeps everything.
+	RetainBytes int64
+	// RetainAge deletes sealed segments whose newest record is older
+	// than this. Zero keeps everything.
+	RetainAge time.Duration
+	// Registry receives append/segment metrics when non-nil.
+	Registry *obs.Registry
+}
+
+// segment describes one sealed (read-only) segment file.
+type segment struct {
+	base  int64 // offset of the first record
+	count int64 // number of records
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// Log is an append-only segmented event log. Appends are serialized;
+// any number of Readers may stream concurrently with appends.
+type Log struct {
+	opt Options
+
+	mu      sync.Mutex
+	sealed  []segment
+	active  *os.File
+	actPath string
+	actBase int64
+	actSize int64
+	actN    int64 // records in the active segment
+	scratch []byte
+	pbuf    []byte
+	closed  bool
+
+	next  atomic.Int64 // next offset to assign; offsets below are readable
+	first atomic.Int64 // oldest retained offset
+	size  atomic.Int64 // total bytes across all segments
+	segs  atomic.Int64 // segment count
+	dirty atomic.Bool  // unsynced writes pending (interval policy)
+
+	stop chan struct{}
+	done chan struct{}
+
+	mAppends   *obs.Counter
+	mBytes     *obs.Counter
+	mSyncs     *obs.Counter
+	mRotations *obs.Counter
+	mReclaimed *obs.Counter
+	mTruncated *obs.Counter
+	mLatency   *obs.Histogram
+}
+
+// segName renders the file name of the segment whose first record has
+// the given offset.
+func segName(base int64) string { return fmt.Sprintf("%016x.wal", base) }
+
+// Open opens (or creates) the log in opt.Dir, recovering from a torn
+// tail by truncating the newest segment back to its last intact
+// record. Earlier segments are trusted wholesale; per-record CRCs
+// still catch silent corruption at read time.
+func Open(opt Options) (*Log, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if opt.Schema == nil {
+		return nil, fmt.Errorf("wal: Options.Schema is required")
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 64 << 20
+	}
+	if opt.FsyncInterval <= 0 {
+		opt.FsyncInterval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opt: opt, stop: make(chan struct{}), done: make(chan struct{})}
+	l.registerMetrics()
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if opt.Fsync == FsyncInterval {
+		go l.syncLoop()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// recover scans opt.Dir, rebuilds the segment table, truncates any
+// torn tail in the newest segment, and opens it for appending.
+func (l *Log) recover() (err error) {
+	names, err := filepath.Glob(filepath.Join(l.opt.Dir, "*.wal"))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	sort.Strings(names) // fixed-width hex names sort by base offset
+
+	type scanned struct {
+		base int64
+		path string
+		size int64
+	}
+	var files []scanned
+	for _, path := range names {
+		var base int64
+		if _, err := fmt.Sscanf(filepath.Base(path), "%016x.wal", &base); err != nil {
+			return fmt.Errorf("wal: unrecognized segment name %q", path)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		files = append(files, scanned{base: base, path: path, size: fi.Size()})
+	}
+
+	if len(files) == 0 {
+		return l.createSegment(0)
+	}
+
+	// A crash between creating a new segment and committing its first
+	// record can leave a torn or empty header at the tail; such a file
+	// holds no acknowledged records, so drop it and append to its
+	// predecessor instead.
+	for len(files) > 0 {
+		last := files[len(files)-1]
+		if _, err := l.scanTail(last.path, last.base); err == nil {
+			break
+		} else if errors.Is(err, errSchemaMismatch) {
+			return err
+		} else if len(files) == 1 {
+			// Sole segment with an unreadable header: no records were
+			// ever acknowledged from it.
+			l.mTruncated.Inc()
+			if err := os.Remove(last.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			return l.createSegment(last.base)
+		}
+		l.mTruncated.Inc()
+		if err := os.Remove(last.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		files = files[:len(files)-1]
+	}
+
+	// Seal everything but the last file. Sealed record counts are
+	// implied by the next segment's base offset.
+	for i := 0; i < len(files)-1; i++ {
+		f := files[i]
+		if _, hdrErr := l.readBase(f.path); hdrErr != nil {
+			return fmt.Errorf("wal: sealed segment %s: %w", f.path, hdrErr)
+		}
+		fi, _ := os.Stat(f.path)
+		l.sealed = append(l.sealed, segment{
+			base:  f.base,
+			count: files[i+1].base - f.base,
+			path:  f.path,
+			size:  f.size,
+			mtime: fi.ModTime(),
+		})
+		l.size.Add(f.size)
+	}
+
+	last := files[len(files)-1]
+	n, err := l.scanTail(last.path, last.base)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.active, l.actPath, l.actBase, l.actN, l.actSize = f, last.path, last.base, n, fi.Size()
+	l.size.Add(fi.Size())
+	l.first.Store(files[0].base)
+	l.next.Store(last.base + n)
+	l.segs.Store(int64(len(l.sealed)) + 1)
+	return nil
+}
+
+// readBase validates a segment's header and returns its base offset.
+func (l *Log) readBase(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	base, _, err := readHeader(f, l.opt.Schema)
+	return base, err
+}
+
+// scanTail walks the frames of the segment at path, truncating the
+// file after the last intact record, and returns the record count. An
+// unreadable header is returned as an error without modifying the file.
+func (l *Log) scanTail(path string, wantBase int64) (count int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	base, hdrSize, err := readHeader(f, l.opt.Schema)
+	if err != nil {
+		return 0, err
+	}
+	if base != wantBase {
+		return 0, fmt.Errorf("wal: segment %s declares base %d", path, base)
+	}
+	good := hdrSize
+	buf := make([]byte, 0, 256)
+	for {
+		payload, err := readFrame(f, buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: drop it and everything after.
+			l.mTruncated.Inc()
+			if terr := f.Truncate(good); terr != nil {
+				return 0, fmt.Errorf("wal: truncating torn tail: %w", terr)
+			}
+			return count, nil
+		}
+		if _, err := DecodeEvent(payload, l.opt.Schema); err != nil {
+			l.mTruncated.Inc()
+			if terr := f.Truncate(good); terr != nil {
+				return 0, fmt.Errorf("wal: truncating torn tail: %w", terr)
+			}
+			return count, nil
+		}
+		good += frameSize + int64(len(payload))
+		count++
+		buf = payload[:0]
+	}
+	// Stray bytes after the last full frame (a frame header shorter
+	// than frameSize) also get truncated by readFrame's UnexpectedEOF
+	// path above; reaching here means the file ended exactly on a
+	// record boundary.
+	return count, nil
+}
+
+// createSegment creates and activates a fresh segment starting at
+// base. Callers must not hold l.mu during Open; afterwards it is
+// called with l.mu held (rotate).
+func (l *Log) createSegment(base int64) error {
+	path := filepath.Join(l.opt.Dir, segName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := encodeHeader(l.opt.Schema, base)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if l.opt.Fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.active, l.actPath, l.actBase, l.actN, l.actSize = f, path, base, 0, int64(len(hdr))
+	l.size.Add(int64(len(hdr)))
+	l.segs.Add(1)
+	if l.first.Load() == 0 && l.next.Load() == 0 {
+		l.first.Store(base)
+	}
+	if l.next.Load() < base {
+		l.next.Store(base)
+	}
+	return nil
+}
+
+// Append appends a single event. See AppendBatch.
+func (l *Log) Append(e event.Event) (int64, error) {
+	return l.AppendBatch([]event.Event{e})
+}
+
+// AppendBatch appends events as one write, returning the offset
+// assigned to the first. Offsets are contiguous, so events[i] has
+// offset first+i. The events' Seq fields are ignored; time and
+// attributes are persisted. Once AppendBatch returns, the records are
+// visible to readers (and, under FsyncAlways, on stable storage).
+func (l *Log) AppendBatch(events []event.Event) (first int64, err error) {
+	if len(events) == 0 {
+		return l.next.Load(), nil
+	}
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.actSize >= l.opt.SegmentBytes && l.actN > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	buf := l.scratch[:0]
+	for i := range events {
+		l.pbuf = EncodeEvent(l.pbuf[:0], l.opt.Schema, &events[i])
+		buf = appendFrame(buf, l.pbuf)
+	}
+	l.scratch = buf[:0]
+	if _, err := l.active.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if l.opt.Fsync == FsyncAlways {
+		if err := l.active.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		l.mSyncs.Inc()
+	} else {
+		l.dirty.Store(true)
+	}
+	first = l.actBase + l.actN
+	l.actN += int64(len(events))
+	l.actSize += int64(len(buf))
+	l.size.Add(int64(len(buf)))
+	l.next.Store(l.actBase + l.actN)
+	l.mAppends.Add(int64(len(events)))
+	l.mBytes.Add(int64(len(buf)))
+	l.mLatency.Observe(time.Since(start).Seconds())
+	return first, nil
+}
+
+// rotateLocked seals the active segment and starts a new one, then
+// applies retention. Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	l.mSyncs.Inc()
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.sealed = append(l.sealed, segment{
+		base:  l.actBase,
+		count: l.actN,
+		path:  l.actPath,
+		size:  l.actSize,
+		mtime: time.Now(),
+	})
+	if err := l.createSegment(l.actBase + l.actN); err != nil {
+		return err
+	}
+	l.mRotations.Inc()
+	l.applyRetentionLocked()
+	return nil
+}
+
+// applyRetentionLocked deletes the oldest sealed segments that exceed
+// the size budget or the age limit. The active segment is never
+// deleted. Caller holds l.mu.
+func (l *Log) applyRetentionLocked() {
+	if l.opt.RetainBytes <= 0 && l.opt.RetainAge <= 0 {
+		return
+	}
+	cutoff := time.Time{}
+	if l.opt.RetainAge > 0 {
+		cutoff = time.Now().Add(-l.opt.RetainAge)
+	}
+	for len(l.sealed) > 0 {
+		oldest := l.sealed[0]
+		overSize := l.opt.RetainBytes > 0 && l.size.Load() > l.opt.RetainBytes
+		tooOld := !cutoff.IsZero() && oldest.mtime.Before(cutoff)
+		if !overSize && !tooOld {
+			return
+		}
+		if err := os.Remove(oldest.path); err != nil && !os.IsNotExist(err) {
+			return // try again next rotation
+		}
+		l.sealed = l.sealed[1:]
+		l.size.Add(-oldest.size)
+		l.segs.Add(-1)
+		l.mReclaimed.Add(oldest.count)
+		if len(l.sealed) > 0 {
+			l.first.Store(l.sealed[0].base)
+		} else {
+			l.first.Store(l.actBase)
+		}
+	}
+}
+
+// Sync flushes buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed || !l.dirty.Swap(false) {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.mSyncs.Inc()
+	return nil
+}
+
+// syncLoop drives the FsyncInterval policy.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opt.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			_ = l.syncLocked()
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// NextOffset returns the offset the next appended record will get;
+// offsets below it are readable (subject to retention).
+func (l *Log) NextOffset() int64 { return l.next.Load() }
+
+// FirstOffset returns the oldest retained offset. A log that has never
+// reclaimed a segment returns the offset of its first-ever record.
+func (l *Log) FirstOffset() int64 { return l.first.Load() }
+
+// SizeBytes returns the total on-disk size across all segments.
+func (l *Log) SizeBytes() int64 { return l.size.Load() }
+
+// Segments returns the number of on-disk segment files.
+func (l *Log) Segments() int64 { return l.segs.Load() }
+
+// Close flushes and closes the log. Concurrent readers fail on their
+// next segment open; in-flight reads of open files are unaffected.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	return err
+}
+
+// registerMetrics wires the log's gauges and counters into the
+// registry, if any.
+func (l *Log) registerMetrics() {
+	r := l.opt.Registry
+	if r == nil {
+		r = obs.NewRegistry() // throwaway sink; keeps the hot path nil-free
+	}
+	l.mAppends = r.Counter("ses_wal_appends_total", "Events appended to the WAL.")
+	l.mBytes = r.Counter("ses_wal_bytes_total", "Bytes appended to the WAL (including framing).")
+	l.mSyncs = r.Counter("ses_wal_syncs_total", "fsync calls issued by the WAL.")
+	l.mRotations = r.Counter("ses_wal_rotations_total", "Segment rotations.")
+	l.mReclaimed = r.Counter("ses_wal_reclaimed_total", "Records deleted by retention.")
+	l.mTruncated = r.Counter("ses_wal_truncations_total", "Torn tails discarded during recovery.")
+	l.mLatency = r.Histogram("ses_wal_append_seconds", "Append latency (batch, including fsync when policy=always).",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+	if l.opt.Registry != nil {
+		r.GaugeFunc("ses_wal_segments", "Segment files on disk.", l.Segments)
+		r.GaugeFunc("ses_wal_size_bytes", "Total WAL size on disk.", l.SizeBytes)
+		r.GaugeFunc("ses_wal_first_offset", "Oldest retained offset.", l.FirstOffset)
+		r.GaugeFunc("ses_wal_next_offset", "Offset the next appended event will receive.", l.NextOffset)
+	}
+}

@@ -1,0 +1,396 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/obs"
+)
+
+func testSchema(t testing.TB) *event.Schema {
+	t.Helper()
+	s, err := event.NewSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+		event.Field{Name: "V", Type: event.TypeFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkEvent(i int) event.Event {
+	return event.Event{
+		Time:  event.Time(i * 10),
+		Attrs: []event.Value{event.Int(int64(i)), event.String(fmt.Sprintf("l%d", i%5)), event.Float(float64(i) / 3)},
+	}
+}
+
+func mustOpen(t *testing.T, opt Options) *Log {
+	t.Helper()
+	l, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Log, from, n int) {
+	t.Helper()
+	batch := make([]event.Event, 0, n)
+	for i := from; i < from+n; i++ {
+		batch = append(batch, mkEvent(i))
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, l *Log, from int64) []event.Event {
+	t.Helper()
+	r := l.NewReader(from)
+	defer r.Close()
+	var out []event.Event
+	for {
+		off, e, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next at offset %d: %v", r.Offset(), err)
+		}
+		if off != from+int64(len(out)) {
+			t.Fatalf("offset %d, want %d", off, from+int64(len(out)))
+		}
+		out = append(out, e)
+	}
+}
+
+func checkEvents(t *testing.T, got []event.Event, from, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("read %d events, want %d", len(got), n)
+	}
+	for i, e := range got {
+		want := mkEvent(from + i)
+		if e.Time != want.Time || !e.Attrs[0].Equal(want.Attrs[0]) ||
+			!e.Attrs[1].Equal(want.Attrs[1]) || !e.Attrs[2].Equal(want.Attrs[2]) {
+			t.Fatalf("event %d: got %v@%d, want %v@%d", from+i, e.Attrs, e.Time, want.Attrs, want.Time)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := mustOpen(t, Options{Dir: t.TempDir(), Schema: testSchema(t), Fsync: FsyncNever})
+	appendN(t, l, 0, 100)
+	if got := l.NextOffset(); got != 100 {
+		t.Fatalf("NextOffset = %d, want 100", got)
+	}
+	checkEvents(t, readAll(t, l, 0), 0, 100)
+	checkEvents(t, readAll(t, l, 40), 40, 60)
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever, SegmentBytes: 512}
+	l := mustOpen(t, opt)
+	for i := 0; i < 200; i += 10 {
+		appendN(t, l, i, 10)
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("expected rotation, got %d segments", l.Segments())
+	}
+	checkEvents(t, readAll(t, l, 0), 0, 200)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, opt)
+	if got := l2.NextOffset(); got != 200 {
+		t.Fatalf("NextOffset after reopen = %d, want 200", got)
+	}
+	appendN(t, l2, 200, 50)
+	checkEvents(t, readAll(t, l2, 0), 0, 250)
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		chop int64 // bytes to cut from the tail
+	}{
+		{"mid-record", 3},
+		{"mid-header", 6}, // leaves < frameSize bytes of the final frame
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opt := Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever}
+			l := mustOpen(t, opt)
+			appendN(t, l, 0, 20)
+			l.Close()
+
+			segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+			if len(segs) != 1 {
+				t.Fatalf("want 1 segment, got %d", len(segs))
+			}
+			fi, err := os.Stat(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(segs[0], fi.Size()-tc.chop); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := mustOpen(t, opt)
+			if got := l2.NextOffset(); got != 19 {
+				t.Fatalf("NextOffset after torn tail = %d, want 19", got)
+			}
+			checkEvents(t, readAll(t, l2, 0), 0, 19)
+			// The log must accept appends after recovery.
+			appendN(t, l2, 19, 5)
+			checkEvents(t, readAll(t, l2, 0), 0, 24)
+		})
+	}
+}
+
+func TestBitFlipDetectedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever}
+	l := mustOpen(t, opt)
+	appendN(t, l, 0, 10)
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the last record's payload
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, opt)
+	if got := l2.NextOffset(); got != 9 {
+		t.Fatalf("NextOffset after bit flip = %d, want 9", got)
+	}
+	checkEvents(t, readAll(t, l2, 0), 0, 9)
+}
+
+func TestTornNewSegmentHeader(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever, SegmentBytes: 256}
+	l := mustOpen(t, opt)
+	for i := 0; i < 40; i += 10 {
+		appendN(t, l, i, 10)
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(segs))
+	}
+	// Simulate a crash between creating the newest segment and writing
+	// its header: chop the header mid-way.
+	last := segs[len(segs)-1]
+	if err := os.Truncate(last, 4); err != nil {
+		t.Fatal(err)
+	}
+	base := int64(0)
+	fmt.Sscanf(filepath.Base(last), "%016x.wal", &base)
+
+	l2 := mustOpen(t, opt)
+	if got := l2.NextOffset(); got != base {
+		t.Fatalf("NextOffset = %d, want %d (records of the torn segment discarded)", got, base)
+	}
+	checkEvents(t, readAll(t, l2, 0), 0, int(base))
+	appendN(t, l2, int(base), 5)
+	checkEvents(t, readAll(t, l2, 0), 0, int(base)+5)
+}
+
+func TestRetentionBySize(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{
+		Dir: dir, Schema: testSchema(t), Fsync: FsyncNever,
+		SegmentBytes: 512, RetainBytes: 1500,
+	})
+	for i := 0; i < 500; i += 10 {
+		appendN(t, l, i, 10)
+	}
+	if l.FirstOffset() == 0 {
+		t.Fatal("retention never reclaimed a segment")
+	}
+	if l.SizeBytes() > 1500+512+200 { // budget + one active segment of slack
+		t.Fatalf("size %d exceeds retention budget", l.SizeBytes())
+	}
+	first := l.FirstOffset()
+	checkEvents(t, readAll(t, l, first), int(first), 500-int(first))
+
+	r := l.NewReader(0)
+	defer r.Close()
+	if _, _, err := r.Next(); err != ErrTruncated {
+		t.Fatalf("reading reclaimed offset: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestRetentionByAge(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{
+		Dir: dir, Schema: testSchema(t), Fsync: FsyncNever,
+		SegmentBytes: 512, RetainAge: time.Nanosecond,
+	})
+	for i := 0; i < 100; i += 10 {
+		appendN(t, l, i, 10)
+		time.Sleep(time.Millisecond)
+	}
+	if l.FirstOffset() == 0 {
+		t.Fatal("age-based retention never reclaimed a segment")
+	}
+	first := l.FirstOffset()
+	checkEvents(t, readAll(t, l, first), int(first), 100-int(first))
+}
+
+func TestTailChasingReader(t *testing.T) {
+	l := mustOpen(t, Options{Dir: t.TempDir(), Schema: testSchema(t), Fsync: FsyncNever, SegmentBytes: 256})
+	r := l.NewReader(0)
+	defer r.Close()
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty log: err = %v, want io.EOF", err)
+	}
+	total := 0
+	for round := 0; round < 10; round++ {
+		appendN(t, l, total, 7)
+		total += 7
+		for {
+			off, e, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mkEvent(int(off))
+			if e.Time != want.Time {
+				t.Fatalf("offset %d: time %d, want %d", off, e.Time, want.Time)
+			}
+		}
+		if r.Offset() != int64(total) {
+			t.Fatalf("reader at %d after round %d, want %d", r.Offset(), round, total)
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	l := mustOpen(t, Options{Dir: t.TempDir(), Schema: testSchema(t), Fsync: FsyncNever, SegmentBytes: 1024})
+	const total = 2000
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			r := l.NewReader(0)
+			defer r.Close()
+			n := int64(0)
+			for n < total {
+				off, e, err := r.Next()
+				if err == io.EOF {
+					time.Sleep(time.Microsecond)
+					continue
+				}
+				if err != nil {
+					done <- err
+					return
+				}
+				if off != n || e.Attrs[0].Int64() != n {
+					done <- fmt.Errorf("offset %d: got event %d, want %d", off, e.Attrs[0].Int64(), n)
+					return
+				}
+				n++
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < total; i += 50 {
+		appendN(t, l, i, 50)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			l := mustOpen(t, Options{
+				Dir: t.TempDir(), Schema: testSchema(t),
+				Fsync: p, FsyncInterval: time.Millisecond,
+			})
+			appendN(t, l, 0, 10)
+			if p == FsyncInterval {
+				time.Sleep(20 * time.Millisecond) // let the sync loop run
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			checkEvents(t, readAll(t, l, 0), 0, 10)
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParseFsyncPolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Fatalf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever}
+	l := mustOpen(t, opt)
+	appendN(t, l, 0, 5)
+	l.Close()
+	other, _ := event.NewSchema(event.Field{Name: "X", Type: event.TypeInt})
+	if _, err := Open(Options{Dir: dir, Schema: other, Fsync: FsyncNever}); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := mustOpen(t, Options{Dir: t.TempDir(), Schema: testSchema(t), Fsync: FsyncNever, Registry: reg})
+	appendN(t, l, 0, 7)
+	if v, ok := reg.Value("ses_wal_appends_total"); !ok || v != 7 {
+		t.Fatalf("ses_wal_appends_total = %d (ok=%v), want 7", v, ok)
+	}
+	if v, ok := reg.Value("ses_wal_next_offset"); !ok || v != 7 {
+		t.Fatalf("ses_wal_next_offset = %d (ok=%v), want 7", v, ok)
+	}
+	if v, ok := reg.Value("ses_wal_segments"); !ok || v != 1 {
+		t.Fatalf("ses_wal_segments = %d (ok=%v), want 1", v, ok)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Schema: testSchema(t), Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(mkEvent(0)); err == nil {
+		t.Fatal("expected error appending to closed log")
+	}
+}
