@@ -28,6 +28,18 @@
 //	                       total size (default: keep everything)
 //	-retain-age D          reclaim WAL segments older than D
 //	                       (default: keep everything)
+//	-unshipped-cap N       reclaim unshipped WAL segments (held for a
+//	                       follower) beyond this many bytes, loudly
+//	                       (default: hold them indefinitely)
+//	-follow URL            start as a warm-standby follower of the
+//	                       leader at URL: read-only, replicating its
+//	                       WAL and query set (requires -wal-dir)
+//	-promote-after D       with -follow: promote to leader after the
+//	                       leader has been unreachable for D
+//	                       (default: manual promotion only)
+//	-peer URL              check the peer's fencing epoch at startup
+//	                       and refuse writes if it is higher (set it
+//	                       on a restarted ex-leader to its standby)
 //
 // The HTTP API (see docs/OPERATIONS.md for the full reference):
 //
@@ -37,9 +49,12 @@
 //	GET    /queries/{id}         one query's state
 //	DELETE /queries/{id}         remove a query
 //	GET    /queries/{id}/matches stream matches (NDJSON or SSE, ?follow=1)
-//	GET    /healthz              liveness
+//	POST   /promote              promote a follower to leader
+//	GET    /healthz              liveness (role + fencing epoch)
 //	GET    /metrics              Prometheus metrics
 //	GET    /debug/pprof/         profiling
+//	GET    /replica/manifest     replication manifest (with -wal-dir)
+//	GET    /replica/wal          CRC-framed WAL records (with -wal-dir)
 //
 // On SIGTERM or SIGINT the server drains gracefully: ingest is
 // refused, every query's pipeline consumes its backlog and flushes its
@@ -53,10 +68,20 @@
 // watermark (or registration offset) — the upstream source does not
 // re-send anything — and POST /queries?backfill=true bootstraps a new
 // query from the retained history.
+//
+// With -follow the process runs as a warm standby: it mirrors the
+// leader's WAL and query set, serves read-only match streams at a
+// small replication lag, and takes over on POST /promote (or
+// automatically after -promote-after without leader contact). The
+// promotion bumps a fencing epoch persisted in the WAL manifest; a
+// revived old leader started with -peer pointing at the standby
+// observes the higher epoch and refuses writes instead of forking the
+// log. See docs/OPERATIONS.md for the replication runbook.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -68,6 +93,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/replica"
 )
 
 // options collects the command line configuration of one run.
@@ -85,6 +111,10 @@ type options struct {
 	segmentBytes    int64
 	retainBytes     int64
 	retainAge       time.Duration
+	unshippedCap    int64
+	follow          string
+	promoteAfter    time.Duration
+	peer            string
 }
 
 func main() {
@@ -102,6 +132,10 @@ func main() {
 	flag.Int64Var(&o.segmentBytes, "segment-bytes", 0, "WAL segment rotation size in bytes (default 64 MiB)")
 	flag.Int64Var(&o.retainBytes, "retain-bytes", 0, "reclaim oldest WAL segments beyond this total size (default: keep everything)")
 	flag.DurationVar(&o.retainAge, "retain-age", 0, "reclaim WAL segments older than this (default: keep everything)")
+	flag.Int64Var(&o.unshippedCap, "unshipped-cap", 0, "reclaim unshipped WAL segments beyond this many bytes (default: hold them for the follower indefinitely)")
+	flag.StringVar(&o.follow, "follow", "", "run as a read-only follower replicating the leader at this URL (requires -wal-dir)")
+	flag.DurationVar(&o.promoteAfter, "promote-after", 0, "with -follow: promote to leader after this long without leader contact (default: manual only)")
+	flag.StringVar(&o.peer, "peer", "", "check this peer's fencing epoch at startup and refuse writes if it is higher")
 	flag.Parse()
 	if err := run(o, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sesd:", err)
@@ -144,36 +178,106 @@ func run(o options, logw *os.File, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	if o.follow != "" && o.walDir == "" {
+		return fmt.Errorf("-follow requires -wal-dir (the follower appends the leader's records to its own WAL)")
+	}
+	if o.promoteAfter > 0 && o.follow == "" {
+		return fmt.Errorf("-promote-after only makes sense with -follow")
+	}
 	reg := ses.NewMetricsRegistry()
 	srv, err := ses.NewServer(ses.ServerConfig{
-		Schema:           schema,
-		Registry:         reg,
-		Mailbox:          o.mailbox,
-		MatchLog:         o.matchLog,
-		CheckpointDir:    o.checkpointDir,
-		CheckpointEvery:  o.checkpointEvery,
-		DrainTimeout:     o.drainTimeout,
-		WALDir:           o.walDir,
-		WALFsync:         o.fsync,
-		WALFsyncInterval: o.fsyncInterval,
-		WALSegmentBytes:  o.segmentBytes,
-		WALRetainBytes:   o.retainBytes,
-		WALRetainAge:     o.retainAge,
+		Schema:               schema,
+		Registry:             reg,
+		Mailbox:              o.mailbox,
+		MatchLog:             o.matchLog,
+		CheckpointDir:        o.checkpointDir,
+		CheckpointEvery:      o.checkpointEvery,
+		DrainTimeout:         o.drainTimeout,
+		WALDir:               o.walDir,
+		WALFsync:             o.fsync,
+		WALFsyncInterval:     o.fsyncInterval,
+		WALSegmentBytes:      o.segmentBytes,
+		WALRetainBytes:       o.retainBytes,
+		WALRetainAge:         o.retainAge,
+		WALUnshippedCapBytes: o.unshippedCap,
 	})
 	if err != nil {
 		return err
 	}
+	if o.follow != "" {
+		srv.SetReadOnly()
+	}
+	if o.peer != "" {
+		// Fencing check: a restarted ex-leader must observe a promoted
+		// standby's higher epoch before accepting a single write.
+		checkCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		epoch, ok := replica.CheckPeer(checkCtx, nil, o.peer)
+		cancel()
+		switch {
+		case !ok:
+			fmt.Fprintf(logw, "sesd: peer %s unreachable; proceeding with local epoch %d\n", o.peer, srv.Epoch())
+		case epoch > srv.Epoch():
+			srv.Fence(epoch)
+			fmt.Fprintf(logw, "sesd: fenced: peer %s holds epoch %d > local %d; refusing writes\n", o.peer, epoch, srv.Epoch())
+		default:
+			fmt.Fprintf(logw, "sesd: peer %s at epoch %d, local %d; write path open\n", o.peer, epoch, srv.Epoch())
+		}
+	}
+
+	mux := http.NewServeMux()
+	if srv.WAL() != nil {
+		shipper, err := replica.NewShipper(srv, reg)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		mux.Handle("/replica/", shipper)
+	}
+	mux.Handle("/", srv.Handler())
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		srv.Close()
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "sesd: serving schema (%s) on http://%s/\n", schema, ln.Addr())
+	fmt.Fprintf(logw, "sesd: serving schema (%s) on http://%s/ as %s\n", schema, ln.Addr(), srv.Role())
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	pullerCtx, stopPuller := context.WithCancel(context.Background())
+	defer stopPuller()
+	var pullerDone chan struct{}
+	if o.follow != "" {
+		p, err := replica.NewPuller(srv, replica.Options{
+			Leader:           o.follow,
+			AutoPromoteAfter: o.promoteAfter,
+			Registry:         reg,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(logw, "sesd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		pullerDone = make(chan struct{})
+		go func() {
+			defer close(pullerDone)
+			switch err := p.Run(pullerCtx); {
+			case err == nil:
+				fmt.Fprintf(logw, "sesd: replication ended; now %s at epoch %d\n", srv.Role(), srv.Epoch())
+			case errors.Is(err, context.Canceled):
+			default:
+				// Terminal replication failure (divergence, reclaimed
+				// gap): keep serving the read-only state and leave the
+				// decision — re-seed or promote — to the operator.
+				fmt.Fprintf(logw, "sesd: replication stopped: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -186,6 +290,10 @@ func run(o options, logw *os.File, ready chan<- string) error {
 	}
 	stop()
 
+	stopPuller()
+	if pullerDone != nil {
+		<-pullerDone
+	}
 	fmt.Fprintf(logw, "sesd: draining (up to %s)\n", o.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout+5*time.Second)
 	defer cancel()

@@ -151,6 +151,25 @@ func artifactCases(ds []Dataset) ([]artifactCase, func(), error) {
 			return 0, n, err
 		}},
 	)
+	// Warm-standby replication: bootstrapping a follower from an empty
+	// WAL against a prefilled leader — manifest sync, segment shipping,
+	// CRC re-verification, replicated appends and replayed evaluation.
+	// The leader is static and built outside the timed region.
+	rb, err := NewReplicaBench(filepath.Join(scratch, "replica"), d1)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	cleanup = func() {
+		rb.Close()
+		os.RemoveAll(scratch)
+	}
+	cases = append(cases,
+		artifactCase{"ReplicaShipApply/q1/" + d1.Name, func() (int64, int, error) {
+			n, err := rb.Run()
+			return 0, n, err
+		}},
+	)
 	return cases, cleanup, nil
 }
 

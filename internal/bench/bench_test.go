@@ -346,6 +346,65 @@ func TestWALRunners(t *testing.T) {
 	}
 }
 
+// TestReplicaRunner checks the replication benchmark's fingerprint:
+// a follower bootstrapped over the wire reproduces the standalone
+// match count of the same query, reproducibly.
+func TestReplicaRunner(t *testing.T) {
+	d := tinyDatasets(t, 1)[0]
+	rb, err := NewReplicaBench(t.TempDir(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	got, err := rb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := compileText(paperdata.QueryQ1Text, d.Rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := engine.RunOn(engine.New(a, engine.WithFilter(true)), d.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(ms) {
+		t.Errorf("replicated follower found %d matches, standalone %d", got, len(ms))
+	}
+	if got == 0 {
+		t.Errorf("no matches found; the benchmark would measure nothing")
+	}
+	again, err := rb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Errorf("replication not reproducible: %d then %d matches", got, again)
+	}
+}
+
+// BenchmarkReplicaShipApply measures bootstrapping a fresh follower
+// from a prefilled leader: manifest sync, segment streaming over
+// loopback HTTP, CRC re-verification, replicated WAL appends and the
+// replayed evaluation of Q1.
+func BenchmarkReplicaShipApply(b *testing.B) {
+	ds, err := MakeDatasets(chemo.Tiny(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rb, err := NewReplicaBench(b.TempDir(), ds[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rb.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rb.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWALAppend measures the durable append path per fsync
 // policy. "always" pays one fdatasync per batch and is therefore
 // device-bound; it is benchmarked here but excluded from the gated

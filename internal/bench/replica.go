@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+// ReplicaBench is the static leader side of the replication benchmark:
+// a WAL-backed server prefilled with the dataset and the paper's Q1,
+// exposed through a Shipper on a local HTTP listener. It is built once
+// outside the timed region; each timed iteration bootstraps a fresh
+// follower against it (see Run).
+type ReplicaBench struct {
+	leader *server.Server
+	ts     *httptest.Server
+	schema *event.Schema
+	dir    string
+	target int64 // leader WAL tail the follower must reach
+}
+
+// NewReplicaBench builds the leader in dir/leader: a WAL-backed server
+// holding the whole dataset and Q1, served (API plus replication
+// routes) on a loopback listener.
+func NewReplicaBench(dir string, d Dataset) (*ReplicaBench, error) {
+	leaderDir := filepath.Join(dir, "leader")
+	if err := os.RemoveAll(leaderDir); err != nil {
+		return nil, err
+	}
+	s, err := server.New(server.Config{
+		Schema:   d.Rel.Schema(),
+		WALDir:   leaderDir,
+		WALFsync: "never",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.AddQuery(server.QuerySpec{ID: "q1", Query: paperdata.QueryQ1Text, Filter: true}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if _, err := s.Ingest(d.Rel.Events()); err != nil {
+		s.Close()
+		return nil, err
+	}
+	sh, err := replica.NewShipper(s, nil)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/replica/", sh)
+	mux.Handle("/", s.Handler())
+	return &ReplicaBench{
+		leader: s,
+		ts:     httptest.NewServer(mux),
+		schema: d.Rel.Schema(),
+		dir:    dir,
+		target: s.WAL().NextOffset(),
+	}, nil
+}
+
+// Close shuts the leader listener and server down and removes the
+// scratch directories.
+func (rb *ReplicaBench) Close() {
+	rb.ts.Close()
+	rb.leader.Close()
+	os.RemoveAll(rb.dir)
+}
+
+// Run bootstraps one follower from scratch — empty WAL directory,
+// read-only server, puller — replicates until the follower's log
+// reaches the leader's tail and Q1 has caught up, then drains the
+// follower and returns its match count. That is the full warm-standby
+// path: manifest sync, segment streaming, CRC re-verification,
+// replicated appends and replayed evaluation.
+func (rb *ReplicaBench) Run() (int, error) {
+	fdir := filepath.Join(rb.dir, "follower")
+	if err := os.RemoveAll(fdir); err != nil {
+		return 0, err
+	}
+	f, err := server.New(server.Config{
+		Schema:   rb.schema,
+		WALDir:   fdir,
+		WALFsync: "never",
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	f.SetReadOnly()
+	p, err := replica.NewPuller(f, replica.Options{
+		Leader: rb.ts.URL,
+		WaitMS: 50,
+		Logf:   func(string, ...interface{}) {},
+	})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx) }()
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if f.WAL().NextOffset() >= rb.target {
+			info, err := f.Query("q1")
+			if err == nil && !info.CatchingUp {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			return 0, fmt.Errorf("follower never caught up: local tail %d, leader tail %d",
+				f.WAL().NextOffset(), rb.target)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		return 0, fmt.Errorf("puller: %w", err)
+	}
+	if err := f.Drain(context.Background()); err != nil {
+		return 0, err
+	}
+	info, err := f.Query("q1")
+	if err != nil {
+		return 0, err
+	}
+	if info.Err != "" {
+		return 0, fmt.Errorf("replicated query failed: %s", info.Err)
+	}
+	return int(info.Matches), nil
+}

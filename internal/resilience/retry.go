@@ -1,0 +1,143 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy parameterizes Retry and Backoff: capped exponential
+// backoff with optional jitter. The zero value retries forever with
+// 10ms..2s delays, doubling each attempt, and no jitter.
+type RetryPolicy struct {
+	// Initial is the delay before the second attempt (default 10ms).
+	Initial time.Duration
+	// Max caps the delay between attempts (default 2s).
+	Max time.Duration
+	// Multiplier scales the delay after each attempt (default 2).
+	Multiplier float64
+	// Jitter, in [0,1], spreads each delay uniformly over
+	// [delay*(1-Jitter), delay*(1+Jitter)] so a fleet of retriers does
+	// not synchronize. 0 keeps delays deterministic.
+	Jitter float64
+	// MaxAttempts bounds the number of calls to the operation;
+	// 0 means unlimited (retry until success, a permanent error, or
+	// context cancellation).
+	MaxAttempts int
+}
+
+// withDefaults fills the zero fields of a policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Initial <= 0 {
+		p.Initial = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Backoff is the stateful delay sequence of one retry loop. Create it
+// with NewBackoff; each Next returns the delay to sleep before the
+// next attempt.
+type Backoff struct {
+	p    RetryPolicy
+	cur  time.Duration
+	rand func() float64 // uniform [0,1); replaceable in tests
+}
+
+// NewBackoff starts a delay sequence under the policy.
+func NewBackoff(p RetryPolicy) *Backoff {
+	p = p.withDefaults()
+	return &Backoff{p: p, cur: p.Initial, rand: rand.Float64}
+}
+
+// Next returns the next delay: the current backoff with jitter
+// applied, advancing the (unjittered) backoff toward the cap.
+func (b *Backoff) Next() time.Duration {
+	d := b.cur
+	if next := time.Duration(float64(b.cur) * b.p.Multiplier); next > b.p.Max {
+		b.cur = b.p.Max
+	} else {
+		b.cur = next
+	}
+	if b.p.Jitter > 0 {
+		spread := 1 + b.p.Jitter*(2*b.rand()-1)
+		d = time.Duration(float64(d) * spread)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Reset rewinds the sequence to the initial delay, for loops that
+// alternate between healthy and failing phases.
+func (b *Backoff) Reset() { b.cur = b.p.Initial }
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Retry stops immediately and returns the
+// wrapped error instead of retrying. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}
+
+// Retry runs op until it succeeds, sleeping between attempts under the
+// policy's capped exponential backoff with jitter. It stops early —
+// returning the operation's last error — when op returns an error
+// wrapped with Permanent, when MaxAttempts is exhausted, or when ctx
+// is cancelled (the context error is attached via errors.Join so both
+// causes survive inspection).
+func Retry(ctx context.Context, p RetryPolicy, op func() error) error {
+	p = p.withDefaults()
+	b := NewBackoff(p)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(err, lastErr)
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return lastErr
+		}
+		t := time.NewTimer(b.Next())
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(ctx.Err(), lastErr)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	attempts := 0
+	err := Retry(context.Background(), RetryPolicy{Initial: time.Microsecond, Max: time.Millisecond}, func() error {
+		attempts++
+		if attempts < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	terminal := errors.New("terminal")
+	attempts := 0
+	err := Retry(context.Background(), RetryPolicy{Initial: time.Microsecond}, func() error {
+		attempts++
+		return Permanent(terminal)
+	})
+	if !errors.Is(err, terminal) {
+		t.Fatalf("Retry = %v, want %v", err, terminal)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestRetryMaxAttempts(t *testing.T) {
+	transient := errors.New("transient")
+	attempts := 0
+	err := Retry(context.Background(), RetryPolicy{Initial: time.Microsecond, MaxAttempts: 3}, func() error {
+		attempts++
+		return transient
+	})
+	if !errors.Is(err, transient) {
+		t.Fatalf("Retry = %v, want last error %v", err, transient)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestRetryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("transient")
+	attempts := 0
+	err := Retry(ctx, RetryPolicy{Initial: time.Hour}, func() error {
+		attempts++
+		cancel() // cancel while the loop would sleep for an hour
+		return transient
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, transient) {
+		t.Fatalf("Retry = %v, want the last operation error joined in", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestBackoffCapsAndDoubles(t *testing.T) {
+	b := NewBackoff(RetryPolicy{Initial: 10 * time.Millisecond, Max: 40 * time.Millisecond})
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("Next %d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after Reset, Next = %v, want 10ms", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := NewBackoff(RetryPolicy{Initial: 100 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5})
+	for i := 0; i < 200; i++ {
+		d := b.Next()
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 150ms]", d)
+		}
+	}
+	// Pinned extremes of the uniform variate hit the interval edges.
+	b = NewBackoff(RetryPolicy{Initial: 100 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5})
+	b.rand = func() float64 { return 0 }
+	if got := b.Next(); got != 50*time.Millisecond {
+		t.Fatalf("jitter floor = %v, want 50ms", got)
+	}
+	b.rand = func() float64 { return 1 }
+	if got := b.Next(); got != 150*time.Millisecond {
+		t.Fatalf("jitter ceiling = %v, want 150ms", got)
+	}
+}
+
+func TestIsPermanent(t *testing.T) {
+	if IsPermanent(errors.New("plain")) {
+		t.Fatal("plain error reported permanent")
+	}
+	if !IsPermanent(Permanent(errors.New("x"))) {
+		t.Fatal("Permanent error not detected")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}

@@ -389,7 +389,10 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 	// the matches that were already delivered downstream. A crash
 	// during replay consumes another restart and tries again.
 	restore := func(cause error) bool {
-		backoff := backoff0
+		// Deterministic (jitter-free) capped exponential backoff: a
+		// single supervisor retrying its own runner gains nothing from
+		// desynchronization, and tests rely on the exact delays.
+		bo := NewBackoff(RetryPolicy{Initial: backoff0, Max: maxBackoff})
 		for {
 			s.mu.Lock()
 			s.restarts++
@@ -406,13 +409,10 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 				cfg.OnRestart(attempt, cause)
 			}
 			select {
-			case <-time.After(backoff):
+			case <-time.After(bo.Next()):
 			case <-ctx.Done():
 				s.fail(ctx.Err())
 				return false
-			}
-			if backoff *= 2; backoff > maxBackoff {
-				backoff = maxBackoff
 			}
 			restored, err := engine.RestoreRunnerBytes(a, ckpt, opts...)
 			if err != nil {

@@ -23,7 +23,8 @@ import (
 //	GET    /queries/{id}         one query's state
 //	DELETE /queries/{id}         unregister a query
 //	GET    /queries/{id}/matches stream matches as NDJSON or SSE
-//	GET    /healthz              liveness probe
+//	POST   /promote              promote a follower to leader
+//	GET    /healthz              liveness probe (role + fencing epoch)
 //
 // With a configured metrics registry the observability surface of
 // internal/obs is mounted as well: /metrics (Prometheus text format),
@@ -43,8 +44,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/{id}", s.handleGetQuery)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleRemoveQuery)
 	mux.HandleFunc("GET /queries/{id}/matches", s.handleMatches)
+	mux.HandleFunc("POST /promote", s.handlePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status": "ok",
+			"role":   s.Role(),
+			"epoch":  s.Epoch(),
+		})
 	})
 	if s.cfg.Registry != nil {
 		dm := obs.DebugMux(s.cfg.Registry)
@@ -62,18 +68,37 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps a registry/ingest error to its HTTP status.
+// retryAfterSeconds is the Retry-After hint on 503 responses: drains
+// finish (or the process exits) and promotions land within seconds,
+// so a short client backoff is right in every unavailable state.
+const retryAfterSeconds = 1
+
+// writeError maps a registry/ingest error to its HTTP status. The
+// unavailable states — draining, follower (read-only) and fenced —
+// return 503 with a Retry-After header and a "state" field, so
+// clients can distinguish "retry here shortly" (draining) from "find
+// the leader" (follower, fenced).
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	state := ""
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrDuplicate):
 		status = http.StatusConflict
 	case errors.Is(err, ErrDraining):
-		status = http.StatusServiceUnavailable
+		status, state = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrReadOnly):
+		status, state = http.StatusServiceUnavailable, "follower"
+	case errors.Is(err, ErrFenced):
+		status, state = http.StatusServiceUnavailable, "fenced"
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if state != "" {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		body["state"] = state
+	}
+	writeJSON(w, status, body)
 }
 
 // maxEventLine bounds one NDJSON ingest line (1 MiB).
@@ -203,6 +228,23 @@ func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// handlePromote turns a follower into the leader (POST /promote).
+// Promotion on a server that is already the leader is a no-op that
+// reports the current epoch; a fenced server refuses with 409, since
+// a peer already won a newer election.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	epoch, err := s.Promote()
+	if err != nil {
+		if errors.Is(err, ErrFenced) {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "state": "fenced"})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"role": s.Role(), "epoch": epoch})
 }
 
 func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {

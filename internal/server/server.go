@@ -83,6 +83,11 @@ type Config struct {
 	// WALRetainAge reclaims segments whose newest record is older than
 	// this. 0 keeps everything.
 	WALRetainAge time.Duration
+	// WALUnshippedCapBytes bounds how many bytes of sealed segments a
+	// follower's replication floor may hold back from retention; past
+	// the cap the oldest unshipped segments are reclaimed loudly
+	// instead of filling the disk. 0 never overrides the floor.
+	WALUnshippedCapBytes int64
 }
 
 // Server fans one ingested event stream out to a registry of
@@ -108,6 +113,8 @@ type Server struct {
 
 	// wal is the durable ingest log, nil when Config.WALDir is empty.
 	wal *wal.Log
+	// repl carries the replication role (leader / follower / fenced).
+	repl replState
 	// drainStarted is closed when Drain begins, so catch-up feeders
 	// stop before the mailboxes close under them.
 	drainStarted chan struct{}
@@ -273,14 +280,15 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.wal, err = wal.Open(wal.Options{
-			Dir:           cfg.WALDir,
-			Schema:        cfg.Schema,
-			SegmentBytes:  cfg.WALSegmentBytes,
-			Fsync:         policy,
-			FsyncInterval: cfg.WALFsyncInterval,
-			RetainBytes:   cfg.WALRetainBytes,
-			RetainAge:     cfg.WALRetainAge,
-			Registry:      cfg.Registry,
+			Dir:               cfg.WALDir,
+			Schema:            cfg.Schema,
+			SegmentBytes:      cfg.WALSegmentBytes,
+			Fsync:             policy,
+			FsyncInterval:     cfg.WALFsyncInterval,
+			RetainBytes:       cfg.WALRetainBytes,
+			RetainAge:         cfg.WALRetainAge,
+			UnshippedCapBytes: cfg.WALUnshippedCapBytes,
+			Registry:          cfg.Registry,
 		})
 		if err != nil {
 			cancel()
@@ -375,7 +383,23 @@ type registration struct {
 // after Drain has begun. The query sees events ingested after the
 // call; use AddQueryBackfill to include retained history.
 func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
+	if err := s.writeGate(); err != nil {
+		return QueryInfo{}, err
+	}
 	return s.addQuery(spec, registration{stampFence: true})
+}
+
+// writeGate refuses externally driven writes on a follower or fenced
+// server; replication has its own entry points (ApplyReplicated,
+// SyncReplicatedQueries).
+func (s *Server) writeGate() error {
+	if s.repl.fenced.Load() {
+		return ErrFenced
+	}
+	if s.repl.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
 }
 
 // AddQueryBackfill registers a query like AddQuery, but bootstraps it
@@ -386,6 +410,9 @@ func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
 // QueryInfo until the handoff completes. Requires a WAL (ErrNoWAL
 // otherwise).
 func (s *Server) AddQueryBackfill(spec QuerySpec) (QueryInfo, error) {
+	if err := s.writeGate(); err != nil {
+		return QueryInfo{}, err
+	}
 	if s.wal == nil {
 		return QueryInfo{}, ErrNoWAL
 	}
@@ -577,6 +604,23 @@ func (s *Server) collect(q *queryState, matches <-chan engine.Match) {
 // readable through an already-held reference, but the query no longer
 // appears in the registry.
 func (s *Server) RemoveQuery(id string) error {
+	if err := s.writeGate(); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		// The drain is flushing every pipeline for its final matches;
+		// pulling a query out from under it would discard them.
+		return ErrDraining
+	}
+	return s.removeQueryInternal(id)
+}
+
+// removeQueryInternal removes a query without the follower write gate;
+// SyncReplicatedQueries uses it to mirror leader-side removals.
+func (s *Server) removeQueryInternal(id string) error {
 	s.mu.Lock()
 	q, ok := s.queries[id]
 	if !ok {
@@ -653,6 +697,16 @@ func (s *Server) lookup(id string) (*queryState, bool) {
 // event ("drop"); a query whose pipeline has terminated sheds. It
 // returns the number of events dispatched.
 func (s *Server) Ingest(events []event.Event) (int, error) {
+	if err := s.writeGate(); err != nil {
+		return 0, err
+	}
+	return s.dispatch(events)
+}
+
+// dispatch validates, persists and fans out a batch — the shared core
+// of Ingest (leader write path) and ApplyReplicated (follower apply
+// path).
+func (s *Server) dispatch(events []event.Event) (int, error) {
 	for i := range events {
 		if err := s.cfg.Schema.Check(events[i].Attrs); err != nil {
 			return 0, fmt.Errorf("server: event %d: %w", i, err)
@@ -708,6 +762,14 @@ func (s *Server) deliver(q *queryState, e event.Event) {
 	if q.catchingUp.Load() {
 		// The event is already in the WAL; the query's catch-up feeder
 		// delivers it in offset order and hands off at the tail.
+		return
+	}
+	if s.wal != nil && int64(e.Seq) < q.registeredAt {
+		// The query's offset fence lies beyond this record. On a leader
+		// this cannot happen (the fence is stamped at the tail under
+		// the ingest lock); on a follower a replicated query may be
+		// fenced past the local tail, and records below the fence
+		// belong to history the leader-side query never saw.
 		return
 	}
 	if q.spec.Admission == "drop" {

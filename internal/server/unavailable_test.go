@@ -1,0 +1,177 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/server"
+)
+
+// checkUnavailable asserts a 503 with the Retry-After hint and the
+// structured state body the runbook tells clients to dispatch on.
+func checkUnavailable(t *testing.T, resp *http.Response, wantState string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	var body struct {
+		Error string `json:"error"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.State != wantState {
+		t.Fatalf("state = %q, want %q", body.State, wantState)
+	}
+	if body.Error == "" {
+		t.Fatal("503 without an error message")
+	}
+}
+
+func TestHTTPUnavailableWhileDraining(t *testing.T) {
+	rel := paperdata.Relation()
+	s, err := server.New(server.Config{Schema: rel.Schema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := client.Post(ts.URL+"/events", "application/x-ndjson", strings.NewReader(ndjsonBody(t, rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnavailable(t, resp, "draining")
+
+	checkUnavailable(t, postJSON(t, client, ts.URL+"/queries", testSpecs[0]), "draining")
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/q1", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnavailable(t, resp, "draining")
+}
+
+func TestHTTPUnavailableOnFollower(t *testing.T) {
+	rel := paperdata.Relation()
+	s, err := server.New(server.Config{Schema: rel.Schema(), WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetReadOnly()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	resp, err := client.Post(ts.URL+"/events", "application/x-ndjson", strings.NewReader(ndjsonBody(t, rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnavailable(t, resp, "follower")
+	checkUnavailable(t, postJSON(t, client, ts.URL+"/queries", testSpecs[0]), "follower")
+	checkUnavailable(t, postJSON(t, client, ts.URL+"/queries?backfill=true", testSpecs[0]), "follower")
+
+	// Reads stay up: that is the point of a warm standby. Register a
+	// query through the replication path and read its (empty) matches.
+	if err := s.SyncReplicatedQueries([]server.ReplicatedQuery{{Spec: testSpecs[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Get(ts.URL + "/queries/" + testSpecs[0].ID + "/matches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET matches on follower = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	var health struct {
+		Role  string `json:"role"`
+		Epoch int64  `json:"epoch"`
+	}
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Role != "follower" || health.Epoch != 0 {
+		t.Fatalf("healthz = %+v, want follower at epoch 0", health)
+	}
+}
+
+func TestHTTPPromoteAndFence(t *testing.T) {
+	rel := paperdata.Relation()
+	s, err := server.New(server.Config{Schema: rel.Schema(), WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetReadOnly()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	promote := func() (int, map[string]interface{}) {
+		t.Helper()
+		resp, err := client.Post(ts.URL+"/promote", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]interface{}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	status, body := promote()
+	if status != http.StatusOK || body["role"] != "leader" || body["epoch"] != float64(1) {
+		t.Fatalf("POST /promote = %d %v, want 200 leader epoch 1", status, body)
+	}
+	// Idempotent: promoting the leader reports the current epoch.
+	if status, body = promote(); status != http.StatusOK || body["epoch"] != float64(1) {
+		t.Fatalf("second POST /promote = %d %v, want 200 epoch 1", status, body)
+	}
+
+	// The write path is open after promotion.
+	resp, err := client.Post(ts.URL+"/events", "application/x-ndjson", strings.NewReader(ndjsonBody(t, rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after promotion = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A peer with a higher epoch deposes this leader: writes fence and
+	// promotion refuses with 409 (a newer election already happened).
+	s.Fence(7)
+	resp, err = client.Post(ts.URL+"/events", "application/x-ndjson", strings.NewReader(ndjsonBody(t, rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnavailable(t, resp, "fenced")
+	if status, _ = promote(); status != http.StatusConflict {
+		t.Fatalf("POST /promote while fenced = %d, want 409", status)
+	}
+}

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/resilience"
 	"repro/internal/wal"
 )
 
@@ -117,18 +119,27 @@ func (s *Server) WALStats() (first, next, sizeBytes int64, ok bool) {
 // waitCaughtUp blocks until the query has handed off to live delivery,
 // or the timeout elapses.
 func (s *Server) waitCaughtUp(id string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	stillCatchingUp := errors.New("catching up")
+	err := resilience.Retry(ctx, resilience.RetryPolicy{
+		Initial: 2 * time.Millisecond,
+		Max:     20 * time.Millisecond,
+	}, func() error {
 		q, ok := s.lookup(id)
 		if !ok {
-			return ErrNotFound
+			return resilience.Permanent(ErrNotFound)
 		}
-		if !q.catchingUp.Load() {
-			return nil
+		if q.catchingUp.Load() {
+			return stillCatchingUp
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server: query %q still catching up after %s", id, timeout)
-		}
-		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if errors.Is(err, ErrNotFound) {
+		return ErrNotFound
 	}
+	if err != nil {
+		return fmt.Errorf("server: query %q still catching up after %s", id, timeout)
+	}
+	return nil
 }

@@ -1,0 +1,250 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// errInjected is the sentinel the faulty filesystem returns.
+var errInjected = errors.New("injected I/O failure")
+
+// faultFS wraps the real filesystem and injects failures into the
+// files it opens: a partial write after a countdown, or failing every
+// Sync. Arm the faults after Open so segment creation succeeds.
+type faultFS struct {
+	FileSystem
+
+	mu sync.Mutex
+	// writesUntilFail counts down on each File.Write; at zero the
+	// write lands partialBytes of its buffer and fails. -1 disarms.
+	writesUntilFail int
+	partialBytes    int
+	// syncErr, when non-nil, fails every File.Sync.
+	syncErr error
+}
+
+func newFaultFS() *faultFS {
+	return &faultFS{FileSystem: DefaultFS(), writesUntilFail: -1}
+}
+
+func (f *faultFS) armWriteFailure(after, partial int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesUntilFail, f.partialBytes = after, partial
+}
+
+func (f *faultFS) armSyncFailure(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.FileSystem.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	inject := ff.fs.writesUntilFail == 0
+	if ff.fs.writesUntilFail >= 0 {
+		ff.fs.writesUntilFail--
+	}
+	partial := ff.fs.partialBytes
+	ff.fs.mu.Unlock()
+	if inject {
+		if partial > len(p) {
+			partial = len(p)
+		}
+		n, _ := ff.File.Write(p[:partial])
+		return n, errInjected
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	err := ff.fs.syncErr
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func TestAppendFailureFailStopAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fs := newFaultFS()
+	l := mustOpen(t, Options{
+		Dir: dir, Schema: testSchema(t), Fsync: FsyncNever, FS: fs,
+		Logf: t.Logf,
+	})
+	appendN(t, l, 0, 10)
+
+	// The next batch write lands only 3 bytes — a torn tail past the
+	// last acknowledged record.
+	fs.armWriteFailure(0, 3)
+	if _, err := l.AppendBatch([]event.Event{mkEvent(10), mkEvent(11)}); !errors.Is(err, errInjected) {
+		t.Fatalf("AppendBatch with failing write = %v, want errInjected", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() = nil after write failure, want fail-stop error")
+	}
+
+	// Fail-stop: later appends are refused even though the disk works
+	// again, so nothing lands after the tear.
+	fs.armWriteFailure(-1, 0)
+	if _, err := l.AppendBatch([]event.Event{mkEvent(12)}); err == nil || !strings.Contains(err.Error(), "refusing appends") {
+		t.Fatalf("AppendBatch after fail-stop = %v, want refusal", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen on the real filesystem: the torn tail is truncated and
+	// every acknowledged record survives intact.
+	l2 := mustOpen(t, Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever})
+	if got := l2.NextOffset(); got != 10 {
+		t.Fatalf("NextOffset after recovery = %d, want 10", got)
+	}
+	checkEvents(t, readAll(t, l2, 0), 0, 10)
+	appendN(t, l2, 10, 5)
+	checkEvents(t, readAll(t, l2, 0), 0, 15)
+}
+
+func TestFsyncFailureFailStop(t *testing.T) {
+	dir := t.TempDir()
+	fs := newFaultFS()
+	l := mustOpen(t, Options{
+		Dir: dir, Schema: testSchema(t), Fsync: FsyncAlways, FS: fs,
+		Logf: t.Logf,
+	})
+	appendN(t, l, 0, 5)
+
+	fs.armSyncFailure(errInjected)
+	if _, err := l.AppendBatch([]event.Event{mkEvent(5)}); !errors.Is(err, errInjected) {
+		t.Fatalf("AppendBatch with failing fsync = %v, want errInjected", err)
+	}
+	if !errors.Is(l.Err(), errInjected) {
+		t.Fatalf("Err() = %v, want errInjected", l.Err())
+	}
+	fs.armSyncFailure(nil)
+	if _, err := l.AppendBatch([]event.Event{mkEvent(6)}); err == nil {
+		t.Fatal("append accepted after fail-stop")
+	}
+	l.Close()
+
+	// Under FsyncAlways the unsynced record was never acknowledged;
+	// recovery must still hold every record acknowledged before it.
+	l2 := mustOpen(t, Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever})
+	checkEvents(t, readAll(t, l2, 0)[:5], 0, 5)
+}
+
+func TestRetentionFloorHoldsUnshippedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{
+		Dir: dir, Schema: testSchema(t), Fsync: FsyncNever,
+		SegmentBytes: 512, RetainBytes: 1500,
+	})
+	// A follower acknowledged nothing past offset 5: retention must
+	// hold every sealed segment containing offsets >= 5, no matter how
+	// far the size budget is exceeded.
+	l.SetRetentionFloor(5)
+	for i := 0; i < 500; i += 10 {
+		appendN(t, l, i, 10)
+	}
+	if first := l.FirstOffset(); first > 5 {
+		t.Fatalf("FirstOffset = %d: retention reclaimed past the replication floor 5", first)
+	}
+	if got := l.RetainedUnshippedBytes(); got == 0 {
+		t.Fatal("RetainedUnshippedBytes = 0 with a held-back backlog")
+	}
+
+	// The follower catches up: the floor advances and the backlog
+	// drains at the next rotation.
+	l.SetRetentionFloor(l.NextOffset())
+	for i := 500; i < 600; i += 10 {
+		appendN(t, l, i, 10)
+	}
+	if first := l.FirstOffset(); first <= 5 {
+		t.Fatalf("FirstOffset = %d: retention never resumed after the floor advanced", first)
+	}
+	// Floors only move forward; a stale ack must not reopen retention.
+	l.SetRetentionFloor(3)
+	if got := l.RetentionFloor(); got < 500 {
+		t.Fatalf("RetentionFloor regressed to %d", got)
+	}
+}
+
+func TestUnshippedCapReclaimsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var logged []string
+	l := mustOpen(t, Options{
+		Dir: dir, Schema: testSchema(t), Fsync: FsyncNever,
+		SegmentBytes: 512, RetainBytes: 1500, UnshippedCapBytes: 4096,
+		Logf: func(format string, args ...interface{}) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	l.SetRetentionFloor(0) // follower connected but dead: never acks
+	for i := 0; i < 2000; i += 10 {
+		appendN(t, l, i, 10)
+	}
+	if got := l.RetainedUnshippedBytes(); got > 4096+512 {
+		t.Fatalf("unshipped backlog %d bytes far exceeds the 4096-byte cap", got)
+	}
+	if l.FirstOffset() == 0 {
+		t.Fatal("cap never reclaimed an unshipped segment")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range logged {
+		if strings.Contains(line, "unshipped backlog exceeds cap") {
+			return
+		}
+	}
+	t.Fatalf("no loud reclamation log line; got %q", logged)
+}
+
+func TestEpochPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Dir: dir, Schema: testSchema(t), Fsync: FsyncNever}
+	l := mustOpen(t, opt)
+	if got := l.Epoch(); got != 0 {
+		t.Fatalf("fresh log epoch = %d, want 0", got)
+	}
+	if err := l.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetEpoch(3); err != nil {
+		t.Fatalf("re-persisting the current epoch: %v", err)
+	}
+	if err := l.SetEpoch(2); err == nil {
+		t.Fatal("lowering the epoch succeeded; fencing must be monotonic")
+	}
+	appendN(t, l, 0, 10)
+	l.Close()
+
+	l2 := mustOpen(t, opt)
+	if got := l2.Epoch(); got != 3 {
+		t.Fatalf("epoch after reopen = %d, want 3", got)
+	}
+	checkEvents(t, readAll(t, l2, 0), 0, 10)
+}

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the slice of *os.File the log needs from an open segment:
+// sequential reads and appends, durability, truncation of torn tails.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail recovery).
+	Truncate(size int64) error
+	// Stat returns the file's metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// FileSystem abstracts the file operations the log performs, so tests
+// can inject faults (failed writes, failed fsyncs, partial appends)
+// without touching the production path. DefaultFS returns the real
+// filesystem; Options.FS overrides it.
+type FileSystem interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat returns a file's metadata.
+	Stat(name string) (os.FileInfo, error)
+	// Glob lists the paths matching a filepath pattern.
+	Glob(pattern string) ([]string, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes a whole file.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// DefaultFS returns the real filesystem, the default of Options.FS.
+func DefaultFS() FileSystem { return osFS{} }

@@ -22,7 +22,7 @@ var ErrTruncated = errors.New("wal: offset reclaimed by retention")
 type Reader struct {
 	l    *Log
 	off  int64 // offset of the next record to return
-	file *os.File
+	file File
 	buf  []byte
 }
 
@@ -88,7 +88,7 @@ func (r *Reader) open() error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(path)
+	f, err := r.l.fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			// Reclaimed between segmentFor and open.

@@ -104,6 +104,18 @@ func DecodeEvent(data []byte, schema *event.Schema) (event.Event, error) {
 	return event.Event{Time: event.Time(t), Attrs: attrs}, nil
 }
 
+// EncodeFrame appends one framed record (length, CRC32C, payload) to
+// dst and returns the extended slice. The replication shipper uses it
+// to put records on the wire in exactly the on-disk format, so the
+// follower re-verifies the same CRC the leader computed at append.
+func EncodeFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// DecodeFrame reads one framed record payload from r into buf
+// (reallocating as needed) and returns the payload, CRC-verified.
+// io.EOF means a clean end of stream; io.ErrUnexpectedEOF a torn
+// frame. It is the wire-side counterpart of EncodeFrame.
+func DecodeFrame(r io.Reader, buf []byte) ([]byte, error) { return readFrame(r, buf) }
+
 // appendFrame appends one framed record (length, CRC32C, payload) to
 // dst and returns the extended slice.
 func appendFrame(dst, payload []byte) []byte {

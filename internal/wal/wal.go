@@ -12,9 +12,11 @@
 package wal
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -92,6 +94,20 @@ type Options struct {
 	// RetainAge deletes sealed segments whose newest record is older
 	// than this. Zero keeps everything.
 	RetainAge time.Duration
+	// UnshippedCapBytes bounds how many bytes of sealed segments the
+	// replication retention floor (SetRetentionFloor) may hold back
+	// from reclamation. Beyond the cap the oldest unshipped segments
+	// are reclaimed anyway — logged loudly through Logf — so a dead
+	// follower degrades replication instead of filling the disk or
+	// blocking ingest. Zero never overrides the floor.
+	UnshippedCapBytes int64
+	// Logf, when non-nil, receives the log's operational warnings
+	// (e.g. unshipped segments reclaimed over the cap). Defaults to
+	// the standard library logger.
+	Logf func(format string, args ...interface{})
+	// FS overrides the filesystem the log talks to; tests inject
+	// faulty implementations here. Nil means the real one (DefaultFS).
+	FS FileSystem
 	// Registry receives append/segment metrics when non-nil.
 	Registry *obs.Registry
 }
@@ -109,10 +125,11 @@ type segment struct {
 // any number of Readers may stream concurrently with appends.
 type Log struct {
 	opt Options
+	fs  FileSystem
 
 	mu      sync.Mutex
 	sealed  []segment
-	active  *os.File
+	active  File
 	actPath string
 	actBase int64
 	actSize int64
@@ -120,23 +137,36 @@ type Log struct {
 	scratch []byte
 	pbuf    []byte
 	closed  bool
+	// failed is the first write-path error; once set, every further
+	// append is refused with it (fail-stop). A partially written batch
+	// may sit on disk as a torn tail, which the next Open truncates —
+	// fail-stop guarantees nothing is appended after the tear.
+	failed error
 
 	next  atomic.Int64 // next offset to assign; offsets below are readable
 	first atomic.Int64 // oldest retained offset
 	size  atomic.Int64 // total bytes across all segments
 	segs  atomic.Int64 // segment count
 	dirty atomic.Bool  // unsynced writes pending (interval policy)
+	// floor is the replication retention floor: the follower has
+	// acknowledged offsets below it, so sealed segments reaching it or
+	// beyond are held back from reclamation. -1 means no follower has
+	// ever acknowledged (retention unconstrained).
+	floor atomic.Int64
+	// epoch is the fencing epoch persisted in the log's manifest.
+	epoch atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
 
-	mAppends   *obs.Counter
-	mBytes     *obs.Counter
-	mSyncs     *obs.Counter
-	mRotations *obs.Counter
-	mReclaimed *obs.Counter
-	mTruncated *obs.Counter
-	mLatency   *obs.Histogram
+	mAppends            *obs.Counter
+	mBytes              *obs.Counter
+	mSyncs              *obs.Counter
+	mRotations          *obs.Counter
+	mReclaimed          *obs.Counter
+	mTruncated          *obs.Counter
+	mUnshippedReclaimed *obs.Counter
+	mLatency            *obs.Histogram
 }
 
 // segName renders the file name of the segment whose first record has
@@ -160,11 +190,21 @@ func Open(opt Options) (*Log, error) {
 	if opt.FsyncInterval <= 0 {
 		opt.FsyncInterval = 100 * time.Millisecond
 	}
-	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+	if opt.FS == nil {
+		opt.FS = DefaultFS()
+	}
+	if opt.Logf == nil {
+		opt.Logf = log.Printf
+	}
+	if err := opt.FS.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{opt: opt, stop: make(chan struct{}), done: make(chan struct{})}
+	l := &Log{opt: opt, fs: opt.FS, stop: make(chan struct{}), done: make(chan struct{})}
+	l.floor.Store(-1)
 	l.registerMetrics()
+	if err := l.loadManifest(); err != nil {
+		return nil, err
+	}
 	if err := l.recover(); err != nil {
 		return nil, err
 	}
@@ -179,7 +219,7 @@ func Open(opt Options) (*Log, error) {
 // recover scans opt.Dir, rebuilds the segment table, truncates any
 // torn tail in the newest segment, and opens it for appending.
 func (l *Log) recover() (err error) {
-	names, err := filepath.Glob(filepath.Join(l.opt.Dir, "*.wal"))
+	names, err := l.fs.Glob(filepath.Join(l.opt.Dir, "*.wal"))
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -196,7 +236,7 @@ func (l *Log) recover() (err error) {
 		if _, err := fmt.Sscanf(filepath.Base(path), "%016x.wal", &base); err != nil {
 			return fmt.Errorf("wal: unrecognized segment name %q", path)
 		}
-		fi, err := os.Stat(path)
+		fi, err := l.fs.Stat(path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -221,13 +261,13 @@ func (l *Log) recover() (err error) {
 			// Sole segment with an unreadable header: no records were
 			// ever acknowledged from it.
 			l.mTruncated.Inc()
-			if err := os.Remove(last.path); err != nil {
+			if err := l.fs.Remove(last.path); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
 			return l.createSegment(last.base)
 		}
 		l.mTruncated.Inc()
-		if err := os.Remove(last.path); err != nil {
+		if err := l.fs.Remove(last.path); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		files = files[:len(files)-1]
@@ -240,7 +280,7 @@ func (l *Log) recover() (err error) {
 		if _, hdrErr := l.readBase(f.path); hdrErr != nil {
 			return fmt.Errorf("wal: sealed segment %s: %w", f.path, hdrErr)
 		}
-		fi, _ := os.Stat(f.path)
+		fi, _ := l.fs.Stat(f.path)
 		l.sealed = append(l.sealed, segment{
 			base:  f.base,
 			count: files[i+1].base - f.base,
@@ -256,7 +296,7 @@ func (l *Log) recover() (err error) {
 	if err != nil {
 		return err
 	}
-	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -275,7 +315,7 @@ func (l *Log) recover() (err error) {
 
 // readBase validates a segment's header and returns its base offset.
 func (l *Log) readBase(path string) (int64, error) {
-	f, err := os.Open(path)
+	f, err := l.fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -288,7 +328,7 @@ func (l *Log) readBase(path string) (int64, error) {
 // file after the last intact record, and returns the record count. An
 // unreadable header is returned as an error without modifying the file.
 func (l *Log) scanTail(path string, wantBase int64) (count int64, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
@@ -338,7 +378,7 @@ func (l *Log) scanTail(path string, wantBase int64) (count int64, err error) {
 // called with l.mu held (rotate).
 func (l *Log) createSegment(base int64) error {
 	path := filepath.Join(l.opt.Dir, segName(base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -385,8 +425,12 @@ func (l *Log) AppendBatch(events []event.Event) (first int64, err error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed, refusing appends: %w", l.failed)
+	}
 	if l.actSize >= l.opt.SegmentBytes && l.actN > 0 {
 		if err := l.rotateLocked(); err != nil {
+			l.failLocked(err)
 			return 0, err
 		}
 	}
@@ -397,11 +441,22 @@ func (l *Log) AppendBatch(events []event.Event) (first int64, err error) {
 	}
 	l.scratch = buf[:0]
 	if _, err := l.active.Write(buf); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		// The write may have landed partially: the on-disk tail is torn
+		// past the last acknowledged record. Fail-stop so nothing is
+		// appended after the tear; the next Open truncates it away and
+		// recovers every acknowledged record.
+		err = fmt.Errorf("wal: %w", err)
+		l.failLocked(err)
+		return 0, err
 	}
 	if l.opt.Fsync == FsyncAlways {
 		if err := l.active.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: %w", err)
+			// The write is in the page cache but not durable; under the
+			// "always" contract it was never acknowledged. Fail-stop for
+			// the same torn-tail reason as a failed write.
+			err = fmt.Errorf("wal: %w", err)
+			l.failLocked(err)
+			return 0, err
 		}
 		l.mSyncs.Inc()
 	} else {
@@ -445,7 +500,9 @@ func (l *Log) rotateLocked() error {
 
 // applyRetentionLocked deletes the oldest sealed segments that exceed
 // the size budget or the age limit. The active segment is never
-// deleted. Caller holds l.mu.
+// deleted, and neither — up to Options.UnshippedCapBytes — is a
+// sealed segment the replication floor still needs (records the
+// follower has not acknowledged). Caller holds l.mu.
 func (l *Log) applyRetentionLocked() {
 	if l.opt.RetainBytes <= 0 && l.opt.RetainAge <= 0 {
 		return
@@ -461,7 +518,20 @@ func (l *Log) applyRetentionLocked() {
 		if !overSize && !tooOld {
 			return
 		}
-		if err := os.Remove(oldest.path); err != nil && !os.IsNotExist(err) {
+		if floor := l.floor.Load(); floor >= 0 && oldest.base+oldest.count > floor {
+			// The follower has not acknowledged this segment yet. Hold it
+			// back — unless the unshipped backlog breaches the hard cap,
+			// in which case reclaim it loudly rather than filling the
+			// disk or blocking ingest; the follower will observe an
+			// ErrTruncated gap and report it.
+			if l.opt.UnshippedCapBytes <= 0 || l.retainedUnshippedLocked() <= l.opt.UnshippedCapBytes {
+				return
+			}
+			l.mUnshippedReclaimed.Add(oldest.count)
+			l.opt.Logf("wal: unshipped backlog exceeds cap %d bytes; reclaiming segment %s (offsets %d-%d) the follower never acknowledged",
+				l.opt.UnshippedCapBytes, filepath.Base(oldest.path), oldest.base, oldest.base+oldest.count-1)
+		}
+		if err := l.fs.Remove(oldest.path); err != nil && !os.IsNotExist(err) {
 			return // try again next rotation
 		}
 		l.sealed = l.sealed[1:]
@@ -484,14 +554,33 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
-	if l.closed || !l.dirty.Swap(false) {
+	if l.closed || l.failed != nil || !l.dirty.Swap(false) {
 		return nil
 	}
 	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		err = fmt.Errorf("wal: %w", err)
+		l.failLocked(err)
+		return err
 	}
 	l.mSyncs.Inc()
 	return nil
+}
+
+// failLocked records the log's first write-path error; every further
+// append is refused with it. Caller holds l.mu.
+func (l *Log) failLocked(err error) {
+	if l.failed == nil {
+		l.failed = err
+		l.opt.Logf("wal: entering fail-stop after write error: %v", err)
+	}
+}
+
+// Err returns the error that put the log into fail-stop mode, or nil
+// while the log is healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // syncLoop drives the FsyncInterval policy.
@@ -557,6 +646,8 @@ func (l *Log) registerMetrics() {
 	l.mRotations = r.Counter("ses_wal_rotations_total", "Segment rotations.")
 	l.mReclaimed = r.Counter("ses_wal_reclaimed_total", "Records deleted by retention.")
 	l.mTruncated = r.Counter("ses_wal_truncations_total", "Torn tails discarded during recovery.")
+	l.mUnshippedReclaimed = r.Counter("ses_wal_unshipped_reclaimed_total",
+		"Records reclaimed past the replication floor because the unshipped backlog breached its cap.")
 	l.mLatency = r.Histogram("ses_wal_append_seconds", "Append latency (batch, including fsync when policy=always).",
 		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
 	if l.opt.Registry != nil {
@@ -564,5 +655,121 @@ func (l *Log) registerMetrics() {
 		r.GaugeFunc("ses_wal_size_bytes", "Total WAL size on disk.", l.SizeBytes)
 		r.GaugeFunc("ses_wal_first_offset", "Oldest retained offset.", l.FirstOffset)
 		r.GaugeFunc("ses_wal_next_offset", "Offset the next appended event will receive.", l.NextOffset)
+		r.GaugeFunc("ses_wal_retained_unshipped_bytes",
+			"Bytes in sealed segments not yet acknowledged by a follower (0 with no follower).",
+			l.RetainedUnshippedBytes)
+		r.GaugeFunc("ses_wal_epoch", "Fencing epoch persisted in the WAL manifest.", l.Epoch)
 	}
+}
+
+// SetRetentionFloor records the follower's acknowledged position:
+// every offset below ack has been durably applied by the follower, so
+// sealed segments that still hold records at or past ack are excluded
+// from retention (up to Options.UnshippedCapBytes). Floors only move
+// forward; a stale or smaller ack is ignored.
+func (l *Log) SetRetentionFloor(ack int64) {
+	for {
+		cur := l.floor.Load()
+		if ack <= cur {
+			return
+		}
+		if l.floor.CompareAndSwap(cur, ack) {
+			return
+		}
+	}
+}
+
+// RetentionFloor returns the current replication floor, -1 when no
+// follower has ever acknowledged.
+func (l *Log) RetentionFloor() int64 { return l.floor.Load() }
+
+// retainedUnshippedLocked sums the sizes of sealed segments holding
+// records the follower has not acknowledged. Caller holds l.mu.
+func (l *Log) retainedUnshippedLocked() int64 {
+	floor := l.floor.Load()
+	if floor < 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range l.sealed {
+		if s.base+s.count > floor {
+			total += s.size
+		}
+	}
+	return total
+}
+
+// RetainedUnshippedBytes reports the bytes in sealed segments not yet
+// acknowledged by a follower — the ses_wal_retained_unshipped_bytes
+// gauge. It is 0 until a follower acknowledges for the first time.
+func (l *Log) RetainedUnshippedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.retainedUnshippedLocked()
+}
+
+// walManifest is the small JSON document persisted next to the
+// segments. It carries state that must survive restarts but is not a
+// log record — today only the fencing epoch.
+type walManifest struct {
+	Epoch int64 `json:"epoch"`
+}
+
+// manifestName is the manifest's file name inside the log directory.
+const manifestName = "manifest.json"
+
+// loadManifest reads the fencing epoch from the log's manifest; a
+// missing manifest means epoch 0 (a log that has never been fenced).
+func (l *Log) loadManifest() error {
+	data, err := l.fs.ReadFile(filepath.Join(l.opt.Dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: reading manifest: %w", err)
+	}
+	var m walManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("wal: parsing manifest: %w", err)
+	}
+	if m.Epoch < 0 {
+		return fmt.Errorf("wal: manifest declares negative epoch %d", m.Epoch)
+	}
+	l.epoch.Store(m.Epoch)
+	return nil
+}
+
+// Epoch returns the fencing epoch persisted in the log's manifest.
+// Promotion bumps it; a node whose peer holds a higher epoch must
+// refuse writes (it has been fenced off).
+func (l *Log) Epoch() int64 { return l.epoch.Load() }
+
+// SetEpoch persists a new fencing epoch. Epochs are monotonic: an
+// attempt to lower the epoch fails, persisting the current epoch
+// again is a no-op. The manifest is replaced atomically (write to a
+// temp file, rename), so a crash mid-update keeps the old epoch.
+func (l *Log) SetEpoch(e int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.epoch.Load()
+	if e < cur {
+		return fmt.Errorf("wal: fencing epoch is monotonic: cannot lower %d to %d", cur, e)
+	}
+	if e == cur {
+		return nil
+	}
+	data, err := json.Marshal(walManifest{Epoch: e})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(l.opt.Dir, manifestName)
+	tmp := path + ".tmp"
+	if err := l.fs.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("wal: persisting epoch: %w", err)
+	}
+	if err := l.fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: persisting epoch: %w", err)
+	}
+	l.epoch.Store(e)
+	return nil
 }
