@@ -13,6 +13,7 @@
 //	sesbench [-exp all|1|2|3|ablation] [-profile tiny|small|paper]
 //	         [-datasets N] [-maxsize N] [-seed N] [-json FILE]
 //	         [-baseline FILE] [-tolerance F] [-debug-addr ADDR]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -json FILE the command instead measures a fixed benchmark
 // suite with testing.Benchmark and writes a machine-readable baseline
@@ -29,7 +30,10 @@
 //
 // -debug-addr starts the observability HTTP server (Prometheus
 // /metrics, expvar, pprof) on the given address for profiling the
-// benchmark process itself.
+// benchmark process itself. -cpuprofile and -memprofile instead write
+// runtime/pprof profiles covering the whole run to files (the CPU
+// profile spans the run; the heap profile is written at exit after a
+// final GC), for offline `go tool pprof` analysis of a batch run.
 //
 // The default "small" profile finishes in well under a minute; the
 // "paper" profile approximates the original D1 (window size W ≈ 1322)
@@ -41,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/chemo"
@@ -50,18 +56,49 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: all, 1, 2, 3 or ablation")
-		profile   = flag.String("profile", "small", "dataset profile: tiny, small or paper")
-		datasets  = flag.Int("datasets", 5, "number of datasets D1..Dk (k in 1..5)")
-		maxSize   = flag.Int("maxsize", 6, "largest |V1| for experiment 1 (2..6)")
-		seed      = flag.Int64("seed", 0, "override the profile's PRNG seed (0 keeps it)")
-		cap       = flag.Int("cap", 0, "abort any run whose simultaneous instances exceed N (0 = unlimited; prevents OOM on paper-scale D4/D5)")
-		jsonFile  = flag.String("json", "", "write a benchmark baseline artifact to this file instead of running the experiments")
-		baseline  = flag.String("baseline", "", "measure the artifact suite and gate it against this committed baseline file")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression in ns/op and allocs/op for -baseline (0.25 = +25%)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		exp        = flag.String("exp", "all", "experiment to run: all, 1, 2, 3 or ablation")
+		profile    = flag.String("profile", "small", "dataset profile: tiny, small or paper")
+		datasets   = flag.Int("datasets", 5, "number of datasets D1..Dk (k in 1..5)")
+		maxSize    = flag.Int("maxsize", 6, "largest |V1| for experiment 1 (2..6)")
+		seed       = flag.Int64("seed", 0, "override the profile's PRNG seed (0 keeps it)")
+		cap        = flag.Int("cap", 0, "abort any run whose simultaneous instances exceed N (0 = unlimited; prevents OOM on paper-scale D4/D5)")
+		jsonFile   = flag.String("json", "", "write a benchmark baseline artifact to this file instead of running the experiments")
+		baseline   = flag.String("baseline", "", "measure the artifact suite and gate it against this committed baseline file")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional regression in ns/op and allocs/op for -baseline (0.25 = +25%)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sesbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sesbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sesbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sesbench:", err)
+			}
+		}()
+	}
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr, obs.NewRegistry())
 		if err != nil {

@@ -12,8 +12,10 @@
 //	-addr ADDR             HTTP listen address (default :8134)
 //	-schema SPEC           event schema as name:type,... (required;
 //	                       types: string, int, float)
-//	-mailbox N             per-query mailbox capacity (default 1024)
+//	-mailbox N             per-query mailbox capacity in event blocks (default 16)
 //	-matchlog N            retained matches per query (default 4096)
+//	-no-routing            deliver every event to every query,
+//	                       bypassing the routing index (triage aid)
 //	-checkpoint-dir DIR    persist checkpoints and the query manifest
 //	-checkpoint-every N    events between checkpoints (default 256)
 //	-drain-timeout D       max graceful-drain wait (default 30s)
@@ -102,6 +104,7 @@ type options struct {
 	schemaSpec      string
 	mailbox         int
 	matchLog        int
+	noRouting       bool
 	checkpointDir   string
 	checkpointEvery int
 	drainTimeout    time.Duration
@@ -121,8 +124,9 @@ func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":8134", "HTTP listen address")
 	flag.StringVar(&o.schemaSpec, "schema", "", "event schema as name:type,... (types: string, int, float)")
-	flag.IntVar(&o.mailbox, "mailbox", 0, "per-query mailbox capacity (default 1024)")
+	flag.IntVar(&o.mailbox, "mailbox", 0, "per-query mailbox capacity in event blocks (default 16)")
 	flag.IntVar(&o.matchLog, "matchlog", 0, "retained matches per query (default 4096)")
+	flag.BoolVar(&o.noRouting, "no-routing", false, "deliver every event to every query, bypassing the routing index (triage aid)")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for checkpoints and the query manifest")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "events between checkpoints (default 256)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain wait on shutdown")
@@ -190,6 +194,7 @@ func run(o options, logw *os.File, ready chan<- string) error {
 		Registry:             reg,
 		Mailbox:              o.mailbox,
 		MatchLog:             o.matchLog,
+		DisableRouting:       o.noRouting,
 		CheckpointDir:        o.checkpointDir,
 		CheckpointEvery:      o.checkpointEvery,
 		DrainTimeout:         o.drainTimeout,

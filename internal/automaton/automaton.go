@@ -16,6 +16,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/event"
 	"repro/internal/pattern"
@@ -125,6 +126,14 @@ type Automaton struct {
 	// SetPrefix[i] is the union of the variables of event set patterns
 	// 0..i-1; SetPrefix[m] is the full variable set.
 	SetPrefix []VarSet
+
+	// fp memoizes Fingerprint; the automaton is immutable after Compile.
+	fpOnce sync.Once
+	fp     string
+
+	// routeKeys memoizes RouteKeys, for the same reason.
+	routeOnce sync.Once
+	routeKeys RouteSet
 }
 
 // NumVars returns the number of event variables.

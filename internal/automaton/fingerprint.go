@@ -13,7 +13,14 @@ import (
 // checked for compatibility before being restored (an instance's state
 // and variable indexes are only meaningful relative to this exact
 // structure).
+// The digest is memoized: the automaton is immutable after Compile,
+// and registries fingerprint on every registration.
 func (a *Automaton) Fingerprint() string {
+	a.fpOnce.Do(func() { a.fp = a.fingerprint() })
+	return a.fp
+}
+
+func (a *Automaton) fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "schema=%s|within=%d|start=%d|accept=%d", a.Schema, a.Within, a.Start, a.Accept)
 	for _, v := range a.Vars {

@@ -1,0 +1,115 @@
+package automaton
+
+import (
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// RouteKey is one (attribute, constant) equality some variable of the
+// automaton requires of any event it binds: only events whose
+// attribute Attr equals Val can ever bind that variable. Start marks
+// keys of first-set variables — the only variables whose binding can
+// create a new automaton instance, which is what makes per-query
+// WITHIN pruning sound (see RouteSet).
+type RouteKey struct {
+	Attr  int
+	Val   event.Value
+	Start bool
+}
+
+// RouteSet is the routing summary of an automaton: the set of
+// (attribute, value) equalities under which events can be relevant to
+// it. An event matching none of the keys cannot fire any transition —
+// every transition binds some variable, and binding a variable
+// requires all of its constant conditions to hold, including the
+// equality the key was extracted from.
+//
+// All is true when some variable carries no equality condition; such
+// an automaton can react to arbitrary events and must be treated as
+// type-agnostic (catch-all) by a router. Union automata (multi-variant
+// queries) route as the union of their variants' key sets, falling
+// back to All when any variant is unroutable — see RouteKeysUnion.
+type RouteSet struct {
+	Keys []RouteKey
+	All  bool
+}
+
+// RouteKeys extracts the automaton's routing summary. For each
+// variable the first equality constant condition is taken as its key
+// (a sound over-approximation when a variable has several: an event
+// failing any of them cannot bind the variable, so routing on one
+// admits a superset). Kleene group variables contribute keys like
+// singletons — the equality applies to every event the group binds.
+// Duplicate (attr, value) pairs are merged; a key is a start key when
+// any contributing variable belongs to the first event set pattern,
+// since instances are only created by transitions out of the start
+// state, which bind first-set variables exclusively.
+// The result is computed once and shared: callers must treat the
+// returned RouteSet as read-only.
+func (a *Automaton) RouteKeys() RouteSet {
+	a.routeOnce.Do(func() { a.routeKeys = a.routeKeySet() })
+	return a.routeKeys
+}
+
+// routeKeySet derives the routing summary; see RouteKeys.
+func (a *Automaton) routeKeySet() RouteSet {
+	type keyID struct {
+		attr int
+		val  event.Value
+	}
+	seen := make(map[keyID]int, len(a.Vars))
+	var rs RouteSet
+	for i := range a.Vars {
+		v := &a.Vars[i]
+		var key *ConstCheck
+		for j := range v.ConstChecks {
+			if v.ConstChecks[j].Op == pattern.Eq {
+				key = &v.ConstChecks[j]
+				break
+			}
+		}
+		if key == nil {
+			// The variable can bind events of any type; no key-based
+			// skipping is sound for this automaton.
+			return RouteSet{All: true}
+		}
+		id := keyID{attr: key.Attr, val: key.Const}
+		if at, ok := seen[id]; ok {
+			rs.Keys[at].Start = rs.Keys[at].Start || v.Set == 0
+			continue
+		}
+		seen[id] = len(rs.Keys)
+		rs.Keys = append(rs.Keys, RouteKey{Attr: key.Attr, Val: key.Const, Start: v.Set == 0})
+	}
+	return rs
+}
+
+// RouteKeysUnion merges the routing summaries of a union automaton's
+// variants: the union of the variants' keys, catch-all as soon as any
+// variant is. An event relevant to any variant matches some variant's
+// key set, so the union remains a sound routing filter for the whole
+// query.
+func RouteKeysUnion(autos []*Automaton) RouteSet {
+	type keyID struct {
+		attr int
+		val  event.Value
+	}
+	seen := make(map[keyID]int)
+	var rs RouteSet
+	for _, a := range autos {
+		vs := a.RouteKeys()
+		if vs.All {
+			return RouteSet{All: true}
+		}
+		for _, k := range vs.Keys {
+			id := keyID{attr: k.Attr, val: k.Val}
+			if at, ok := seen[id]; ok {
+				rs.Keys[at].Start = rs.Keys[at].Start || k.Start
+				continue
+			}
+			seen[id] = len(rs.Keys)
+			rs.Keys = append(rs.Keys, k)
+		}
+	}
+	return rs
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/paperdata"
 	"repro/internal/pattern"
+	"repro/internal/server"
 	"repro/internal/wal"
 )
 
@@ -251,6 +253,18 @@ func BenchmarkServerThroughput(b *testing.B) {
 			}
 		}
 	})
+	cache := server.NewAutomatonCache(0)
+	for _, n := range []int{10, 100} {
+		n := n
+		b.Run(fmt.Sprintf("shared%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunServerSharedN(d, n, cache); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func TestFmtDur(t *testing.T) {

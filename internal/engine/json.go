@@ -1,7 +1,11 @@
 package engine
 
 import (
-	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
 
 	"repro/internal/event"
 )
@@ -20,8 +24,15 @@ import (
 //
 // Attribute maps need the schema, which events do not carry; use
 // MatchJSON with the relation's schema.
+//
+// The encoder is hand-rolled and byte-identical to encoding/json over
+// the equivalent structs-and-maps value (attribute keys sorted, HTML
+// characters escaped): the serving layer encodes every match once on
+// its hot path, and reflection-driven map encoding dominated its
+// allocation profile.
 
-// matchJSON mirrors Match for encoding.
+// matchJSON mirrors Match for encoding; matchJSONReflect and the
+// equivalence test in json_test.go pin MatchJSON to this layout.
 type matchJSON struct {
 	First    event.Time    `json:"first"`
 	Last     event.Time    `json:"last"`
@@ -42,19 +53,81 @@ type eventJSON struct {
 
 // MatchJSON encodes a match using the schema for attribute names.
 func MatchJSON(m Match, schema *event.Schema) ([]byte, error) {
-	out := matchJSON{First: m.First, Last: m.Last}
-	for _, b := range m.Bindings {
-		bj := bindingJSON{Var: b.Var, Group: b.Group}
-		for _, e := range b.Events {
-			ej := eventJSON{Seq: e.Seq, Time: e.Time, Attrs: make(map[string]any, len(e.Attrs))}
-			for i, v := range e.Attrs {
-				ej.Attrs[schema.Field(i).Name] = valueJSON(v)
-			}
-			bj.Events = append(bj.Events, ej)
-		}
-		out.Bindings = append(out.Bindings, bj)
+	// Attribute keys appear in sorted order, as encoding/json renders
+	// maps; the index permutation is tiny (schemas have a handful of
+	// fields) and computed per call.
+	n := schema.NumFields()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
 	}
-	return json.Marshal(out)
+	sort.Slice(order, func(a, b int) bool {
+		return schema.Field(order[a]).Name < schema.Field(order[b]).Name
+	})
+
+	b := make([]byte, 0, 256)
+	b = append(b, `{"first":`...)
+	b = strconv.AppendInt(b, int64(m.First), 10)
+	b = append(b, `,"last":`...)
+	b = strconv.AppendInt(b, int64(m.Last), 10)
+	b = append(b, `,"bindings":`...)
+	if m.Bindings == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for bi, bind := range m.Bindings {
+			if bi > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"var":`...)
+			b = appendJSONString(b, bind.Var)
+			if bind.Group {
+				b = append(b, `,"group":true`...)
+			}
+			b = append(b, `,"events":`...)
+			if bind.Events == nil {
+				b = append(b, "null"...)
+			} else {
+				b = append(b, '[')
+				for ei := range bind.Events {
+					if ei > 0 {
+						b = append(b, ',')
+					}
+					var err error
+					b, err = appendEventJSON(b, bind.Events[ei], schema, order)
+					if err != nil {
+						return nil, err
+					}
+				}
+				b = append(b, ']')
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '}')
+	return b, nil
+}
+
+func appendEventJSON(b []byte, e *event.Event, schema *event.Schema, order []int) ([]byte, error) {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, int64(e.Seq), 10)
+	b = append(b, `,"time":`...)
+	b = strconv.AppendInt(b, int64(e.Time), 10)
+	b = append(b, `,"attrs":{`...)
+	for oi, i := range order {
+		if oi > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, schema.Field(i).Name)
+		b = append(b, ':')
+		var err error
+		b, err = appendJSONValue(b, e.Attrs[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append(b, "}}"...), nil
 }
 
 // valueJSON converts a Value into its natural JSON representation.
@@ -69,4 +142,95 @@ func valueJSON(v event.Value) any {
 	default:
 		return nil
 	}
+}
+
+func appendJSONValue(b []byte, v event.Value) ([]byte, error) {
+	switch v.Kind() {
+	case event.KindString:
+		return appendJSONString(b, v.Str()), nil
+	case event.KindInt:
+		return strconv.AppendInt(b, v.Int64(), 10), nil
+	case event.KindFloat:
+		return appendJSONFloat(b, v.Float64())
+	default:
+		return append(b, "null"...), nil
+	}
+}
+
+// appendJSONFloat renders f exactly as encoding/json does: shortest
+// round-trip representation, 'f' form except for very small or very
+// large magnitudes, with the exponent's leading zero trimmed.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("engine: unsupported float value %v in match", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims the leading zero of a single-digit
+		// negative exponent: "e-09" renders as "e-9".
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString escapes s exactly as encoding/json with HTML
+// escaping enabled (the json.Marshal default).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == utf8.RuneError && size == 1:
+			// Invalid UTF-8 renders as the escaped replacement character.
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+		case r == '\u2028' || r == '\u2029':
+			// Line and paragraph separators break JavaScript string
+			// literals; json escapes them unconditionally.
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+		default:
+			i += size
+		}
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/event"
 	"repro/internal/paperdata"
 )
 
@@ -49,6 +50,95 @@ func TestMatchJSON(t *testing.T) {
 					t.Errorf("missing attribute ID in %v", e)
 				}
 			}
+		}
+	}
+}
+
+// matchJSONReflect is the reference encoder: encoding/json over the
+// mirror structs. MatchJSON is hand-rolled for the serving hot path
+// and must stay byte-identical to it.
+func matchJSONReflect(m Match, schema *event.Schema) ([]byte, error) {
+	out := matchJSON{First: m.First, Last: m.Last}
+	for _, b := range m.Bindings {
+		bj := bindingJSON{Var: b.Var, Group: b.Group}
+		for _, e := range b.Events {
+			ej := eventJSON{Seq: e.Seq, Time: e.Time, Attrs: make(map[string]any, len(e.Attrs))}
+			for i, v := range e.Attrs {
+				ej.Attrs[schema.Field(i).Name] = valueJSON(v)
+			}
+			bj.Events = append(bj.Events, ej)
+		}
+		out.Bindings = append(out.Bindings, bj)
+	}
+	return json.Marshal(out)
+}
+
+// TestMatchJSONMatchesReflect pins the hand-rolled encoder to
+// encoding/json byte for byte, including string escaping, float
+// formats and attribute key ordering.
+func TestMatchJSONMatchesReflect(t *testing.T) {
+	a := compile(t, paperdata.QueryQ1(), paperdata.Schema())
+	matches, _, err := Run(a, paperdata.Relation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches to encode")
+	}
+	for _, m := range matches {
+		got, err := MatchJSON(m, paperdata.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := matchJSONReflect(m, paperdata.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("encoder drift:\ngot:  %s\nwant: %s", got, want)
+		}
+	}
+
+	// Synthetic matches cover what the chemotherapy data does not:
+	// characters json escapes (quotes, HTML, control bytes, U+2028/29,
+	// invalid UTF-8), float formats across the 'f'/'e' switchover, and
+	// empty binding lists.
+	schema := event.MustSchema(
+		event.Field{Name: "S", Type: event.TypeString},
+		event.Field{Name: "F", Type: event.TypeFloat},
+		event.Field{Name: "A", Type: event.TypeInt},
+	)
+	strs := []string{
+		"plain", `quo"te`, `back\slash`, "<script>&", "new\nline\ttab\rret",
+		"ctrl\x01\x1f", "bad\xffutf8", "sep\u2028and\u2029", "π≈3.14159", "",
+	}
+	floats := []float64{
+		0, 1672.5, -0.25, 1e-7, -1e-7, 9.9e-7, 1e-6, 1e20, 1e21, -3.5e22,
+		5e-324, 1.7976931348623157e308, 123456789.123456789,
+	}
+	for i, s := range strs {
+		f := floats[i%len(floats)]
+		m := Match{
+			First: event.Time(i),
+			Last:  event.Time(i + 100),
+			Bindings: []Binding{
+				{Var: s, Group: i%2 == 0, Events: []*event.Event{{
+					Seq: i, Time: event.Time(i),
+					Attrs: []event.Value{event.String(s), event.Float(f), event.Int(int64(i - 5))},
+				}}},
+				{Var: "empty"},
+			},
+		}
+		got, err := MatchJSON(m, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := matchJSONReflect(m, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("encoder drift on %q/%v:\ngot:  %s\nwant: %s", s, f, got, want)
 		}
 	}
 }

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"strings"
@@ -38,6 +37,7 @@ type Reorderer struct {
 	seen      bool
 	recent    map[string]event.Time // dedup key -> event time, pruned by watermark
 	lastPrune event.Time
+	scratch   []event.Event // backs the slices returned by Push and Drain
 }
 
 // NewReorderer creates a reorderer with the given lateness bound.
@@ -53,7 +53,8 @@ func NewReorderer(slack event.Duration) *Reorderer {
 // A nil return means the event was buffered (or rejected: too late, or
 // carrying one of the reserved sentinel timestamps event.MinTime /
 // event.MaxTime, which would corrupt the watermark arithmetic —
-// rejected events go to the Late callback).
+// rejected events go to the Late callback). The returned slice is
+// reused: it is valid only until the next Push or Drain call.
 func (r *Reorderer) Push(e event.Event) []event.Event {
 	if event.SentinelTime(e.Time) || (r.seen && e.Time < satSub(r.maxSeen, r.Slack)) {
 		if r.Late != nil {
@@ -65,7 +66,7 @@ func (r *Reorderer) Push(e event.Event) []event.Event {
 		r.DuplicatesDropped++
 		return nil
 	}
-	heap.Push(&r.buf, e)
+	r.buf.push(e)
 	if !r.seen || e.Time > r.maxSeen {
 		r.maxSeen, r.seen = e.Time, true
 	}
@@ -149,11 +150,12 @@ func (r *Reorderer) Snapshot() ReordererState {
 func (r *Reorderer) RestoreState(st ReordererState) {
 	r.buf = make(eventHeap, len(st.Buffered))
 	copy(r.buf, st.Buffered)
-	heap.Init(&r.buf)
+	r.buf.init()
 	r.maxSeen, r.seen = st.MaxSeen, st.Seen
 }
 
-// Drain releases all buffered events in timestamp order.
+// Drain releases all buffered events in timestamp order. Like Push,
+// the returned slice is valid only until the next Push or Drain call.
 func (r *Reorderer) Drain() []event.Event {
 	if len(r.buf) == 0 {
 		return nil
@@ -164,34 +166,82 @@ func (r *Reorderer) Drain() []event.Event {
 // Pending returns the number of buffered events.
 func (r *Reorderer) Pending() int { return len(r.buf) }
 
-// release pops every buffered event with Time < watermark.
+// release pops every buffered event with Time < watermark into the
+// reused scratch slice.
 func (r *Reorderer) release(watermark event.Time) []event.Event {
-	var out []event.Event
+	out := r.scratch[:0]
 	for len(r.buf) > 0 && r.buf[0].Time < watermark {
-		out = append(out, heap.Pop(&r.buf).(event.Event))
+		out = append(out, r.buf.pop())
+	}
+	r.scratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
 // eventHeap is a min-heap on (Time, arrival order). The arrival order
-// tie-break keeps the reorderer deterministic and stable.
+// tie-break keeps the reorderer deterministic and stable. The sift
+// operations are hand-rolled rather than going through container/heap
+// so events are not boxed into interfaces on every push and pop — the
+// reorderer sits on the per-event ingest path.
 type eventHeap []event.Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}
 	return h[i].Seq < h[j].Seq // Seq doubles as arrival counter here
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event.Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(e event.Event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event.Event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = event.Event{} // release Attrs for the collector
+	*h = s[:n]
+	(*h).siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// init re-establishes the heap invariant over arbitrary contents.
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // StreamReordered evaluates the runner over a channel of possibly

@@ -251,6 +251,26 @@ func (s *ShardedRunner) Metrics() Metrics {
 // error occurs (reported via Err). Run may be called once per
 // ShardedRunner.
 func (s *ShardedRunner) Run(ctx context.Context, in <-chan event.Event) (<-chan Match, error) {
+	return s.start(ctx, in, nil)
+}
+
+// RunBlocks is Run over a channel of shared event blocks: each block's
+// selected events are dispatched in order, without copying the block's
+// backing slice. The blocks are treated as immutable — the dispatcher
+// copies each event before use. Unlike Run, block mode preserves each
+// event's Seq as stamped by the feeder instead of renumbering locally:
+// feeders number events by global stream position, so matches carry
+// the same sequence numbers whether this runner received the full
+// stream or a routed sub-stream of it. Seq must be strictly increasing
+// across delivered events. All other semantics and ordering guarantees
+// are identical to Run.
+func (s *ShardedRunner) RunBlocks(ctx context.Context, in <-chan event.Block) (<-chan Match, error) {
+	return s.start(ctx, nil, in)
+}
+
+// start launches the dispatcher, shard workers and merge over whichever
+// of the two input channels is non-nil.
+func (s *ShardedRunner) start(ctx context.Context, inEv <-chan event.Event, inBlk <-chan event.Block) (<-chan Match, error) {
 	if s.started {
 		return nil, fmt.Errorf("engine: ShardedRunner.Run called twice")
 	}
@@ -267,7 +287,7 @@ func (s *ShardedRunner) Run(ctx context.Context, in <-chan event.Event) (<-chan 
 	merged := make(chan shardMsg, s.shards)
 	out := make(chan Match)
 
-	go s.dispatch(ctx, in, inputs)
+	go s.dispatch(ctx, inEv, inBlk, inputs)
 	for i := 0; i < s.shards; i++ {
 		go s.shardWorker(ctx, i, inputs[i], merged)
 	}
@@ -278,7 +298,7 @@ func (s *ShardedRunner) Run(ctx context.Context, in <-chan event.Event) (<-chan 
 // dispatch reads the input stream, routes each event to its key's
 // shard and broadcasts watermarks so that lightly loaded shards keep
 // the merge moving.
-func (s *ShardedRunner) dispatch(ctx context.Context, in <-chan event.Event, inputs []chan shardInput) {
+func (s *ShardedRunner) dispatch(ctx context.Context, inEv <-chan event.Event, inBlk <-chan event.Block, inputs []chan shardInput) {
 	defer func() {
 		for _, ch := range inputs {
 			close(ch)
@@ -295,6 +315,9 @@ func (s *ShardedRunner) dispatch(ctx context.Context, in <-chan event.Event, inp
 		last    event.Time
 		first   = true
 		sinceWM int64
+		// Block-mode inputs arrive pre-numbered by global stream
+		// position; keep those numbers (see RunBlocks).
+		preserveSeq = inBlk != nil
 	)
 	send := func(shard int, item shardInput) bool {
 		select {
@@ -313,52 +336,71 @@ func (s *ShardedRunner) dispatch(ctx context.Context, in <-chan event.Event, inp
 		}
 		return true
 	}
+	// handle routes one event; it returns false when dispatch must stop
+	// (error recorded via setErr).
+	handle := func(e event.Event) bool {
+		if event.SentinelTime(e.Time) {
+			s.setErr(fmt.Errorf("engine: event timestamp %d is reserved as an internal watermark sentinel and cannot appear on a stream", e.Time))
+			return false
+		}
+		if !first && e.Time < last {
+			s.setErr(fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last))
+			return false
+		}
+		// Once time advances past `last`, every event with time <=
+		// last has been dispatched; shards reading the watermark
+		// after their queued events have then fully processed them.
+		if !first && e.Time > last && sinceWM >= s.cfg.watermarkEvery {
+			if !broadcast(last) {
+				return false
+			}
+			sinceWM = 0
+		}
+		first, last = false, e.Time
+		sinceWM++
+		ki, ok := keys[e.Attrs[s.keyIdx]]
+		if !ok {
+			var h maphash.Hash
+			h.SetSeed(hashSeed)
+			h.WriteString(e.Attrs[s.keyIdx].Encode())
+			ki = keyInfo{idx: int32(len(keys)), shard: int(h.Sum64() % uint64(s.shards))}
+			keys[e.Attrs[s.keyIdx]] = ki
+		}
+		ev := new(event.Event)
+		*ev = e
+		if !preserveSeq {
+			ev.Seq = seq
+		}
+		seq++
+		if !send(ki.shard, shardInput{ev: ev, keyIdx: ki.idx}) {
+			return false
+		}
+		if s.o != nil {
+			s.o.dispatched.Inc()
+			s.o.inputWM.Store(int64(e.Time))
+		}
+		return true
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			s.setErr(ctx.Err())
 			return
-		case e, ok := <-in:
+		case e, ok := <-inEv:
 			if !ok {
 				return
 			}
-			if event.SentinelTime(e.Time) {
-				s.setErr(fmt.Errorf("engine: event timestamp %d is reserved as an internal watermark sentinel and cannot appear on a stream", e.Time))
+			if !handle(e) {
 				return
 			}
-			if !first && e.Time < last {
-				s.setErr(fmt.Errorf("engine: out-of-order event at time %d after %d", e.Time, last))
+		case blk, ok := <-inBlk:
+			if !ok {
 				return
 			}
-			// Once time advances past `last`, every event with time <=
-			// last has been dispatched; shards reading the watermark
-			// after their queued events have then fully processed them.
-			if !first && e.Time > last && sinceWM >= s.cfg.watermarkEvery {
-				if !broadcast(last) {
+			for i := 0; i < blk.Len(); i++ {
+				if !handle(*blk.At(i)) {
 					return
 				}
-				sinceWM = 0
-			}
-			first, last = false, e.Time
-			sinceWM++
-			ki, ok := keys[e.Attrs[s.keyIdx]]
-			if !ok {
-				var h maphash.Hash
-				h.SetSeed(hashSeed)
-				h.WriteString(e.Attrs[s.keyIdx].Encode())
-				ki = keyInfo{idx: int32(len(keys)), shard: int(h.Sum64() % uint64(s.shards))}
-				keys[e.Attrs[s.keyIdx]] = ki
-			}
-			ev := new(event.Event)
-			*ev = e
-			ev.Seq = seq
-			seq++
-			if !send(ki.shard, shardInput{ev: ev, keyIdx: ki.idx}) {
-				return
-			}
-			if s.o != nil {
-				s.o.dispatched.Inc()
-				s.o.inputWM.Store(int64(e.Time))
 			}
 		}
 	}

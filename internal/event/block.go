@@ -1,0 +1,31 @@
+package event
+
+// Block is a batch of events shared by reference between an ingest
+// path and its consumers. Events is the decoded batch, immutable once
+// the block is published: neither the producer nor any consumer may
+// mutate the slice or the events in it (consumers copy an event before
+// stamping scratch fields such as Seq). Idx, when non-nil, selects the
+// subset of Events this receiver should process, as ascending positions
+// into Events — a routed sub-batch costs one small index slice instead
+// of copied events.
+type Block struct {
+	Events []Event
+	Idx    []int32
+}
+
+// Len returns the number of events selected by the block.
+func (b Block) Len() int {
+	if b.Idx != nil {
+		return len(b.Idx)
+	}
+	return len(b.Events)
+}
+
+// At returns the i-th selected event (0 <= i < Len). The pointer
+// aliases the shared batch; callers must treat the event as read-only.
+func (b Block) At(i int) *Event {
+	if b.Idx != nil {
+		return &b.Events[b.Idx[i]]
+	}
+	return &b.Events[i]
+}

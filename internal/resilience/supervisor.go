@@ -228,13 +228,43 @@ func Supervise(ctx context.Context, a *automaton.Automaton, opts []engine.Option
 		s.o = newSupObs(cfg.Registry, cfg.MetricLabels)
 	}
 	out := make(chan engine.Match)
-	go s.run(ctx, a, opts, in, cfg, out)
+	go s.run(ctx, a, opts, in, nil, cfg, out)
+	return out, s
+}
+
+// SuperviseBlocks is Supervise over a channel of shared event blocks:
+// each received block's selected events are processed in order, exactly
+// as if they had arrived one by one on a plain event channel. Blocks
+// are treated as immutable — the supervisor copies each event before
+// stamping scratch fields. This is the batched input the serving
+// layer's routed fan-out uses: one channel operation per batch instead
+// of one per event.
+//
+// Unlike Supervise, block mode preserves each event's Seq as stamped
+// by the feeder instead of renumbering with local counters: the feeder
+// numbers events by their global stream position, so matches carry the
+// same sequence numbers whether the query received the full stream or
+// a routed sub-stream of it. Seq must be strictly increasing across
+// delivered events (stream positions and WAL offsets both are).
+func SuperviseBlocks(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
+	in <-chan event.Block, cfg Config) (<-chan engine.Match, *Supervisor) {
+	s := &Supervisor{}
+	if cfg.Registry != nil {
+		s.o = newSupObs(cfg.Registry, cfg.MetricLabels)
+	}
+	out := make(chan engine.Match)
+	go s.run(ctx, a, opts, nil, in, cfg, out)
 	return out, s
 }
 
 func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
-	in <-chan event.Event, cfg Config, out chan<- engine.Match) {
+	inEv <-chan event.Event, inBlk <-chan event.Block, cfg Config, out chan<- engine.Match) {
 	defer close(out)
+
+	// Block-mode inputs arrive pre-numbered by global stream position;
+	// keep those numbers so matches are byte-identical across full and
+	// routed delivery (see SuperviseBlocks).
+	preserveSeq := inBlk != nil
 
 	maxRestarts := cfg.MaxRestarts
 	if maxRestarts == 0 {
@@ -257,6 +287,7 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 
 	runner := engine.New(a, opts...)
 	var resumed *ckptState
+	var baseline []byte // the resumed snapshot, the restart baseline until the first checkpoint
 	if cfg.Resume && cfg.CheckpointPath != "" {
 		if data, err := os.ReadFile(cfg.CheckpointPath); err == nil {
 			st, v2, derr := decodeCheckpoint(a.Schema, data)
@@ -277,6 +308,7 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 				return
 			}
 			runner = restored
+			baseline = snap
 		} else if !errors.Is(err, os.ErrNotExist) {
 			s.fail(err)
 			return
@@ -319,13 +351,13 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		arrival, srcLast = int(resumed.arrival), resumed.srcLast
 	}
 
-	// The initial checkpoint makes recovery possible from the very
-	// first event; replay holds everything consumed since the last one.
-	ckpt, err := runner.SnapshotBytes()
-	if err != nil {
-		s.fail(err)
-		return
-	}
+	// Recovery is possible from the very first event without an eager
+	// initial snapshot: nil ckpt means "the runner's initial state",
+	// which a restart rebuilds with engine.New — identical to restoring
+	// a snapshot taken before any event. A resumed run's baseline is
+	// the checkpoint bytes already read from disk; replay holds
+	// everything consumed since the baseline.
+	ckpt := baseline
 	if s.o != nil {
 		// The initial snapshot starts the checkpoint-age clock without
 		// counting toward Checkpoints(), which reports periodic saves.
@@ -414,16 +446,24 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 				s.fail(ctx.Err())
 				return false
 			}
-			restored, err := engine.RestoreRunnerBytes(a, ckpt, opts...)
-			if err != nil {
-				s.fail(err)
-				return false
+			if ckpt == nil {
+				// No checkpoint was ever taken: the baseline is the
+				// runner's initial state.
+				runner = engine.New(a, opts...)
+			} else {
+				restored, err := engine.RestoreRunnerBytes(a, ckpt, opts...)
+				if err != nil {
+					s.fail(err)
+					return false
+				}
+				runner = restored
 			}
-			runner = restored
 			skip, emitted, crashed := emittedSince, 0, false
 			for i := range replay {
 				ev := replay[i]
-				ev.Seq = int(runner.Metrics().EventsProcessed)
+				if !preserveSeq {
+					ev.Seq = int(runner.Metrics().EventsProcessed)
+				}
 				ms, err := step(&ev)
 				if err != nil {
 					var pe panicError
@@ -453,7 +493,9 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 	feedOne := func(e event.Event) bool {
 		for {
 			ev := e
-			ev.Seq = int(runner.Metrics().EventsProcessed)
+			if !preserveSeq {
+				ev.Seq = int(runner.Metrics().EventsProcessed)
+			}
 			ms, err := step(&ev)
 			if err != nil {
 				var pe panicError
@@ -510,57 +552,89 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		}
 	}
 
+	// process consumes one received event: watermark advance, schema and
+	// sentinel checks, reorder push, stepping the released batch and the
+	// between-batches checkpoint. It returns false when the stream must
+	// terminate (the cause has been recorded).
+	process := func(e event.Event) bool {
+		// The watermark advances on every received event, including
+		// ones about to dead-letter: they are deterministically
+		// refused again if replayed, so a resuming feeder need not
+		// re-send them.
+		srcLast = int64(e.Seq)
+		if err := a.Schema.Check(e.Attrs); err != nil {
+			deadLetter(e, fmt.Errorf("%w: %v", ErrSchema, err))
+			return true
+		}
+		if event.SentinelTime(e.Time) {
+			// The reorderer would reject these anyway (through its
+			// Late callback); classifying them here gives the
+			// dead-letter consumer the precise reason.
+			deadLetter(e, ErrSentinelTime)
+			return true
+		}
+		if !preserveSeq {
+			// Arrival order for the reorderer's stable tie-break. In
+			// block mode the preserved Seq is itself strictly increasing
+			// in arrival order, so it serves as the tie-break directly.
+			e.Seq = arrival
+		}
+		arrival++
+		for _, re := range ro.Push(e) {
+			if !feedOne(re) {
+				return false
+			}
+		}
+		// Periodic checkpoints happen here, on the release-batch
+		// boundary, where runner state + reorderer buffer + watermark
+		// together cover every received event exactly once.
+		if len(replay) >= ckptEvery && !saveCheckpoint() {
+			return false
+		}
+		s.o.syncDuplicates(ro.DuplicatesDropped)
+		return true
+	}
+
+	// eof flushes the reorderer, takes the drain checkpoint and emits
+	// the end-of-input matches, when the input channel closes.
+	eof := func() {
+		for _, re := range ro.Drain() {
+			if !feedOne(re) {
+				return
+			}
+		}
+		if len(replay) >= ckptEvery && !saveCheckpoint() {
+			return
+		}
+		if cfg.CheckpointOnDrain && cfg.CheckpointPath != "" && !saveCheckpoint() {
+			return
+		}
+		finish()
+	}
+
 	for {
 		select {
 		case <-ctx.Done():
 			s.fail(ctx.Err())
 			return
-		case e, ok := <-in:
+		case e, ok := <-inEv:
 			if !ok {
-				for _, re := range ro.Drain() {
-					if !feedOne(re) {
-						return
-					}
-				}
-				if len(replay) >= ckptEvery && !saveCheckpoint() {
-					return
-				}
-				if cfg.CheckpointOnDrain && cfg.CheckpointPath != "" && !saveCheckpoint() {
-					return
-				}
-				finish()
+				eof()
 				return
 			}
-			// The watermark advances on every received event, including
-			// ones about to dead-letter: they are deterministically
-			// refused again if replayed, so a resuming feeder need not
-			// re-send them.
-			srcLast = int64(e.Seq)
-			if err := a.Schema.Check(e.Attrs); err != nil {
-				deadLetter(e, fmt.Errorf("%w: %v", ErrSchema, err))
-				continue
+			if !process(e) {
+				return
 			}
-			if event.SentinelTime(e.Time) {
-				// The reorderer would reject these anyway (through its
-				// Late callback); classifying them here gives the
-				// dead-letter consumer the precise reason.
-				deadLetter(e, ErrSentinelTime)
-				continue
+		case blk, ok := <-inBlk:
+			if !ok {
+				eof()
+				return
 			}
-			e.Seq = arrival // arrival order, for the reorderer's stable tie-break
-			arrival++
-			for _, re := range ro.Push(e) {
-				if !feedOne(re) {
+			for i := 0; i < blk.Len(); i++ {
+				if !process(*blk.At(i)) {
 					return
 				}
 			}
-			// Periodic checkpoints happen here, on the release-batch
-			// boundary, where runner state + reorderer buffer + watermark
-			// together cover every received event exactly once.
-			if len(replay) >= ckptEvery && !saveCheckpoint() {
-				return
-			}
-			s.o.syncDuplicates(ro.DuplicatesDropped)
 		}
 	}
 }

@@ -113,7 +113,8 @@ type QueryInfo struct {
 	Shed   int64 `json:"shed"`
 	// Matches counts matches emitted by the query's pipeline.
 	Matches int64 `json:"matches"`
-	// QueueDepth is the current mailbox occupancy.
+	// QueueDepth is the current mailbox occupancy in event blocks
+	// (one accepted ingest batch is one block).
 	QueueDepth int `json:"queue_depth"`
 	// LogStart and LogEnd delimit the retained match-log offsets:
 	// GET /queries/{id}/matches?from=LogStart replays everything still
@@ -144,6 +145,7 @@ type QueryInfo struct {
 type matchLog struct {
 	mu     sync.Mutex
 	ring   [][]byte
+	limit  int   // retention capacity; the ring grows toward it on demand
 	base   int64 // offset of ring[start]
 	start  int   // index of the oldest retained line
 	count  int
@@ -155,7 +157,7 @@ func newMatchLog(capacity int) *matchLog {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &matchLog{ring: make([][]byte, capacity), notify: make(chan struct{})}
+	return &matchLog{limit: capacity, notify: make(chan struct{})}
 }
 
 // append adds one encoded match line, evicting the oldest line when
@@ -165,6 +167,21 @@ func (l *matchLog) append(line []byte) {
 	defer l.mu.Unlock()
 	if l.done {
 		return
+	}
+	if l.count == len(l.ring) && len(l.ring) < l.limit {
+		// Grow geometrically toward the retention limit. Eviction only
+		// starts once the ring reaches the limit, so the content here is
+		// still linear from index 0.
+		n := 2 * len(l.ring)
+		if n == 0 {
+			n = 16
+		}
+		if n > l.limit {
+			n = l.limit
+		}
+		grown := make([][]byte, n)
+		copy(grown, l.ring)
+		l.ring = grown
 	}
 	if l.count == len(l.ring) {
 		l.ring[l.start] = nil

@@ -27,8 +27,9 @@ import (
 var (
 	// ErrDraining rejects registrations and ingest after Drain began.
 	ErrDraining = errors.New("server: draining")
-	// ErrDuplicate rejects a registration whose id is taken or whose
-	// automaton fingerprint equals an already-registered query's.
+	// ErrDuplicate rejects a registration whose id is taken. Distinct
+	// ids compiling to the same automaton fingerprint are accepted and
+	// share one compiled instance.
 	ErrDuplicate = errors.New("server: duplicate query")
 	// ErrNotFound reports an unknown query id.
 	ErrNotFound = errors.New("server: no such query")
@@ -44,9 +45,11 @@ type Config struct {
 	// of every per-query pipeline (labeled query="<id>"), and is
 	// served on /metrics by Handler.
 	Registry *obs.Registry
-	// Mailbox is the capacity of each query's input mailbox
-	// (default 1024). Together with the per-query Admission mode it
-	// bounds how far a slow query may lag the shared ingest.
+	// Mailbox is the capacity of each query's input mailbox in event
+	// blocks — one ingest batch is one block (default 16). Together
+	// with the per-query Admission mode it bounds how far a slow query
+	// may lag the shared ingest; the event backlog is bounded by
+	// Mailbox times the largest batch size.
 	Mailbox int
 	// MatchLog is the number of encoded matches retained per query for
 	// the streaming endpoint (default 4096); older matches are evicted.
@@ -88,6 +91,16 @@ type Config struct {
 	// the cap the oldest unshipped segments are reclaimed loudly
 	// instead of filling the disk. 0 never overrides the floor.
 	WALUnshippedCapBytes int64
+	// DisableRouting turns the type→queries routing index off: every
+	// event is delivered to every query, the pre-index fan-out. Routing
+	// is byte-identical to full fan-out on time-ordered streams — the
+	// knob exists for A/B verification (the routing identity tests) and
+	// as an operational escape hatch.
+	DisableRouting bool
+	// Automata, when non-nil, is a shared compiled-automaton cache (see
+	// NewAutomatonCache). Servers sharing one cache must share a schema.
+	// When nil the server creates a private cache.
+	Automata *AutomatonCache
 }
 
 // Server fans one ingested event stream out to a registry of
@@ -107,6 +120,10 @@ type Server struct {
 	queries  map[string]*queryState
 	order    []string // registration order, for stable listings
 	draining bool
+	// byFP indexes one live query per automaton fingerprint, so a
+	// registration finds its shared compiled instance without scanning
+	// the registry.
+	byFP map[string]*queryState
 
 	drainOnce sync.Once
 	drainErr  error
@@ -121,10 +138,30 @@ type Server struct {
 	// feeders tracks running catch-up feeder goroutines.
 	feeders sync.WaitGroup
 
+	// route is the lock-free routing index snapshot (see router.go).
+	// Registry changes mark it dirty; the next reader rebuilds it under
+	// s.mu (routeSnap), so bulk registration costs one rebuild.
+	route      atomic.Pointer[routeSnapshot]
+	routeDirty atomic.Bool
+	// scratch is the dispatcher's routing working state; guarded by
+	// ingestMu (dispatch is serialized).
+	scratch routeScratch
+	// routeMaxTime and tauPrune track global stream monotonicity, the
+	// precondition of the WITHIN prune; guarded by ingestMu.
+	routeMaxTime int64
+	tauPrune     bool
+	// ingestSeq numbers the stream positions stamped into dispatched
+	// events when no WAL assigns offsets; guarded by ingestMu.
+	ingestSeq int64
+	// autos shares compiled automata across registrations.
+	autos *AutomatonCache
+
 	eventsIngested *obs.Counter
 	ingestBatches  *obs.Counter
 	replayEvents   *obs.Counter
 	backfills      *obs.Counter
+	routedEvents   *obs.Counter
+	skippedEvents  *obs.Counter
 }
 
 // queryState is one registered query and its running pipeline.
@@ -134,7 +171,7 @@ type queryState struct {
 	fp   string
 	mode string // "supervised" | "sharded"
 
-	mailbox chan event.Event
+	mailbox chan event.Block
 	// removed is closed by RemoveQuery so a blocked mailbox send
 	// unblocks immediately; the pipeline context is cancelled with it.
 	removed chan struct{}
@@ -146,6 +183,16 @@ type queryState struct {
 	log *matchLog
 	sup *resilience.Supervisor // nil in sharded mode
 	shr *engine.ShardedRunner  // nil in supervised mode
+
+	// lifecycle arbitrates the pipeline's one-shot fate: the first
+	// block headed for the mailbox starts the evaluator goroutines
+	// (startPipe, bound by startPipeline), or drain/removal retires a
+	// pipeline nothing was ever routed to — with a routing index and
+	// many sparse queries, most registrations never need goroutines at
+	// all. Pipelines that may owe work from the past (WAL replay,
+	// checkpoint resume) are started at registration instead.
+	lifecycle sync.Once
+	startPipe func()
 
 	// registeredAt is the WAL offset fence assigned at registration:
 	// live fan-out covers offsets >= registeredAt for a query that
@@ -166,12 +213,33 @@ type queryState struct {
 	// position and the tail; 0 once live.
 	replayLag atomic.Int64
 
+	// route is the automaton's routing summary, extracted once at
+	// registration; routeLastStart is the time of the newest routed
+	// event that could start an instance (noLastStart before the
+	// first), the basis of the WITHIN prune.
+	route          automaton.RouteSet
+	routeLastStart atomic.Int64
+
 	events  *obs.Counter
 	shed    *obs.Counter
 	matches *obs.Counter
 
 	errMu sync.Mutex
 	err   error
+}
+
+// start launches the pipeline goroutines; the first caller wins, and
+// a pipeline retired first can never start.
+func (q *queryState) start() { q.lifecycle.Do(q.startPipe) }
+
+// retire marks a never-started pipeline terminal: its (empty) match
+// log completes and finished closes, exactly as if the evaluator had
+// run over zero events and drained. A no-op once start has won.
+func (q *queryState) retire() {
+	q.lifecycle.Do(func() {
+		q.log.close()
+		close(q.finished)
+	})
 }
 
 func (q *queryState) setErr(err error) {
@@ -232,7 +300,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: Config.Schema is required")
 	}
 	if cfg.Mailbox <= 0 {
-		cfg.Mailbox = 1024
+		cfg.Mailbox = 16
 	}
 	if cfg.MatchLog <= 0 {
 		cfg.MatchLog = 4096
@@ -249,8 +317,16 @@ func New(cfg Config) (*Server, error) {
 		ctx:          ctx,
 		cancel:       cancel,
 		queries:      make(map[string]*queryState),
+		byFP:         make(map[string]*queryState),
 		drainStarted: make(chan struct{}),
+		routeMaxTime: noLastStart,
+		tauPrune:     true,
+		autos:        cfg.Automata,
 	}
+	if s.autos == nil {
+		s.autos = NewAutomatonCache(0)
+	}
+	s.route.Store(&routeSnapshot{})
 	if cfg.Registry != nil {
 		s.eventsIngested = cfg.Registry.Counter("ses_server_events_ingested_total",
 			"Events accepted by the shared ingest path.")
@@ -260,6 +336,10 @@ func New(cfg Config) (*Server, error) {
 			"Events delivered to queries from the WAL (restart replay and backfill).")
 		s.backfills = cfg.Registry.Counter("ses_server_backfills_total",
 			"Queries registered against retained history.")
+		s.routedEvents = cfg.Registry.Counter("ses_route_events_routed_total",
+			"Query-event deliveries made through the routing index.")
+		s.skippedEvents = cfg.Registry.Counter("ses_route_events_skipped_total",
+			"Query-event deliveries avoided by the routing index (key miss or WITHIN prune).")
 		cfg.Registry.GaugeFunc("ses_server_queries_active",
 			"Currently registered queries.",
 			func() int64 {
@@ -267,11 +347,19 @@ func New(cfg Config) (*Server, error) {
 				defer s.mu.RUnlock()
 				return int64(len(s.queries))
 			})
+		cfg.Registry.GaugeFunc("ses_route_index_size",
+			"(Attribute, value) keys in the routing index.",
+			func() int64 { return int64(s.routeSnap().keyCount) })
+		cfg.Registry.GaugeFunc("ses_route_catchall_queries",
+			"Registered queries in the catch-all bucket (type-agnostic or with reorder slack).",
+			func() int64 { return int64(len(s.routeSnap().catchAll)) })
 	} else {
 		s.eventsIngested = &obs.Counter{}
 		s.ingestBatches = &obs.Counter{}
 		s.replayEvents = &obs.Counter{}
 		s.backfills = &obs.Counter{}
+		s.routedEvents = &obs.Counter{}
+		s.skippedEvents = &obs.Counter{}
 	}
 	if cfg.WALDir != "" {
 		policy, err := wal.ParseFsyncPolicy(orDefault(cfg.WALFsync, "interval"))
@@ -342,20 +430,23 @@ func orDefault(s, def string) string {
 }
 
 // compile turns a spec's query text into its single-variant SES
-// automaton.
+// automaton, sharing compiled instances across identical texts through
+// the automaton cache.
 func (s *Server) compile(spec QuerySpec) (*automaton.Automaton, error) {
-	p, err := query.Parse(spec.Query)
-	if err != nil {
-		return nil, err
-	}
-	variants, err := pattern.ExpandOptionals(p)
-	if err != nil {
-		return nil, err
-	}
-	if len(variants) != 1 {
-		return nil, fmt.Errorf("server: query %q expands into %d variant automata; the serving runtime requires single-variant queries (no optional variables)", spec.ID, len(variants))
-	}
-	return automaton.Compile(variants[0], s.cfg.Schema)
+	return s.autos.get(spec.Query, func() (*automaton.Automaton, error) {
+		p, err := query.Parse(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		variants, err := pattern.ExpandOptionals(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(variants) != 1 {
+			return nil, fmt.Errorf("server: query %q expands into %d variant automata; the serving runtime requires single-variant queries (no optional variables)", spec.ID, len(variants))
+		}
+		return automaton.Compile(variants[0], s.cfg.Schema)
+	})
 }
 
 // registration carries how a query enters the registry: live at the
@@ -378,10 +469,11 @@ type registration struct {
 }
 
 // AddQuery compiles and registers a query and starts its pipeline. It
-// returns ErrDuplicate when the id is taken or another registered
-// query compiles to the same automaton fingerprint, and ErrDraining
-// after Drain has begun. The query sees events ingested after the
-// call; use AddQueryBackfill to include retained history.
+// returns ErrDuplicate when the id is taken and ErrDraining after
+// Drain has begun; distinct ids whose texts compile to the same
+// automaton share one compiled instance. The query sees events
+// ingested after the call; use AddQueryBackfill to include retained
+// history.
 func (s *Server) AddQuery(spec QuerySpec) (QueryInfo, error) {
 	if err := s.writeGate(); err != nil {
 		return QueryInfo{}, err
@@ -452,11 +544,11 @@ func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 	if _, ok := s.queries[spec.ID]; ok {
 		return QueryInfo{}, fmt.Errorf("%w: id %q is already registered", ErrDuplicate, spec.ID)
 	}
-	for _, other := range s.queries {
-		if other.fp == fp {
-			return QueryInfo{}, fmt.Errorf("%w: %q compiles to the same automaton as registered query %q (fingerprint %s)",
-				ErrDuplicate, spec.ID, other.spec.ID, fp)
-		}
+	if other, ok := s.byFP[fp]; ok {
+		// Identical automata under different ids share one compiled
+		// instance, even when the texts differ (the cache is keyed by
+		// text, so only equal texts share through it).
+		auto = other.auto
 	}
 
 	if reg.stampFence && s.wal != nil {
@@ -482,6 +574,10 @@ func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 	}
 	s.queries[spec.ID] = q
 	s.order = append(s.order, spec.ID)
+	if _, ok := s.byFP[fp]; !ok {
+		s.byFP[fp] = q
+	}
+	s.routeDirty.Store(true)
 	if err := s.saveManifestLocked(); err != nil {
 		return q.info(), err
 	}
@@ -496,12 +592,14 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 		spec:     spec,
 		auto:     auto,
 		fp:       fp,
-		mailbox:  make(chan event.Event, s.cfg.Mailbox),
+		route:    auto.RouteKeys(),
+		mailbox:  make(chan event.Block, s.cfg.Mailbox),
 		removed:  make(chan struct{}),
 		finished: make(chan struct{}),
 		cancel:   cancel,
 		log:      newMatchLog(s.cfg.MatchLog),
 	}
+	q.routeLastStart.Store(noLastStart)
 	if reg := s.cfg.Registry; reg != nil {
 		label := []string{"query", spec.ID}
 		q.events = reg.Counter(obs.SeriesName("ses_server_query_events_total", label...),
@@ -512,7 +610,7 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 			"Matches emitted by the query's pipeline.")
 		mailbox := q.mailbox
 		reg.GaugeFunc(obs.SeriesName("ses_server_query_queue_depth", label...),
-			"Events queued in the query's mailbox.",
+			"Event blocks queued in the query's mailbox.",
 			func() int64 { return int64(len(mailbox)) })
 		if s.wal != nil {
 			reg.GaugeFunc(obs.SeriesName("ses_server_query_replay_lag", label...),
@@ -534,7 +632,6 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 		}
 	}
 
-	var matches <-chan engine.Match
 	if spec.Key != "" {
 		q.mode = "sharded"
 		if s.cfg.Registry != nil {
@@ -542,38 +639,51 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 				engine.WithMetricsRegistry(s.cfg.Registry),
 				engine.WithMetricLabels("query", spec.ID))
 		}
+		// Sharded evaluators are built eagerly: their construction can
+		// fail, and registration is where that error belongs.
 		shr, err := engine.NewSharded(auto, spec.Key, spec.Shards, opts...)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		out, err := shr.Run(ctx, q.mailbox)
+		out, err := shr.RunBlocks(ctx, q.mailbox)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		q.shr, matches = shr, out
-	} else {
-		q.mode = "supervised"
-		rcfg := resilience.Config{
-			Slack:           event.Duration(spec.Slack),
-			CheckpointEvery: spec.CheckpointEvery,
-			Registry:        s.cfg.Registry,
-			MetricLabels:    []string{"query", spec.ID},
-		}
-		if rcfg.CheckpointEvery <= 0 {
-			rcfg.CheckpointEvery = s.cfg.CheckpointEvery
-		}
-		if s.cfg.CheckpointDir != "" {
-			rcfg.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, spec.ID+".ckpt")
-			rcfg.Resume = true
-			rcfg.CheckpointOnDrain = true
-		}
-		out, sup := resilience.Supervise(ctx, auto, opts, q.mailbox, rcfg)
-		q.sup, matches = sup, out
+		q.shr = shr
+		q.startPipe = func() { go s.collect(q, out) }
+		q.start()
+		return q, nil
 	}
 
-	go s.collect(q, matches)
+	q.mode = "supervised"
+	rcfg := resilience.Config{
+		Slack:           event.Duration(spec.Slack),
+		CheckpointEvery: spec.CheckpointEvery,
+		Registry:        s.cfg.Registry,
+		MetricLabels:    []string{"query", spec.ID},
+	}
+	if rcfg.CheckpointEvery <= 0 {
+		rcfg.CheckpointEvery = s.cfg.CheckpointEvery
+	}
+	if s.cfg.CheckpointDir != "" {
+		rcfg.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, spec.ID+".ckpt")
+		rcfg.Resume = true
+		rcfg.CheckpointOnDrain = true
+	}
+	q.startPipe = func() {
+		out, sup := resilience.SuperviseBlocks(ctx, auto, opts, q.mailbox, rcfg)
+		q.sup = sup
+		go s.collect(q, out)
+	}
+	if s.wal != nil || s.cfg.CheckpointDir != "" {
+		// The pipeline may owe work from before this registration — a
+		// WAL catch-up feeder about to own the mailbox, or a resumed
+		// checkpoint whose windows must flush at drain — so it cannot
+		// wait for live delivery.
+		q.start()
+	}
 	return q, nil
 }
 
@@ -634,11 +744,26 @@ func (s *Server) removeQueryInternal(id string) error {
 			break
 		}
 	}
+	if s.byFP[q.fp] == q {
+		// The removed query represented its fingerprint; elect another
+		// sharer if one remains (removal is rare, the scan is fine).
+		delete(s.byFP, q.fp)
+		for _, other := range s.queries {
+			if other.fp == q.fp {
+				s.byFP[q.fp] = other
+				break
+			}
+		}
+	}
+	s.routeDirty.Store(true)
 	err := s.saveManifestLocked()
 	s.mu.Unlock()
 
 	close(q.removed)
 	q.cancel()
+	// A never-started pipeline has no goroutines to observe the
+	// cancellation; complete its log and finished channel directly.
+	q.retire()
 	if reg := s.cfg.Registry; reg != nil {
 		tag := fmt.Sprintf("query=%q", id)
 		reg.UnregisterMatching(func(name string) bool { return strings.Contains(name, tag) })
@@ -719,75 +844,116 @@ func (s *Server) dispatch(events []event.Event) (int, error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	s.mu.RLock()
-	if s.draining {
-		s.mu.RUnlock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
 		return 0, ErrDraining
 	}
-	targets := make([]*queryState, 0, len(s.order))
-	for _, id := range s.order {
-		targets = append(targets, s.queries[id])
-	}
-	s.mu.RUnlock()
+	// No registration can interleave here: a fence is stamped under
+	// s.ingestMu, which this dispatch holds, so the snapshot (rebuilt
+	// now if registrations dirtied it) covers exactly the queries fenced
+	// at or before this batch.
+	snap := s.routeSnap()
+
+	// Decode once, share everywhere: the batch is copied into one
+	// immutable block (callers may retain their slice), the offsets are
+	// stamped into the copy's Seq fields, and every query receives a
+	// reference to — or an index slice over — this one allocation.
+	shared := make([]event.Event, len(events))
+	copy(shared, events)
 
 	// Durability before fan-out: the batch is appended (and, per the
 	// fsync policy, persisted) before any query sees it, so a crash
 	// can never have delivered an event the restarted server cannot
 	// replay. The assigned offsets ride in the events' Seq fields.
-	first := int64(-1)
+	// Without a WAL the positions come from a plain ingest counter:
+	// block-mode pipelines preserve incoming Seq, so every query's
+	// matches carry global stream positions regardless of how the
+	// stream was routed to it.
 	if s.wal != nil {
 		off, err := s.wal.AppendBatch(events)
 		if err != nil {
 			return 0, err
 		}
-		first = off
-	}
-	for i := range events {
-		e := events[i] // copy: callers may retain the slice
-		if first >= 0 {
-			e.Seq = int(first + int64(i))
+		for i := range shared {
+			shared[i].Seq = int(off + int64(i))
 		}
-		for _, q := range targets {
-			s.deliver(q, e)
+	} else {
+		for i := range shared {
+			shared[i].Seq = int(s.ingestSeq) + i
 		}
+		s.ingestSeq += int64(len(shared))
 	}
+	s.routeBatch(snap, shared)
 	s.eventsIngested.Add(int64(len(events)))
 	s.ingestBatches.Inc()
 	return len(events), nil
 }
 
-// deliver routes one event into a query's mailbox under its admission
-// policy. It never blocks indefinitely: a removal or pipeline
-// termination unblocks a full mailbox, counting the event as shed.
-func (s *Server) deliver(q *queryState, e event.Event) {
+// deliverBlock places one event block into a query's mailbox under its
+// admission policy. It never blocks indefinitely: a removal or
+// pipeline termination unblocks a full mailbox, counting the block's
+// events as shed.
+func (s *Server) deliverBlock(q *queryState, blk event.Block) {
 	if q.catchingUp.Load() {
-		// The event is already in the WAL; the query's catch-up feeder
-		// delivers it in offset order and hands off at the tail.
+		// The events are already in the WAL; the query's catch-up feeder
+		// delivers them in offset order and hands off at the tail.
 		return
 	}
-	if s.wal != nil && int64(e.Seq) < q.registeredAt {
-		// The query's offset fence lies beyond this record. On a leader
-		// this cannot happen (the fence is stamped at the tail under
-		// the ingest lock); on a follower a replicated query may be
-		// fenced past the local tail, and records below the fence
-		// belong to history the leader-side query never saw.
-		return
+	if s.wal != nil && q.registeredAt > 0 && blk.Len() > 0 &&
+		int64(blk.At(0).Seq) < q.registeredAt {
+		// Part of the block lies below the query's offset fence. On a
+		// leader this cannot happen (the fence is stamped at the tail
+		// under the ingest lock); on a follower a replicated query may
+		// be fenced past the local tail, and records below the fence
+		// belong to history the leader-side query never saw. Narrow the
+		// block to the fenced suffix.
+		ix := make([]int32, 0, blk.Len())
+		for i := 0; i < blk.Len(); i++ {
+			if int64(blk.At(i).Seq) >= q.registeredAt {
+				if blk.Idx != nil {
+					ix = append(ix, blk.Idx[i])
+				} else {
+					ix = append(ix, int32(i))
+				}
+			}
+		}
+		if len(ix) == 0 {
+			return
+		}
+		blk = event.Block{Events: blk.Events, Idx: ix}
 	}
+	n := int64(blk.Len())
+	select {
+	case <-q.removed:
+		// A removed or terminated pipeline sheds deterministically even
+		// when its mailbox still has capacity.
+		q.shed.Add(n)
+		return
+	case <-q.finished:
+		q.shed.Add(n)
+		return
+	default:
+	}
+	// A block is about to enter the mailbox: make sure someone will
+	// consume it (no-op after the first delivery).
+	q.start()
 	if q.spec.Admission == "drop" {
 		select {
-		case q.mailbox <- e:
-			q.events.Inc()
+		case q.mailbox <- blk:
+			q.events.Add(n)
 		default:
-			q.shed.Inc()
+			q.shed.Add(n)
 		}
 		return
 	}
 	select {
-	case q.mailbox <- e:
-		q.events.Inc()
+	case q.mailbox <- blk:
+		q.events.Add(n)
 	case <-q.removed:
-		q.shed.Inc()
+		q.shed.Add(n)
 	case <-q.finished:
-		q.shed.Inc()
+		q.shed.Add(n)
 	}
 }
 
@@ -821,8 +987,12 @@ func (s *Server) drain(ctx context.Context) error {
 	s.feeders.Wait()
 
 	// Wait out any in-flight Ingest; later ones observe draining.
+	// Pipelines nothing was ever routed to retire here instead of
+	// starting goroutines just to observe a closed empty mailbox; the
+	// ingest lock freezes the started/unstarted distinction.
 	s.ingestMu.Lock()
 	for _, q := range targets {
+		q.retire()
 		close(q.mailbox)
 	}
 	s.ingestMu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -54,6 +56,22 @@ func standaloneMatches(t *testing.T, spec server.QuerySpec, rel *event.Relation)
 		lines[i] = string(b)
 	}
 	return lines
+}
+
+// shiftSeq rewrites the "seq" fields of encoded match lines by delta.
+// Served matches number events by global stream position, so a
+// standalone expectation computed over a stream suffix must be shifted
+// by the suffix's start offset before comparing bytes.
+func shiftSeq(lines []string, delta int) []string {
+	re := regexp.MustCompile(`"seq":(\d+)`)
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = re.ReplaceAllStringFunc(l, func(m string) string {
+			n, _ := strconv.Atoi(strings.TrimPrefix(m, `"seq":`))
+			return `"seq":` + strconv.Itoa(n+delta)
+		})
+	}
+	return out
 }
 
 // infoLines reads a query's retained match log as strings.
@@ -107,8 +125,11 @@ func TestServerMultiQueryByteIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !info.Done || info.Matches != int64(len(want)) || info.Events != int64(rel.Len()) {
-			t.Errorf("query %s info = %+v, want done with %d matches over %d events", spec.ID, info, len(want), rel.Len())
+		// The routing index delivers each query a sub-stream: the events
+		// counter covers what was routed, never more than the stream.
+		if !info.Done || info.Matches != int64(len(want)) ||
+			info.Events == 0 || info.Events > int64(rel.Len()) {
+			t.Errorf("query %s info = %+v, want done with %d matches over at most %d events", spec.ID, info, len(want), rel.Len())
 		}
 	}
 }
@@ -175,10 +196,19 @@ func TestServerDuplicateAndUnknown(t *testing.T) {
 	if _, err := s.AddQuery(server.QuerySpec{ID: "q1", Query: testSpecs[1].Query}); !errors.Is(err, server.ErrDuplicate) {
 		t.Fatalf("duplicate id error = %v, want ErrDuplicate", err)
 	}
-	// Different id, same automaton (whitespace-only change).
+	// Different id, same automaton (whitespace-only change): accepted,
+	// sharing one compiled instance under both ids.
 	dup := server.QuerySpec{ID: "q1-copy", Query: strings.ReplaceAll(paperdata.QueryQ1Text, "\n", " ")}
-	if _, err := s.AddQuery(dup); !errors.Is(err, server.ErrDuplicate) {
-		t.Fatalf("duplicate fingerprint error = %v, want ErrDuplicate", err)
+	dupInfo, err := s.AddQuery(dup)
+	if err != nil {
+		t.Fatalf("duplicate fingerprint registration: %v", err)
+	}
+	orig, err := s.Query("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupInfo.Fingerprint != orig.Fingerprint {
+		t.Fatalf("shared registration fingerprint = %s, want %s", dupInfo.Fingerprint, orig.Fingerprint)
 	}
 	if _, err := s.Query("nope"); !errors.Is(err, server.ErrNotFound) {
 		t.Fatalf("unknown query error = %v, want ErrNotFound", err)

@@ -16,28 +16,49 @@ import (
 // a WAL (Config.WALDir empty): there is no retained history to replay.
 var ErrNoWAL = errors.New("server: backfill requires a WAL (start the server with a WAL directory)")
 
+// replayBatch is the catch-up feeder's block size: WAL records are
+// accumulated into event blocks of this many events before delivery,
+// so replay pays one mailbox send — and the pipeline one channel
+// receive — per block instead of per event.
+const replayBatch = 256
+
 // catchUp streams WAL records [from, tail) into q's mailbox, then
 // hands the query off to live fan-out under the ingest lock, at
 // exactly the offset where live delivery takes over. It runs as a
 // goroutine registered in s.feeders; live fan-out skips the query
-// while q.catchingUp is set.
+// while q.catchingUp is set. Records are delivered in blocks of up to
+// replayBatch events (see feedReplay).
 func (s *Server) catchUp(q *queryState, from int64) {
 	defer s.feeders.Done()
 	r := s.wal.NewReader(from)
 	defer r.Close()
+	batch := make([]event.Event, 0, replayBatch)
 	for {
 		off, e, err := r.Next()
 		switch {
 		case err == nil:
-			if !s.feedReplay(q, off, e) {
-				return
+			e.Seq = int(off)
+			batch = append(batch, e)
+			if len(batch) >= replayBatch {
+				if !s.feedReplay(q, batch) {
+					return
+				}
+				batch = make([]event.Event, 0, replayBatch)
 			}
 		case errors.Is(err, io.EOF):
-			// Caught up to the committed tail. Take the ingest lock so
-			// the tail freezes, drain the last few records that landed
-			// since the EOF, and flip the query live: every offset below
-			// the frozen tail came through this feeder, every offset
-			// from it on comes through live fan-out.
+			// Caught up to the committed tail. Flush the partial block
+			// outside the ingest lock (a full mailbox must not stall
+			// ingest), then take the lock so the tail freezes, drain the
+			// last few records that landed since the EOF, and flip the
+			// query live: every offset below the frozen tail came through
+			// this feeder, every offset from it on comes through live
+			// fan-out.
+			if len(batch) > 0 {
+				if !s.feedReplay(q, batch) {
+					return
+				}
+				batch = make([]event.Event, 0, replayBatch)
+			}
 			s.ingestMu.Lock()
 			for {
 				off, e, err := r.Next()
@@ -50,10 +71,12 @@ func (s *Server) catchUp(q *queryState, from int64) {
 					s.ingestMu.Unlock()
 					return
 				}
-				if !s.feedReplay(q, off, e) {
-					s.ingestMu.Unlock()
-					return
-				}
+				e.Seq = int(off)
+				batch = append(batch, e)
+			}
+			if len(batch) > 0 && !s.feedReplay(q, batch) {
+				s.ingestMu.Unlock()
+				return
 			}
 			q.replayLag.Store(0)
 			q.catchingUp.Store(false)
@@ -62,7 +85,14 @@ func (s *Server) catchUp(q *queryState, from int64) {
 		case errors.Is(err, wal.ErrTruncated):
 			// Retention reclaimed the segment under the reader; resume
 			// at the oldest offset still on disk. The gap is reported,
-			// not silently skipped.
+			// not silently skipped. The pending block precedes the gap,
+			// so it is flushed first.
+			if len(batch) > 0 {
+				if !s.feedReplay(q, batch) {
+					return
+				}
+				batch = make([]event.Event, 0, replayBatch)
+			}
 			first := s.wal.FirstOffset()
 			q.setErr(fmt.Errorf("server: catch-up for query %q: offsets %d-%d reclaimed by retention; resuming at %d",
 				q.spec.ID, r.Offset(), first-1, first))
@@ -76,25 +106,27 @@ func (s *Server) catchUp(q *queryState, from int64) {
 	}
 }
 
-// feedReplay delivers one replayed WAL record into the query's
-// mailbox, blocking until the pipeline accepts it. It returns false
-// when the feeder must stop: the query was removed, its pipeline
-// terminated, the server began draining, or it was closed. The
-// query's admission policy is deliberately ignored — replay is
+// feedReplay delivers one block of replayed WAL records (Seq already
+// stamped, offsets contiguous) into the query's mailbox, blocking
+// until the pipeline accepts it. The caller must not reuse the slice
+// after a successful send — the block is shared with the pipeline. It
+// returns false when the feeder must stop: the query was removed, its
+// pipeline terminated, the server began draining, or it was closed.
+// The query's admission policy is deliberately ignored — replay is
 // sequential and self-paced, so backpressure (not shedding) is always
 // correct here.
-func (s *Server) feedReplay(q *queryState, off int64, e event.Event) bool {
-	e.Seq = int(off)
+func (s *Server) feedReplay(q *queryState, batch []event.Event) bool {
+	last := int64(batch[len(batch)-1].Seq)
 	select {
-	case q.mailbox <- e:
-		q.lastFed.Store(off)
-		if lag := s.wal.NextOffset() - off - 1; lag > 0 {
+	case q.mailbox <- event.Block{Events: batch}:
+		q.lastFed.Store(last)
+		if lag := s.wal.NextOffset() - last - 1; lag > 0 {
 			q.replayLag.Store(lag)
 		} else {
 			q.replayLag.Store(0)
 		}
-		q.events.Inc()
-		s.replayEvents.Inc()
+		q.events.Add(int64(len(batch)))
+		s.replayEvents.Add(int64(len(batch)))
 		return true
 	case <-q.removed:
 	case <-q.finished:

@@ -312,7 +312,9 @@ func TestServerBackfillEquivalence(t *testing.T) {
 	for _, e := range rel.Events()[half:] {
 		tail.MustAppend(e.Time, e.Attrs...)
 	}
-	wantLate := standaloneMatches(t, lateSpec, tail)
+	// The late query's matches carry global stream positions (WAL
+	// offsets), so the tail-standalone numbering shifts by the fence.
+	wantLate := shiftSeq(standaloneMatches(t, lateSpec, tail), half)
 	gotLate := infoLines(t, s, "late", 0)
 	if len(gotLate) != len(wantLate) {
 		t.Fatalf("late query served %d matches, standalone over the tail %d", len(gotLate), len(wantLate))

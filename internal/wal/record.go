@@ -68,40 +68,67 @@ func EncodeEvent(dst []byte, schema *event.Schema, e *event.Event) []byte {
 // must be consumed exactly; trailing bytes are corruption. The
 // returned event has Seq zero — callers stamp the record's offset.
 func DecodeEvent(data []byte, schema *event.Schema) (event.Event, error) {
+	attrs := make([]event.Value, schema.NumFields())
+	t, err := decodeEventBody(data, schema, attrs)
+	if err != nil {
+		return event.Event{}, err
+	}
+	return event.Event{Time: t, Attrs: attrs}, nil
+}
+
+// validateEvent checks that data is a well-formed EncodeEvent payload
+// for the schema without materializing any attribute values. Recovery
+// scans that only establish how far the log is intact use it to avoid
+// allocating an event per record just to discard it.
+func validateEvent(data []byte, schema *event.Schema) error {
+	_, err := decodeEventBody(data, schema, nil)
+	return err
+}
+
+// decodeEventBody walks one event payload over the schema, storing
+// decoded attribute values into attrs when it is non-nil (attrs must
+// then have schema.NumFields() entries). A nil attrs validates the
+// payload shape only — no per-attribute allocation happens.
+func decodeEventBody(data []byte, schema *event.Schema, attrs []event.Value) (event.Time, error) {
 	t, n := binary.Varint(data)
 	if n <= 0 {
-		return event.Event{}, fmt.Errorf("wal: truncated event time")
+		return 0, fmt.Errorf("wal: truncated event time")
 	}
 	data = data[n:]
-	attrs := make([]event.Value, schema.NumFields())
 	for i := 0; i < schema.NumFields(); i++ {
 		switch schema.Field(i).Type {
 		case event.TypeString:
 			l, n := binary.Uvarint(data)
 			if n <= 0 || uint64(len(data)-n) < l {
-				return event.Event{}, fmt.Errorf("wal: truncated string attribute %q", schema.Field(i).Name)
+				return 0, fmt.Errorf("wal: truncated string attribute %q", schema.Field(i).Name)
 			}
-			attrs[i] = event.String(string(data[n : n+int(l)]))
+			if attrs != nil {
+				attrs[i] = event.String(string(data[n : n+int(l)]))
+			}
 			data = data[n+int(l):]
 		case event.TypeInt:
 			v, n := binary.Varint(data)
 			if n <= 0 {
-				return event.Event{}, fmt.Errorf("wal: truncated int attribute %q", schema.Field(i).Name)
+				return 0, fmt.Errorf("wal: truncated int attribute %q", schema.Field(i).Name)
 			}
-			attrs[i] = event.Int(v)
+			if attrs != nil {
+				attrs[i] = event.Int(v)
+			}
 			data = data[n:]
 		default:
 			if len(data) < 8 {
-				return event.Event{}, fmt.Errorf("wal: truncated float attribute %q", schema.Field(i).Name)
+				return 0, fmt.Errorf("wal: truncated float attribute %q", schema.Field(i).Name)
 			}
-			attrs[i] = event.Float(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			if attrs != nil {
+				attrs[i] = event.Float(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			}
 			data = data[8:]
 		}
 	}
 	if len(data) != 0 {
-		return event.Event{}, fmt.Errorf("wal: %d trailing bytes after event payload", len(data))
+		return 0, fmt.Errorf("wal: %d trailing bytes after event payload", len(data))
 	}
-	return event.Event{Time: event.Time(t), Attrs: attrs}, nil
+	return event.Time(t), nil
 }
 
 // EncodeFrame appends one framed record (length, CRC32C, payload) to
@@ -171,14 +198,21 @@ func readHeader(r io.Reader, schema *event.Schema) (base int64, size int64, err 
 // clean end; io.ErrUnexpectedEOF or a CRC/length error means the frame
 // is torn or corrupt.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var head [frameSize]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
+	// The 8-byte head is staged in the caller's reusable buffer rather
+	// than a local array: a local passed to an io.Reader escapes, which
+	// would cost one heap allocation per record replayed.
+	if cap(buf) < frameSize {
+		buf = make([]byte, frameSize, 256)
+	}
+	head := buf[:frameSize]
+	if _, err := io.ReadFull(r, head); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
 		return nil, io.ErrUnexpectedEOF
 	}
 	length := binary.LittleEndian.Uint32(head[:4])
+	sum := binary.LittleEndian.Uint32(head[4:])
 	if length > maxRecordBytes {
 		return nil, fmt.Errorf("wal: record length %d exceeds limit", length)
 	}
@@ -189,7 +223,7 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, io.ErrUnexpectedEOF
 	}
-	if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(head[4:]) {
+	if crc32.Checksum(buf, castagnoli) != sum {
 		return nil, fmt.Errorf("wal: record CRC mismatch")
 	}
 	return buf, nil

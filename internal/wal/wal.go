@@ -355,7 +355,7 @@ func (l *Log) scanTail(path string, wantBase int64) (count int64, err error) {
 			}
 			return count, nil
 		}
-		if _, err := DecodeEvent(payload, l.opt.Schema); err != nil {
+		if err := validateEvent(payload, l.opt.Schema); err != nil {
 			l.mTruncated.Inc()
 			if terr := f.Truncate(good); terr != nil {
 				return 0, fmt.Errorf("wal: truncating torn tail: %w", terr)
