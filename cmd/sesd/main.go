@@ -105,6 +105,7 @@ type options struct {
 	mailbox         int
 	matchLog        int
 	noRouting       bool
+	noCompile       bool
 	checkpointDir   string
 	checkpointEvery int
 	drainTimeout    time.Duration
@@ -127,6 +128,7 @@ func main() {
 	flag.IntVar(&o.mailbox, "mailbox", 0, "per-query mailbox capacity in event blocks (default 16)")
 	flag.IntVar(&o.matchLog, "matchlog", 0, "retained matches per query (default 4096)")
 	flag.BoolVar(&o.noRouting, "no-routing", false, "deliver every event to every query, bypassing the routing index (triage aid)")
+	flag.BoolVar(&o.noCompile, "no-compile", false, "evaluate transition conditions through the generic interpreter instead of compiled predicates (triage aid)")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for checkpoints and the query manifest")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "events between checkpoints (default 256)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain wait on shutdown")
@@ -195,6 +197,7 @@ func run(o options, logw *os.File, ready chan<- string) error {
 		Mailbox:              o.mailbox,
 		MatchLog:             o.matchLog,
 		DisableRouting:       o.noRouting,
+		NoCompile:            o.noCompile,
 		CheckpointDir:        o.checkpointDir,
 		CheckpointEvery:      o.checkpointEvery,
 		DrainTimeout:         o.drainTimeout,

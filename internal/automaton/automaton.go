@@ -12,6 +12,7 @@
 package automaton
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -47,6 +48,27 @@ type VarInfo struct {
 	// (v.A φ C), used both on transitions and by the event filter of
 	// Section 4.5.
 	ConstChecks []ConstCheck
+
+	// filter is the fused compiled chain over ConstChecks, built by
+	// Compile: one closure call reports whether an event satisfies
+	// every constant condition of this variable. nil only for
+	// variables without constant conditions (vacuously satisfied).
+	filter func(*event.Event) bool
+}
+
+// Satisfiable reports whether e satisfies every constant condition of
+// the variable, via the fused compiled chain when present (always,
+// after Compile) and the interpreted checks otherwise.
+func (v *VarInfo) Satisfiable(e *event.Event) bool {
+	if v.filter != nil {
+		return v.filter(e)
+	}
+	for i := range v.ConstChecks {
+		if !v.ConstChecks[i].Eval(e) {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the variable with its Kleene-plus marker.
@@ -63,12 +85,58 @@ type ConstCheck struct {
 	Attr  int
 	Op    pattern.Op
 	Const event.Value
+
+	// pred is the kind-specialized compiled predicate (set by Compile;
+	// nil on hand-built checks, which fall back to interpreting).
+	pred func(event.Value) event.PredOutcome
 }
 
-// Eval applies the check to an event.
+// Eval applies the check to an event, collapsing the tri-state to a
+// boolean (mismatches fail). This is the interpreted reference path.
 func (c ConstCheck) Eval(e *event.Event) bool {
 	cmp, err := event.Compare(e.Attrs[c.Attr], c.Const)
 	return err == nil && c.Op.Eval(cmp)
+}
+
+// Outcome applies the compiled predicate to an event, distinguishing a
+// failed comparison from incomparable kinds (schema drift).
+func (c *ConstCheck) Outcome(e *event.Event) event.PredOutcome {
+	if c.pred != nil {
+		return c.pred(e.Attrs[c.Attr])
+	}
+	return interpOutcome(c.Op, e.Attrs[c.Attr], c.Const)
+}
+
+// CmpOp translates a pattern operator to its event-level counterpart
+// (the enums are ordered identically; the switch keeps them honest).
+func CmpOp(op pattern.Op) event.CmpOp {
+	switch op {
+	case pattern.Eq:
+		return event.CmpEq
+	case pattern.Ne:
+		return event.CmpNe
+	case pattern.Lt:
+		return event.CmpLt
+	case pattern.Le:
+		return event.CmpLe
+	case pattern.Gt:
+		return event.CmpGt
+	default: // pattern.Ge
+		return event.CmpGe
+	}
+}
+
+// interpOutcome is the uncompiled tri-state evaluation, used by checks
+// constructed outside Compile.
+func interpOutcome(op pattern.Op, a, b event.Value) event.PredOutcome {
+	cmp, err := event.Compare(a, b)
+	switch {
+	case err == nil && op.Eval(cmp):
+		return event.PredPass
+	case err != nil && !errors.Is(err, event.ErrUnordered):
+		return event.PredMismatch
+	}
+	return event.PredFail
 }
 
 // CondCheck is a compiled condition evaluated when an event e is bound
@@ -90,6 +158,31 @@ type CondCheck struct {
 	SelfOnly  bool
 	// Source is the original pattern condition, for diagnostics.
 	Source pattern.Condition
+
+	// pred / pred2 are the kind-specialized compiled predicates, set
+	// by Compile: pred for constant conditions (OtherVar < 0), pred2
+	// for conditions against another binding (including SelfOnly).
+	// nil on hand-built checks, which fall back to interpreting.
+	pred  func(event.Value) event.PredOutcome
+	pred2 func(l, r event.Value) event.PredOutcome
+}
+
+// OutcomeConst evaluates a constant condition (OtherVar < 0) on the
+// event being bound.
+func (c *CondCheck) OutcomeConst(e *event.Event) event.PredOutcome {
+	if c.pred != nil {
+		return c.pred(e.Attrs[c.BindAttr])
+	}
+	return interpOutcome(c.Op, e.Attrs[c.BindAttr], c.Const)
+}
+
+// Outcome2 evaluates a two-operand condition on the bound event's
+// attribute l against the other binding's attribute r.
+func (c *CondCheck) Outcome2(l, r event.Value) event.PredOutcome {
+	if c.pred2 != nil {
+		return c.pred2(l, r)
+	}
+	return interpOutcome(c.Op, l, r)
 }
 
 // Transition is δ = (q, v, Θδ): from its source state, binding the
@@ -324,7 +417,64 @@ func Compile(p *pattern.Pattern, schema *event.Schema) (*Automaton, error) {
 			return !a.Out[id][x].Loop && a.Out[id][y].Loop
 		})
 	}
+	a.compileChecks()
 	return a, nil
+}
+
+// compileChecks specializes every condition into a kind-dispatched
+// closure chosen from the schema's declared attribute types (so the
+// per-event hot path runs no kind switch and allocates no errors) and
+// fuses each variable's constant-check chain into a single filter
+// closure for Section 4.5 filtering.
+func (a *Automaton) compileChecks() {
+	kind := func(attr int) event.Kind { return a.Schema.Field(attr).Type.Kind() }
+	for i := range a.Vars {
+		v := &a.Vars[i]
+		for j := range v.ConstChecks {
+			c := &v.ConstChecks[j]
+			c.pred = event.CompilePred(kind(c.Attr), CmpOp(c.Op), c.Const)
+		}
+		v.filter = fuseConstChecks(v.ConstChecks)
+	}
+	for id := range a.Out {
+		for ti := range a.Out[id] {
+			for ci := range a.Out[id][ti].Conds {
+				c := &a.Out[id][ti].Conds[ci]
+				if c.OtherVar < 0 {
+					c.pred = event.CompilePred(kind(c.BindAttr), CmpOp(c.Op), c.Const)
+				} else {
+					c.pred2 = event.CompilePred2(kind(c.BindAttr), kind(c.OtherAttr), CmpOp(c.Op))
+				}
+			}
+		}
+	}
+}
+
+// fuseConstChecks folds a variable's compiled constant checks into one
+// closure, with unrolled arities for the common short chains.
+func fuseConstChecks(checks []ConstCheck) func(*event.Event) bool {
+	switch len(checks) {
+	case 0:
+		return nil
+	case 1:
+		p0, a0 := checks[0].pred, checks[0].Attr
+		return func(e *event.Event) bool { return p0(e.Attrs[a0]) == event.PredPass }
+	case 2:
+		p0, a0 := checks[0].pred, checks[0].Attr
+		p1, a1 := checks[1].pred, checks[1].Attr
+		return func(e *event.Event) bool {
+			return p0(e.Attrs[a0]) == event.PredPass && p1(e.Attrs[a1]) == event.PredPass
+		}
+	}
+	cs := checks
+	return func(e *event.Event) bool {
+		for i := range cs {
+			if cs[i].pred(e.Attrs[cs[i].Attr]) != event.PredPass {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // compileConds builds Θδ for the transition binding variable bindName:
@@ -390,7 +540,21 @@ func compileConds(p *pattern.Pattern, schema *event.Schema, varIdx map[string]in
 // satisfies (vacuously true for variables without constant
 // conditions). Events failing the filter cannot fire any transition
 // and can be skipped without iterating over automaton instances.
+// It runs the fused compiled chains; PassesFilterInterpreted is the
+// uncompiled reference with identical semantics.
 func (a *Automaton) PassesFilter(e *event.Event) bool {
+	for i := range a.Vars {
+		if a.Vars[i].Satisfiable(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// PassesFilterInterpreted is PassesFilter evaluated through the
+// generic event.Compare interpreter, kept as the -no-compile escape
+// hatch and as the oracle for compiled-vs-interpreted identity tests.
+func (a *Automaton) PassesFilterInterpreted(e *event.Event) bool {
 	for i := range a.Vars {
 		ok := true
 		for _, c := range a.Vars[i].ConstChecks {

@@ -11,10 +11,47 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/chemo"
 	"repro/internal/engine"
+	"repro/internal/event"
 	"repro/internal/paperdata"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
+
+// ingestBlockRows is the batch size the block-path benchmarks feed per
+// StepBlock call, sized like a typical HTTP ingest batch.
+const ingestBlockRows = 256
+
+// ingestNDJSON renders a dataset's events as HTTP ingest lines
+// ({"time": T, "attrs": {...}}), one event per line, for the decoder
+// benchmark.
+func ingestNDJSON(d Dataset) ([][]byte, error) {
+	schema := d.Rel.Schema()
+	lines := make([][]byte, d.Rel.Len())
+	for i := range lines {
+		e := d.Rel.Event(i)
+		attrs := make(map[string]any, schema.NumFields())
+		for f := 0; f < schema.NumFields(); f++ {
+			name := schema.Field(f).Name
+			switch v := e.Attrs[f]; v.Kind() {
+			case event.KindString:
+				attrs[name] = v.Str()
+			case event.KindInt:
+				attrs[name] = v.Int64()
+			case event.KindFloat:
+				attrs[name] = v.Float64()
+			}
+		}
+		b, err := json.Marshal(struct {
+			Time  int64          `json:"time"`
+			Attrs map[string]any `json:"attrs"`
+		}{int64(e.Time), attrs})
+		if err != nil {
+			return nil, err
+		}
+		lines[i] = b
+	}
+	return lines, nil
+}
 
 // ArtifactEntry is one benchmark measurement of the machine-readable
 // baseline artifact: the standard testing.B statistics plus the
@@ -88,10 +125,39 @@ func artifactCases(ds []Dataset) ([]artifactCase, func(), error) {
 			return m.MaxSimultaneousInstances, len(ms), err
 		}
 	}
+	// runBlocks is runOn through the columnar hot path: the relation is
+	// fed as server-sized blocks via StepBlock instead of event by
+	// event. Paired with WithCompiledChecks(false) it is the A/B the
+	// -no-compile flag exposes; all throughput entries over the same
+	// query must agree on their match-count fingerprints.
+	runBlocks := func(a *automaton.Automaton, d Dataset, opts ...engine.Option) func() (int64, int, error) {
+		r := engine.New(a, opts...)
+		return func() (int64, int, error) {
+			r.Reset()
+			evs := d.Rel.Events()
+			matches := 0
+			for lo := 0; lo < len(evs); lo += ingestBlockRows {
+				hi := lo + ingestBlockRows
+				if hi > len(evs) {
+					hi = len(evs)
+				}
+				ms, err := r.StepBlock(event.Block{Events: evs[lo:hi]})
+				if err != nil {
+					return 0, 0, err
+				}
+				matches += len(ms)
+			}
+			matches += len(r.Flush())
+			return r.Metrics().MaxSimultaneousInstances, matches, nil
+		}
+	}
 
 	cases := []artifactCase{
 		{"Exp1_SES_P1/4/" + d1.Name, runOn(a1, d1, engine.WithFilter(true))},
 		{"ThroughputQ1/" + d1.Name, runOn(aq1, d1, engine.WithFilter(true))},
+		{"CompiledThroughput/q1/" + d1.Name, runBlocks(aq1, d1, engine.WithFilter(true))},
+		{"InterpretedThroughput/q1/" + d1.Name,
+			runBlocks(aq1, d1, engine.WithFilter(true), engine.WithCompiledChecks(false))},
 		{"Exp3_P5_Filter/" + d1.Name, runOn(a5, d1, engine.WithFilter(true))},
 		{"Exp3_P5_NoFilter/" + d1.Name, runOn(a5, d1)},
 	}
@@ -137,6 +203,29 @@ func artifactCases(ds []Dataset) ([]artifactCase, func(), error) {
 			return 0, n, err
 		}},
 	)
+	// The columnar NDJSON decoder alone: d1's ingest body pre-rendered
+	// outside the timed region, then decoded per iteration through the
+	// span-recording scan + column-at-a-time parse that the HTTP
+	// handler and WAL backfill use. The decoded event count is the
+	// fingerprint.
+	lines, err := ingestNDJSON(d1)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec := engine.NewBlockDecoder(d1.Rel.Schema())
+	cases = append(cases, artifactCase{"BlockDecode/" + d1.Name, func() (int64, int, error) {
+		dec.Reset()
+		for i, ln := range lines {
+			if !dec.Add(i+1, ln) {
+				break
+			}
+		}
+		evs, err := dec.Finish()
+		if err != nil {
+			return 0, 0, err
+		}
+		return 0, len(evs), nil
+	}})
 	// The durable ingest paths: appending the stream to the WAL under
 	// the two deterministic fsync policies ("always" is measured by
 	// BenchmarkWALAppend but kept out of the gated baseline — its cost

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -61,6 +62,11 @@ const (
 	TraceShed
 	// TraceMatch is a completed matching substitution being emitted.
 	TraceMatch
+	// TraceCondMismatch is a transition condition evaluated over
+	// operands of incomparable kinds — schema drift surfaced instead of
+	// silently treated as a failed predicate. Buffer carries the
+	// condition's source text.
+	TraceCondMismatch
 )
 
 // String names the trace kind.
@@ -74,6 +80,8 @@ func (k TraceKind) String() string {
 		return "shed"
 	case TraceMatch:
 		return "match"
+	case TraceCondMismatch:
+		return "cond-mismatch"
 	default:
 		return "transition"
 	}
@@ -160,6 +168,7 @@ type config struct {
 	watermarkEvery  int64
 	registry        *obs.Registry
 	metricLabels    []string
+	noCompile       bool
 }
 
 // Option configures a Runner.
@@ -173,6 +182,13 @@ func WithFilter(on bool) Option { return func(c *config) { c.filter = on } }
 // WithStrategy selects the event selection strategy (default:
 // SkipTillNext, the paper's semantics).
 func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithCompiledChecks selects between the kind-specialized predicate
+// closures compiled by automaton.Compile (on, the default) and the
+// generic event.Compare interpreter (off). Both produce byte-identical
+// match streams; the interpreted path survives as the -no-compile
+// escape hatch and as the oracle for identity tests.
+func WithCompiledChecks(on bool) Option { return func(c *config) { c.noCompile = !on } }
 
 // WithMaxInstances sets a safety cap on simultaneous automaton
 // instances; what happens when the cap is hit is decided by the
@@ -345,6 +361,22 @@ type Runner struct {
 	// the second).
 	buildScratch []int
 
+	// matchBuf backs the slice returned by Step/StepBlock/Flush; it is
+	// reused across calls (the Match values themselves reference the
+	// never-recycled match arena, so copying them out is always safe).
+	matchBuf []Match
+
+	// matchEvs and matchBinds are bump arenas for the backing arrays
+	// of emitted matches. Published segments are never reused — the
+	// arenas only amortize allocation count — so matches stay valid
+	// across Reset and arbitrarily long after emission.
+	matchEvs   []*event.Event
+	matchBinds []Binding
+
+	// mismatches exports CondTypeMismatches as the
+	// ses_cond_type_mismatch_total counter when a registry is attached.
+	mismatches *obs.Counter
+
 	// shedding is the ShedStartStates hysteresis state: true while the
 	// runner suppresses fresh start instances.
 	shedding bool
@@ -364,6 +396,11 @@ func New(a *automaton.Automaton, opts ...Option) *Runner {
 	r := &Runner{a: a}
 	for _, o := range opts {
 		o(&r.cfg)
+	}
+	if r.cfg.registry != nil {
+		r.mismatches = r.cfg.registry.Counter(
+			obs.SeriesName("ses_cond_type_mismatch_total", r.cfg.metricLabels...),
+			"transition conditions evaluated over operands of incomparable kinds (schema drift)")
 	}
 	return r
 }
@@ -403,36 +440,60 @@ func (r *Runner) setErr(err error) {
 // Step consumes the next input event, which must not precede any
 // previously consumed event in time, and returns the matches completed
 // by this step (instances that expired in the accepting state).
-// The returned matches reference e; the pointer must stay valid.
+// The returned matches reference e; the pointer must stay valid. The
+// returned slice is reused by the next Step/StepBlock/Flush call —
+// copy the Match values out to retain them (the values themselves
+// stay valid indefinitely).
 func (r *Runner) Step(e *event.Event) ([]Match, error) {
+	matches, err := r.stepInto(e, r.matchBuf[:0])
+	r.matchBuf = matches[:0]
+	if len(matches) == 0 {
+		return nil, err
+	}
+	return matches, err
+}
+
+// stepInto is Step appending its completed matches to matches, so that
+// block-at-a-time callers accumulate one slice across a whole block.
+func (r *Runner) stepInto(e *event.Event, matches []Match) ([]Match, error) {
 	if r.done {
-		return nil, fmt.Errorf("engine: Step after Flush")
+		return matches, fmt.Errorf("engine: Step after Flush")
 	}
 	r.metrics.EventsProcessed++
-	if r.cfg.filter && !r.a.PassesFilter(e) {
+	if r.cfg.filter && !r.passesFilter(e) {
 		r.metrics.EventsFiltered++
-		return nil, nil
+		// τ-aware sweep: a filtered event cannot fire transitions, but
+		// its timestamp still advances the clock, so instances whose
+		// window has lapsed are swept (and accepting ones emitted) now
+		// instead of lingering until the next unfiltered event. The
+		// instance list is ordered by start time, so one comparison
+		// against the oldest instance gates the sweep.
+		if len(r.insts) > 0 && event.Duration(e.Time-r.insts[0].minT) > r.a.Within {
+			pre := len(matches)
+			matches = r.expire(e.Time, matches)
+			r.metrics.Matches += int64(len(matches) - pre)
+			r.traceMatches(e, matches, pre)
+		}
+		return matches, nil
 	}
 
 	limit := r.cfg.maxInstances
-	var matches []Match
+	base := len(matches)
 
 	// RejectNew: while the instance set sits at the cap, the event is
 	// not admitted; only the expiry check runs against its timestamp so
 	// that the set can drain and admission resumes.
 	if limit > 0 && r.cfg.policy == RejectNew && len(r.insts) >= limit {
-		matches = r.expire(e.Time)
+		matches = r.expire(e.Time, matches)
 		if len(r.insts) >= limit {
 			r.metrics.EventsRejected++
 			r.metrics.DegradedSteps++
-			r.metrics.Matches += int64(len(matches))
+			r.metrics.Matches += int64(len(matches) - base)
 			if r.cfg.trace != nil {
 				r.cfg.trace(TraceStep{Kind: TraceShed, Event: e,
 					FromState: r.a.Start, ToState: r.a.Start, Var: -1})
-				for i := range matches {
-					r.cfg.trace(TraceStep{Kind: TraceMatch, Event: e, Var: -1, Matched: &matches[i]})
-				}
 			}
+			r.traceMatches(e, matches, base)
 			return matches, nil
 		}
 		// The expiry pass freed room; fall through and admit the event
@@ -528,22 +589,71 @@ func (r *Runner) Step(e *event.Event) ([]Match, error) {
 			// drains via expiry / the shedding hysteresis.
 		}
 	}
-	r.metrics.Matches += int64(len(matches))
-	if r.cfg.trace != nil {
-		for i := range matches {
-			r.cfg.trace(TraceStep{Kind: TraceMatch, Event: e, Var: -1, Matched: &matches[i]})
-		}
-	}
+	r.metrics.Matches += int64(len(matches) - base)
+	r.traceMatches(e, matches, base)
 	return matches, nil
 }
 
+// traceMatches reports matches[from:] to the trace hook, if any.
+func (r *Runner) traceMatches(e *event.Event, matches []Match, from int) {
+	if r.cfg.trace == nil {
+		return
+	}
+	for i := from; i < len(matches); i++ {
+		r.cfg.trace(TraceStep{Kind: TraceMatch, Event: e, Var: -1, Matched: &matches[i]})
+	}
+}
+
+// passesFilter applies the Section 4.5 filter through the configured
+// evaluation path.
+func (r *Runner) passesFilter(e *event.Event) bool {
+	if r.cfg.noCompile {
+		return r.a.PassesFilterInterpreted(e)
+	}
+	return r.a.PassesFilter(e)
+}
+
+// StepBlock consumes a batch of time-ordered events and returns the
+// matches completed across the whole block. Before any condition is
+// evaluated the instance set is swept against the block's first
+// selected event, bounding the set to the τ window up front (the
+// per-event expiry check inside the loop handles the rest — sweeping
+// against the block's maximum time would be unsound, because an
+// instance more than τ behind the block's end may still consume its
+// earlier events and reach the accepting state). The returned slice
+// is reused by the next Step/StepBlock/Flush call, like Step's.
+func (r *Runner) StepBlock(blk event.Block) ([]Match, error) {
+	n := blk.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	matches := r.matchBuf[:0]
+	if first := blk.At(0); len(r.insts) > 0 && event.Duration(first.Time-r.insts[0].minT) > r.a.Within {
+		matches = r.expire(first.Time, matches)
+		r.metrics.Matches += int64(len(matches))
+		r.traceMatches(first, matches, 0)
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		matches, err = r.stepInto(blk.At(i), matches)
+		if err != nil {
+			break
+		}
+	}
+	r.matchBuf = matches[:0]
+	if len(matches) == 0 {
+		return nil, err
+	}
+	return matches, err
+}
+
 // expire removes every instance whose window has lapsed as of now,
-// emitting those that expire in the accepting state. It is the
-// standalone analogue of the expiry check embedded in Step, used by
+// appending those that expire in the accepting state to matches. It is
+// the standalone analogue of the expiry check embedded in Step, used
+// by the filtered-event τ sweep, by StepBlock's up-front sweep, and by
 // the RejectNew overload policy to age the instance set without
 // consuming the event.
-func (r *Runner) expire(now event.Time) []Match {
-	var matches []Match
+func (r *Runner) expire(now event.Time, matches []Match) []Match {
 	kept := r.insts[:0]
 	for i := range r.insts {
 		inst := &r.insts[i]
@@ -683,33 +793,36 @@ func (r *Runner) eval(t *automaton.Transition, inst *instance, e *event.Event) b
 			return false
 		}
 	}
+	if r.cfg.noCompile {
+		return r.evalInterp(t, inst, e)
+	}
 	for ci := range t.Conds {
 		c := &t.Conds[ci]
-		left := e.Attrs[c.BindAttr]
 		switch {
 		case c.OtherVar < 0:
-			cmp, err := event.Compare(left, c.Const)
-			if err != nil || !c.Op.Eval(cmp) {
+			if oc := c.OutcomeConst(e); oc != event.PredPass {
+				r.noteOutcome(oc, t, c, inst, e)
 				return false
 			}
 		case c.SelfOnly:
 			// v.A φ v.A': per the decomposition semantics each
 			// decomposed substitution holds one binding per variable,
 			// so the condition relates attributes of the same event.
-			cmp, err := event.Compare(left, e.Attrs[c.OtherAttr])
-			if err != nil || !c.Op.Eval(cmp) {
+			if oc := c.Outcome2(e.Attrs[c.BindAttr], e.Attrs[c.OtherAttr]); oc != event.PredPass {
+				r.noteOutcome(oc, t, c, inst, e)
 				return false
 			}
 		default:
 			// The new event must satisfy the condition against every
 			// existing binding of the other variable (group variables
 			// may hold several).
+			left := e.Attrs[c.BindAttr]
 			for n := inst.buf; n != nil; n = n.prev {
 				if int(n.varIdx) != c.OtherVar {
 					continue
 				}
-				cmp, err := event.Compare(left, n.ev.Attrs[c.OtherAttr])
-				if err != nil || !c.Op.Eval(cmp) {
+				if oc := c.Outcome2(left, n.ev.Attrs[c.OtherAttr]); oc != event.PredPass {
+					r.noteOutcome(oc, t, c, inst, e)
 					return false
 				}
 			}
@@ -718,16 +831,81 @@ func (r *Runner) eval(t *automaton.Transition, inst *instance, e *event.Event) b
 	return true
 }
 
+// evalInterp evaluates a transition's conditions through the generic
+// event.Compare interpreter (the -no-compile path). Match results are
+// identical to the compiled path by construction; mismatch accounting
+// is shared so the escape hatch stays observably equivalent too.
+func (r *Runner) evalInterp(t *automaton.Transition, inst *instance, e *event.Event) bool {
+	for ci := range t.Conds {
+		c := &t.Conds[ci]
+		left := e.Attrs[c.BindAttr]
+		switch {
+		case c.OtherVar < 0:
+			cmp, err := event.Compare(left, c.Const)
+			if err != nil || !c.Op.Eval(cmp) {
+				r.noteCompareErr(err, t, c, inst, e)
+				return false
+			}
+		case c.SelfOnly:
+			cmp, err := event.Compare(left, e.Attrs[c.OtherAttr])
+			if err != nil || !c.Op.Eval(cmp) {
+				r.noteCompareErr(err, t, c, inst, e)
+				return false
+			}
+		default:
+			for n := inst.buf; n != nil; n = n.prev {
+				if int(n.varIdx) != c.OtherVar {
+					continue
+				}
+				cmp, err := event.Compare(left, n.ev.Attrs[c.OtherAttr])
+				if err != nil || !c.Op.Eval(cmp) {
+					r.noteCompareErr(err, t, c, inst, e)
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// noteOutcome records a failed compiled predicate: incomparable kinds
+// (schema drift) bump CondTypeMismatches and surface in instance
+// tracing rather than pass for an ordinary data-dependent miss.
+func (r *Runner) noteOutcome(oc event.PredOutcome, t *automaton.Transition, c *automaton.CondCheck, inst *instance, e *event.Event) {
+	if oc != event.PredMismatch {
+		return
+	}
+	r.metrics.CondTypeMismatches++
+	if r.mismatches != nil {
+		r.mismatches.Inc()
+	}
+	if r.cfg.trace != nil {
+		r.cfg.trace(TraceStep{Kind: TraceCondMismatch, Event: e,
+			FromState: int(inst.state), ToState: t.Target, Var: t.Var,
+			Buffer: c.Source.String()})
+	}
+}
+
+// noteCompareErr is noteOutcome for the interpreted path: a Compare
+// error other than NaN unorderedness is a kind mismatch.
+func (r *Runner) noteCompareErr(err error, t *automaton.Transition, c *automaton.CondCheck, inst *instance, e *event.Event) {
+	if err == nil || errors.Is(err, event.ErrUnordered) {
+		return
+	}
+	r.noteOutcome(event.PredMismatch, t, c, inst, e)
+}
+
 // Flush ends the input and returns the matches of all remaining
 // instances that reached the accepting state. Algorithm 1 only emits
 // on expiry; a complete implementation must also emit the accepting
-// instances alive at end of input.
+// instances alive at end of input. The returned slice is reused like
+// Step's.
 func (r *Runner) Flush() []Match {
 	if r.done {
 		return nil
 	}
 	r.done = true
-	var matches []Match
+	matches := r.matchBuf[:0]
 	for i := range r.insts {
 		if int(r.insts[i].state) == r.a.Accept {
 			matches = append(matches, r.buildMatch(&r.insts[i]))
@@ -735,10 +913,10 @@ func (r *Runner) Flush() []Match {
 	}
 	r.metrics.Matches += int64(len(matches))
 	r.insts = r.insts[:0]
-	if r.cfg.trace != nil {
-		for i := range matches {
-			r.cfg.trace(TraceStep{Kind: TraceMatch, Var: -1, Matched: &matches[i]})
-		}
+	r.traceMatches(nil, matches, 0)
+	r.matchBuf = matches[:0]
+	if len(matches) == 0 {
+		return nil
 	}
 	return matches
 }

@@ -114,16 +114,11 @@ func (r *IndexedRunner) Step(e *event.Event) ([]Match, error) {
 	}
 
 	// Candidate variables: constant conditions satisfied by e
-	// (vacuously for variables without constant conditions).
+	// (vacuously for variables without constant conditions), via the
+	// fused compiled chains.
 	visit := r.visitOrder[:0]
 	for vi := range r.a.Vars {
-		ok := true
-		for _, c := range r.a.Vars[vi].ConstChecks {
-			if !c.Eval(e) {
-				ok = false
-				break
-			}
-		}
+		ok := r.a.Vars[vi].Satisfiable(e)
 		r.candidateVars[vi] = ok
 		if ok {
 			for _, sid := range r.statesByVar[vi] {

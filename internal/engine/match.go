@@ -70,12 +70,52 @@ func (m Match) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
+// matchEvChunk and matchBindChunk size the bump arenas backing emitted
+// matches. Segments handed out are never reclaimed (published matches
+// own them forever); the chunks only batch what used to be two heap
+// allocations per match into two per ~hundred matches.
+const (
+	matchEvChunk   = 512
+	matchBindChunk = 128
+)
+
+// allocEvs cuts an n-element event slice from the match arena. The
+// returned slice has cap n, so an (incorrect) append by a consumer
+// copies instead of clobbering a neighbouring match.
+func (r *Runner) allocEvs(n int) []*event.Event {
+	if len(r.matchEvs) < n {
+		c := matchEvChunk
+		if n > c {
+			c = n
+		}
+		r.matchEvs = make([]*event.Event, c)
+	}
+	s := r.matchEvs[:n:n]
+	r.matchEvs = r.matchEvs[n:]
+	return s
+}
+
+// allocBinds cuts an empty binding slice with cap n from the arena.
+func (r *Runner) allocBinds(n int) []Binding {
+	if len(r.matchBinds) < n {
+		c := matchBindChunk
+		if n > c {
+			c = n
+		}
+		r.matchBinds = make([]Binding, c)
+	}
+	s := r.matchBinds[:0:n]
+	r.matchBinds = r.matchBinds[n:]
+	return s
+}
+
 // buildMatch materialises an instance's buffer chain into a Match.
 // The per-variable event slices of all bindings share one backing
-// array sized in a counting pass, so a match costs two allocations
-// (bindings + events) regardless of how many variables it binds.
-// Callers must treat Binding.Events as immutable — appending to one
-// binding's slice would overwrite its neighbour.
+// array sized in a counting pass and cut from the runner's match
+// arena, so steady-state match construction allocates only when an
+// arena chunk runs dry. Callers must treat Binding.Events as
+// immutable — appending to one binding's slice would overwrite its
+// neighbour.
 func (r *Runner) buildMatch(inst *instance) Match {
 	nv := len(r.a.Vars)
 	if cap(r.buildScratch) < nv {
@@ -94,8 +134,8 @@ func (r *Runner) buildMatch(inst *instance) Match {
 		total++
 	}
 	m := Match{First: inst.minT, Last: inst.maxT}
-	backing := make([]*event.Event, total)
-	m.Bindings = make([]Binding, 0, bound)
+	backing := r.allocEvs(total)
+	m.Bindings = r.allocBinds(bound)
 	off := 0
 	for v := 0; v < nv; v++ {
 		c := counts[v]

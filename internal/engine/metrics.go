@@ -45,6 +45,11 @@ type Metrics struct {
 	// intervened (rejected the event, shed a start instance, or evicted
 	// instances). Zero means the run never degraded.
 	DegradedSteps int64
+	// CondTypeMismatches counts transition conditions evaluated over
+	// operands of incomparable kinds (schema drift): the predicate
+	// fails, but unlike an ordinary data-dependent miss the occurrence
+	// is surfaced here and as ses_cond_type_mismatch_total.
+	CondTypeMismatches int64
 }
 
 // Add accumulates o into m (used by the brute-force baseline to
@@ -68,6 +73,7 @@ func (m *Metrics) Add(o Metrics) {
 	m.InstancesShed += o.InstancesShed
 	m.EventsRejected += o.EventsRejected
 	m.DegradedSteps += o.DegradedSteps
+	m.CondTypeMismatches += o.CondTypeMismatches
 }
 
 // Merge accumulates o into m with max semantics for peak counters:
@@ -98,6 +104,9 @@ func (m Metrics) String() string {
 	if m.InstancesShed > 0 || m.EventsRejected > 0 || m.DegradedSteps > 0 {
 		fmt.Fprintf(&b, " shed=%d rejected=%d degraded=%d",
 			m.InstancesShed, m.EventsRejected, m.DegradedSteps)
+	}
+	if m.CondTypeMismatches > 0 {
+		fmt.Fprintf(&b, " cond_mismatch=%d", m.CondTypeMismatches)
 	}
 	return b.String()
 }

@@ -29,3 +29,71 @@ func (b Block) At(i int) *Event {
 	}
 	return &b.Events[i]
 }
+
+// blockChunkRows is how many rows a BlockBuilder value chunk holds:
+// batches up to this size decode with a single value allocation.
+const blockChunkRows = 256
+
+// BlockBuilder assembles the decoded rows of a block into chunked
+// value arenas: every event's attribute slice is cut from a shared
+// flat array instead of being allocated individually, so decoding a
+// batch of n events costs O(n/256) value allocations instead of n.
+// Chunks are never reallocated once a row points into them, so
+// committed events stay valid as the builder grows.
+type BlockBuilder struct {
+	nf    int
+	chunk []Value // spare capacity of the current arena chunk
+	evs   []Event
+}
+
+// NewBlockBuilder returns a builder for events with nf attributes,
+// pre-sizing the first arena chunk for capHint rows (0 picks the
+// default chunk size).
+func NewBlockBuilder(nf, capHint int) *BlockBuilder {
+	b := &BlockBuilder{nf: nf}
+	if capHint > 0 {
+		b.chunk = make([]Value, capHint*nf)
+		b.evs = make([]Event, 0, capHint)
+	}
+	return b
+}
+
+// Row returns the next row's attribute slice for the caller to fill
+// in place (its nf entries are zero Values). The slice stays valid
+// whether or not the row is committed.
+func (b *BlockBuilder) Row() []Value {
+	if len(b.chunk) < b.nf {
+		n := blockChunkRows * b.nf
+		if b.nf > n {
+			n = b.nf
+		}
+		b.chunk = make([]Value, n)
+	}
+	row := b.chunk[:b.nf:b.nf]
+	return row
+}
+
+// Commit appends an event whose Attrs is the slice returned by the
+// latest Row call (filled in place by the caller).
+func (b *BlockBuilder) Commit(e Event) {
+	if len(b.chunk) >= b.nf && len(e.Attrs) > 0 && &b.chunk[0] == &e.Attrs[0] {
+		b.chunk = b.chunk[b.nf:]
+	}
+	b.evs = append(b.evs, e)
+}
+
+// Len returns the number of committed rows.
+func (b *BlockBuilder) Len() int { return len(b.evs) }
+
+// Events returns the committed events. The slice is owned by the
+// builder until Take is called.
+func (b *BlockBuilder) Events() []Event { return b.evs }
+
+// Take hands the committed events to the caller and resets the
+// builder for a new batch (retaining the current arena chunk's spare
+// capacity; handed-out rows are never reused).
+func (b *BlockBuilder) Take() []Event {
+	evs := b.evs
+	b.evs = nil
+	return evs
+}

@@ -1,0 +1,119 @@
+package event
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// interpPred is the reference semantics a compiled predicate must
+// reproduce bit-for-bit: interpret through Compare and collapse errors
+// the same way the tri-state does.
+func interpPred(op CmpOp, a, b Value) PredOutcome {
+	cmp, err := Compare(a, b)
+	return outcome(op.tab(), cmp, err)
+}
+
+var predOps = []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+
+// predValues spans every kind plus the adversarial numerics: NaN,
+// infinities, ints beyond 2^53, fractional floats, and null.
+var predValues = []Value{
+	{}, // null
+	String(""), String("a"), String("b"), String("ba"),
+	Int(0), Int(-1), Int(1), Int(math.MinInt64), Int(math.MaxInt64),
+	Int(9007199254740992), Int(9007199254740993),
+	Float(0), Float(math.Copysign(0, -1)), Float(-1.5), Float(2.5),
+	Float(9007199254740992.0), Float(math.NaN()),
+	Float(math.Inf(1)), Float(math.Inf(-1)),
+	Float(9223372036854775808.0), // 2^63
+}
+
+var predKinds = []Kind{KindNull, KindString, KindInt, KindFloat}
+
+// TestCompilePredMatchesInterpreter exhausts declared-kind × op ×
+// constant × runtime-value, including drifted events whose runtime
+// kind differs from the declared one: the compiled closure must agree
+// with the interpreted semantics everywhere.
+func TestCompilePredMatchesInterpreter(t *testing.T) {
+	for _, k := range predKinds {
+		for _, op := range predOps {
+			for _, c := range predValues {
+				pred := CompilePred(k, op, c)
+				for _, v := range predValues {
+					got, want := pred(v), interpPred(op, v, c)
+					if got != want {
+						t.Fatalf("CompilePred(%v, %v, %v)(%v) = %v, want %v",
+							k, op, c, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompilePred2MatchesInterpreter does the same for two-operand
+// (variable vs variable) predicates over every declared kind pair.
+func TestCompilePred2MatchesInterpreter(t *testing.T) {
+	for _, lk := range predKinds {
+		for _, rk := range predKinds {
+			for _, op := range predOps {
+				pred := CompilePred2(lk, rk, op)
+				for _, a := range predValues {
+					for _, b := range predValues {
+						got, want := pred(a, b), interpPred(op, a, b)
+						if got != want {
+							t.Fatalf("CompilePred2(%v, %v, %v)(%v, %v) = %v, want %v",
+								lk, rk, op, a, b, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompilePredRandomized fuzzes the numeric fast paths with random
+// operands, biased toward the float-precision edge.
+func TestCompilePredRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	randVal := func() Value {
+		switch rng.Intn(4) {
+		case 0:
+			return Int(rng.Int63() - rng.Int63())
+		case 1:
+			return Int(9007199254740990 + rng.Int63n(8))
+		case 2:
+			return Float(rng.NormFloat64() * math.Pow(2, float64(rng.Intn(70))))
+		default:
+			return Float(9007199254740990.0 + float64(rng.Intn(8)))
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		op := predOps[rng.Intn(len(predOps))]
+		c, v := randVal(), randVal()
+		k := v.Kind()
+		if rng.Intn(8) == 0 {
+			k = predKinds[rng.Intn(len(predKinds))] // drift
+		}
+		if got, want := CompilePred(k, op, c)(v), interpPred(op, v, c); got != want {
+			t.Fatalf("CompilePred(%v, %v, %v)(%v) = %v, want %v", k, op, c, v, got, want)
+		}
+		if got, want := CompilePred2(k, c.Kind(), op)(v, c), interpPred(op, v, c); got != want {
+			t.Fatalf("CompilePred2(%v, %v, %v)(%v, %v) = %v, want %v", k, c.Kind(), op, v, c, got, want)
+		}
+	}
+}
+
+func TestPredOutcomeNaNNeFails(t *testing.T) {
+	// IEEE != holds for NaN, but the interpreted path errors (false);
+	// the compiled Ne must fail too, not pass.
+	pred := CompilePred(KindFloat, CmpNe, Float(1))
+	if got := pred(Float(math.NaN())); got != PredFail {
+		t.Fatalf("Ne(NaN, 1) = %v, want PredFail", got)
+	}
+	pred2 := CompilePred2(KindFloat, KindFloat, CmpNe)
+	if got := pred2(Float(math.NaN()), Float(math.NaN())); got != PredFail {
+		t.Fatalf("Ne(NaN, NaN) = %v, want PredFail", got)
+	}
+}

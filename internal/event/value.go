@@ -10,6 +10,7 @@
 package event
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -104,9 +105,22 @@ func Comparable(a, b Value) bool {
 	return a.numeric() && b.numeric()
 }
 
+// ErrUnordered is returned by Compare when one side is a floating
+// point NaN: NaN admits no order against any number, including itself,
+// so predicates over it fail rather than silently treating it as equal.
+var ErrUnordered = errors.New("event: NaN is unordered")
+
+// ErrIncomparable is the sentinel wrapped by Compare errors for values
+// whose kinds admit no order at all (e.g. string vs number). Callers
+// distinguish it from ErrUnordered to tell schema drift from NaN data.
+var ErrIncomparable = errors.New("event: incomparable kinds")
+
 // Compare orders a against b, returning -1, 0 or +1. It returns an
-// error when the values are not comparable (e.g. string vs number).
+// error wrapping ErrIncomparable when the values are not comparable
+// (e.g. string vs number), and ErrUnordered when either side is NaN.
 // Null compares equal to null and is not comparable to anything else.
+// Mixed int/float comparisons are exact: an int64 outside the ±2^53
+// float-exact range is never rounded through float64.
 func Compare(a, b Value) (int, error) {
 	switch {
 	case a.kind == KindNull && b.kind == KindNull:
@@ -121,7 +135,10 @@ func Compare(a, b Value) (int, error) {
 			return 1, nil
 		}
 		return 0, nil
-	case a.numeric() && b.numeric():
+	case a.kind == KindFloat && b.kind == KindFloat:
+		if a.num != a.num || b.num != b.num {
+			return 0, ErrUnordered
+		}
 		switch {
 		case a.num < b.num:
 			return -1, nil
@@ -129,12 +146,56 @@ func Compare(a, b Value) (int, error) {
 			return 1, nil
 		}
 		return 0, nil
+	case a.kind == KindInt && b.kind == KindFloat:
+		if b.num != b.num {
+			return 0, ErrUnordered
+		}
+		return CompareIntFloat(a.i, b.num), nil
+	case a.kind == KindFloat && b.kind == KindInt:
+		if a.num != a.num {
+			return 0, ErrUnordered
+		}
+		return -CompareIntFloat(b.i, a.num), nil
 	}
-	return 0, fmt.Errorf("event: cannot compare %s with %s", a.kind, b.kind)
+	return 0, fmt.Errorf("%w: %s vs %s", ErrIncomparable, a.kind, b.kind)
+}
+
+// CompareIntFloat orders the exact integer i against the non-NaN float
+// f, returning -1, 0 or +1. Routing the comparison through float64
+// would round integers beyond ±2^53 onto their neighbours (making
+// 9007199254740993 compare equal to 9007199254740992.0); instead the
+// float is range-clamped against ±2^63 and compared on its truncated
+// integer part with the fractional remainder as tie-break, all exact
+// in float64 arithmetic.
+func CompareIntFloat(i int64, f float64) int {
+	const two63 = 9223372036854775808.0 // 2^63, exactly representable
+	if f >= two63 {
+		return -1 // every int64 is below 2^63 (covers +Inf)
+	}
+	if f < -two63 {
+		return 1 // every int64 is at least -2^63 (covers -Inf)
+	}
+	// -2^63 <= f < 2^63, so truncation toward zero fits in int64. For
+	// |f| >= 2^53 the float is an exact integer, so t == f; below that
+	// both t and the remainder f-t are exactly representable.
+	t := int64(f)
+	switch {
+	case i < t:
+		return -1
+	case i > t:
+		return 1
+	case f > float64(t):
+		return -1 // equal integer parts, f carries a positive fraction
+	case f < float64(t):
+		return 1 // f carries a negative fraction (trunc rounds up for f<0)
+	}
+	return 0
 }
 
 // Equal reports whether a and b hold the same value. Unlike Compare it
-// never fails: values of incomparable kinds are simply unequal.
+// never fails: values of incomparable kinds are simply unequal, and a
+// NaN is unequal to everything including another NaN (IEEE semantics,
+// consistent with Compare's ErrUnordered).
 func (v Value) Equal(o Value) bool {
 	c, err := Compare(v, o)
 	return err == nil && c == 0

@@ -1,6 +1,9 @@
 package event
 
 import (
+	"errors"
+	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -97,6 +100,99 @@ func TestEqual(t *testing.T) {
 	}
 	if String("1").Equal(Int(1)) {
 		t.Errorf("String should not equal Int")
+	}
+}
+
+func TestCompareNaNUnordered(t *testing.T) {
+	nan := Float(math.NaN())
+	pairs := [][2]Value{
+		{nan, Float(1)}, {Float(1), nan},
+		{nan, nan},
+		{nan, Int(1)}, {Int(1), nan},
+		{nan, Float(math.Inf(1))}, {Float(math.Inf(-1)), nan},
+	}
+	for _, p := range pairs {
+		if _, err := Compare(p[0], p[1]); !errors.Is(err, ErrUnordered) {
+			t.Errorf("Compare(%v, %v): want ErrUnordered, got %v", p[0], p[1], err)
+		}
+	}
+	if nan.Equal(nan) {
+		t.Errorf("NaN must not equal NaN")
+	}
+	if nan.Equal(Int(1)) || Int(1).Equal(nan) || nan.Equal(Float(1)) {
+		t.Errorf("NaN must not equal any number")
+	}
+	// Incomparable kinds carry the other sentinel.
+	if _, err := Compare(String("x"), Int(1)); !errors.Is(err, ErrIncomparable) {
+		t.Errorf("string vs int: want ErrIncomparable, got %v", err)
+	}
+	if _, err := Compare(String("x"), nan); !errors.Is(err, ErrIncomparable) {
+		t.Errorf("string vs NaN: kind mismatch dominates, got %v", err)
+	}
+}
+
+func TestCompareIntFloatExact(t *testing.T) {
+	const two63 = 9223372036854775808.0
+	cases := []struct {
+		i    int64
+		f    float64
+		want int
+	}{
+		// The regression from the issue: 2^53+1 vs 2^53 as a float.
+		{9007199254740993, 9007199254740992.0, 1},
+		{9007199254740992, 9007199254740992.0, 0},
+		{9007199254740991, 9007199254740992.0, -1},
+		// Range clamps: 2^63 and beyond are above every int64.
+		{math.MaxInt64, two63, -1},
+		{math.MaxInt64, math.Nextafter(two63, 0), 1}, // largest float < 2^63
+		{math.MaxInt64, math.Inf(1), -1},
+		{math.MinInt64, math.Inf(-1), 1},
+		{math.MinInt64, -two63, 0}, // -2^63 is exactly MinInt64
+		{math.MinInt64, math.Nextafter(-two63, math.Inf(-1)), 1},
+		// Fractional tie-breaks around truncation, both signs.
+		{0, 0.5, -1}, {0, -0.5, 1},
+		{2, 2.5, -1}, {3, 2.5, 1},
+		{-2, -2.5, 1}, {-3, -2.5, -1},
+		{1 << 60, float64(int64(1) << 60), 0},
+		{1<<60 + 1, float64(int64(1) << 60), 1},
+	}
+	for _, c := range cases {
+		if got := CompareIntFloat(c.i, c.f); got != c.want {
+			t.Errorf("CompareIntFloat(%d, %g) = %d, want %d", c.i, c.f, got, c.want)
+		}
+		got, err := Compare(Int(c.i), Float(c.f))
+		if err != nil || got != c.want {
+			t.Errorf("Compare(Int(%d), Float(%g)) = %d, %v; want %d", c.i, c.f, got, err, c.want)
+		}
+		rev, err := Compare(Float(c.f), Int(c.i))
+		if err != nil || rev != -c.want {
+			t.Errorf("Compare(Float(%g), Int(%d)) = %d, %v; want %d", c.f, c.i, rev, err, -c.want)
+		}
+	}
+}
+
+func TestCompareIntFloatAgainstBigFloat(t *testing.T) {
+	f := func(i int64, x float64) bool {
+		if x != x {
+			return true // NaN is covered by TestCompareNaNUnordered
+		}
+		bi := new(big.Float).SetInt64(i)
+		bx := new(big.Float).SetFloat64(x)
+		return CompareIntFloat(i, x) == bi.Cmp(bx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// quick rarely lands near the 2^63 boundary; sweep it explicitly.
+	const two63 = 9223372036854775808.0
+	for _, i := range []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64} {
+		for _, x := range []float64{-two63, math.Nextafter(-two63, 0), math.Nextafter(two63, 0), two63, -0.0} {
+			bi := new(big.Float).SetInt64(i)
+			bx := new(big.Float).SetFloat64(x)
+			if got, want := CompareIntFloat(i, x), bi.Cmp(bx); got != want {
+				t.Errorf("CompareIntFloat(%d, %g) = %d, want %d", i, x, got, want)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,11 @@
+package server
+
+// DisableTauPruneForTest keeps the routing WITHIN prune permanently
+// off. The prune-identity property tests compare a normal server
+// against one configured this way: both apply key-based routing, so
+// any divergence is the prune's doing.
+func (s *Server) DisableTauPruneForTest() {
+	s.ingestMu.Lock()
+	s.noTauPrune = true
+	s.ingestMu.Unlock()
+}

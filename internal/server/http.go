@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/obs"
 )
@@ -107,21 +109,29 @@ const maxEventLine = 1 << 20
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64*1024), maxEventLine)
-	var events []event.Event
+	dec, _ := s.decPool.Get().(*engine.BlockDecoder)
+	if dec == nil {
+		dec = engine.NewBlockDecoder(s.cfg.Schema)
+	}
+	defer func() {
+		dec.Reset()
+		s.decPool.Put(dec)
+	}()
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		e, err := s.parseEvent(line)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest,
-				map[string]string{"error": fmt.Sprintf("line %d: %v", lineNo, err)})
-			return
+		if !dec.Add(lineNo, line) {
+			break
 		}
-		events = append(events, e)
+	}
+	events, err := dec.Finish()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
 	if err := sc.Err(); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -138,6 +148,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // parseEvent decodes one ingest line: {"time": T, "attrs": {name: value}}.
 // Every schema attribute must be present with a JSON value of its
 // type; unknown attribute names are rejected.
+//
+// This is the reference decoder the batch path (engine.BlockDecoder)
+// is pinned against: handleIngest no longer calls it per line, but the
+// differential fuzz target and the ingest equivalence tests compare
+// the block decoder's accept/reject behaviour and decoded events
+// against this implementation. Do not change one without the other.
 func (s *Server) parseEvent(line string) (event.Event, error) {
 	var raw struct {
 		Time  *int64                     `json:"time"`

@@ -47,6 +47,12 @@ type routeSnapshot struct {
 	// keyCount is the total number of (attribute, value) keys, the
 	// ses_route_index_size gauge.
 	keyCount int
+	// maxWithin is the largest WITHIN window among the routed queries
+	// (0 when none has one). It bounds how long an out-of-order event
+	// can influence any routed query's instance set, which is how far
+	// the stream must advance past a disorder observation before the
+	// τ-prune re-arms.
+	maxWithin event.Duration
 }
 
 // routeSnap returns the current routing snapshot, rebuilding it first
@@ -81,6 +87,9 @@ func (s *Server) rebuildRouteLocked() {
 		}
 		pos := int32(len(snap.routed))
 		snap.routed = append(snap.routed, q)
+		if q.auto.Within > snap.maxWithin {
+			snap.maxWithin = q.auto.Within
+		}
 		for _, k := range q.route.Keys {
 			ai, ok := byAttr[k.Attr]
 			if !ok {
@@ -150,16 +159,36 @@ func (s *Server) routeBatch(snap *routeSnapshot, shared []event.Event) {
 	delivered := 0
 	for i := range shared {
 		e := &shared[i]
-		// Track global stream monotonicity: the τ-prune soundness
-		// argument (and its byte-identity with full fan-out) relies on
-		// non-decreasing event times, so the first out-of-order event
-		// disables the prune permanently. Key-based skipping stays on —
-		// an event matching no key of a query can never bind any of its
-		// variables, regardless of order.
+		// Track global stream monotonicity. The τ-prune can never drop a
+		// match: routeLastStart only ratchets upward, so it bounds every
+		// live instance's start time in any arrival order, and a pruned
+		// event therefore lies more than WITHIN past every instance — it
+		// can neither bind nor (matching no start key) spawn; delivering
+		// it could only trigger the lazy expiry the engine performs at
+		// the next delivered event or at flush anyway. What disorder CAN
+		// do is make that deferral visible: a straggler reaching back
+		// past a prune decision finds instances the prune left unswept
+		// and may complete one the prune-free stream would have expired
+		// — an extra or extended match, never a missing one (pinned by
+		// TestRoutingPruneReachBackAnomaly). To keep that divergence
+		// bounded the prune suspends at the first out-of-order event and
+		// re-arms only once the stream high-water has advanced more than
+		// the largest routed WITHIN past the last disorder observation:
+		// by then every instance a straggler could have started or
+		// extended has expired, and prune decisions are again exactly
+		// the lazy-expiry skips they are on an ordered stream. Key-based
+		// skipping stays on throughout — an event matching no key of a
+		// query can never bind any of its variables, regardless of
+		// order.
 		if int64(e.Time) < s.routeMaxTime {
 			s.tauPrune = false
+			s.routeDisorderMax = s.routeMaxTime
 		} else {
 			s.routeMaxTime = int64(e.Time)
+			if !s.tauPrune && snap.maxWithin > 0 &&
+				event.Duration(s.routeMaxTime-s.routeDisorderMax) > snap.maxWithin {
+				s.tauPrune = true
+			}
 		}
 		sc.epoch++
 		sc.touched = sc.touched[:0]
@@ -180,9 +209,15 @@ func (s *Server) routeBatch(snap *routeSnapshot, shared []event.Event) {
 			if sc.startMark[pos] == sc.epoch {
 				// The event can bind a first-set variable: it may start a
 				// new instance, so it must be delivered, and it advances
-				// the query's newest-possible instance start time.
-				q.routeLastStart.Store(int64(e.Time))
-			} else if s.tauPrune && q.auto.Within > 0 {
+				// the query's newest-possible instance start time. The
+				// bound only ratchets upward: a late out-of-order start
+				// must not regress it below an instance that already
+				// exists, or the prune would drop that instance's
+				// extensions once it re-arms.
+				if t := int64(e.Time); t > q.routeLastStart.Load() {
+					q.routeLastStart.Store(t)
+				}
+			} else if s.tauPrune && !s.noTauPrune && q.auto.Within > 0 {
 				// The event can only extend existing instances. Every
 				// live instance started at or before routeLastStart, so
 				// when the event lies more than WITHIN past it, no

@@ -1,0 +1,265 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chemo"
+	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// disorderStream perturbs a time-ordered stream: local swaps create
+// short reorderings and a few long-range moves pull events many
+// positions later, the "straggler" shape that most stresses the
+// τ-prune (a start event arriving after extensions far past it).
+func disorderStream(rng *rand.Rand, ordered []event.Event) []event.Event {
+	out := make([]event.Event, len(ordered))
+	copy(out, ordered)
+	for i := 0; i+1 < len(out); i++ {
+		if rng.Intn(4) == 0 {
+			out[i], out[i+1] = out[i+1], out[i]
+		}
+	}
+	for k := 0; k < len(out)/50+1; k++ {
+		i := rng.Intn(len(out))
+		j := i + 1 + rng.Intn(40)
+		if j >= len(out) {
+			j = len(out) - 1
+		}
+		e := out[i]
+		copy(out[i:j], out[i+1:j+1])
+		out[j] = e
+	}
+	return out
+}
+
+// TestRoutingOutOfOrderPruneIdentity is the τ-prune A/B property test
+// over disordered streams. The reference is a routed server with the
+// prune permanently off — key-based routing applies identically on
+// both sides, so the only degree of freedom is the prune's
+// suspend/re-arm behaviour. The guaranteed invariant is that a prune
+// decision never drops a match (a pruned event can neither start an
+// instance nor bind into one; see TestRoutingPruneReachBackAnomaly for
+// the one divergence disorder can cause). On these streams the
+// disorder never reaches back past a prune decision — the latch
+// suspends pruning at the first straggler — so the match logs must
+// stay byte for byte identical across suspension and re-arm. (Full
+// fan-out is not a valid reference here: on a disordered stream a
+// key-miss event still advances the engine's clock when delivered, so
+// routed and full-fan-out outputs legitimately diverge — the routing
+// identity guarantee is scoped to time-ordered streams.)
+func TestRoutingOutOfOrderPruneIdentity(t *testing.T) {
+	rel := chemo.MustGenerate(chemo.Tiny())
+	pool := routingQueryPool()
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(97 + trial)))
+			events := disorderStream(rng, rel.Events())
+			perm := rng.Perm(len(pool))
+			n := 1 + rng.Intn(len(pool))
+			specs := make([]server.QuerySpec, 0, n)
+			for _, pi := range perm[:n] {
+				specs = append(specs, pool[pi])
+			}
+			sizes := []int{1 + rng.Intn(7), 1 + rng.Intn(31), 1 + rng.Intn(200)}
+
+			run := func(noPrune bool) map[string][]string {
+				s, err := server.New(server.Config{Schema: rel.Schema()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if noPrune {
+					s.DisableTauPruneForTest()
+				}
+				for _, spec := range specs {
+					if _, err := s.AddQuery(spec); err != nil {
+						t.Fatalf("AddQuery(%s): %v", spec.ID, err)
+					}
+				}
+				ingestInBatches(t, s, events, sizes)
+				if err := s.Drain(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				out := make(map[string][]string, len(specs))
+				for _, spec := range specs {
+					out[spec.ID] = infoLines(t, s, spec.ID, 0)
+				}
+				return out
+			}
+
+			pruned, free := run(false), run(true)
+			for _, spec := range specs {
+				r, f := pruned[spec.ID], free[spec.ID]
+				if len(r) != len(f) {
+					t.Fatalf("query %s: %d matches with the prune, %d without",
+						spec.ID, len(r), len(f))
+				}
+				for i := range f {
+					if r[i] != f[i] {
+						t.Errorf("query %s match %d:\nwith prune:    %s\nwithout prune: %s",
+							spec.ID, i, r[i], f[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// counterValue reads one cumulative counter from the registry's
+// Prometheus exposition.
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v int64
+			if _, err := fmt.Sscanf(rest, "%d", &v); err != nil {
+				t.Fatalf("parsing %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not exposed", name)
+	return 0
+}
+
+// TestRoutingTauPruneRearm walks the prune through its whole
+// lifecycle with single-event batches: armed (skipping), suspended by
+// an out-of-order start (delivering events the stale bound would have
+// pruned), and re-armed once the stream advances a full WITHIN past
+// the disorder (skipping again). A permanent latch fails the final
+// stage; an eager re-arm fails the middle one.
+func TestRoutingTauPruneRearm(t *testing.T) {
+	schema := event.MustSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+	)
+	ev := func(time int64, id int64, label string) event.Event {
+		return event.Event{Time: event.Time(time), Attrs: []event.Value{event.Int(id), event.String(label)}}
+	}
+	reg := obs.NewRegistry()
+	s, err := server.New(server.Config{Schema: schema, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := server.QuerySpec{ID: "cd", Query: `
+PATTERN PERMUTE(c) THEN (d)
+WHERE c.L = 'C' AND d.L = 'D' AND c.ID = d.ID
+WITHIN 100`}
+	if _, err := s.AddQuery(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// One event per batch so each routing decision is observable as a
+	// counter delta: with one routed query, every event is either
+	// delivered (routed +1) or skipped (skipped +1).
+	step := func(e event.Event, wantSkipDelta int64, why string) {
+		t.Helper()
+		before := counterValue(t, reg, "ses_route_events_skipped_total")
+		if _, err := s.Ingest([]event.Event{e}); err != nil {
+			t.Fatal(err)
+		}
+		if d := counterValue(t, reg, "ses_route_events_skipped_total") - before; d != wantSkipDelta {
+			t.Fatalf("%s: skipped delta %d, want %d", why, d, wantSkipDelta)
+		}
+	}
+
+	step(ev(0, 1, "C"), 0, "start c@0 delivered")
+	step(ev(50, 1, "D"), 0, "d@50 within window of c@0")
+	step(ev(201, 1, "D"), 1, "armed prune skips d@201, 201 past last start + WITHIN")
+	// Out-of-order start: 150 < 201 suspends the prune and ratchets the
+	// query's last-start bound to 150.
+	step(ev(150, 2, "C"), 0, "straggler start c@150 delivered, prune suspends")
+	// 260-150 > WITHIN would be pruned when armed; the suspension must
+	// deliver it (an instance the router cannot see might need it).
+	step(ev(260, 2, "D"), 0, "d@260 delivered while prune is suspended")
+	// Key-miss filler advancing the high-water past 201+WITHIN: the
+	// prune re-arms. The event matches no key, so it is skipped by key
+	// routing regardless of the prune state.
+	step(ev(302, 9, "E"), 1, "key-miss filler e@302 re-arms the prune")
+	step(ev(310, 3, "C"), 0, "start c@310 delivered after re-arm")
+	step(ev(350, 3, "D"), 0, "d@350 within window of c@310")
+	step(ev(500, 3, "D"), 1, "re-armed prune skips d@500, 500 past last start + WITHIN")
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The pruned extensions were both dead (past every possible
+	// window), so exactly the two in-window pairs match.
+	lines := infoLines(t, s, "cd", 0)
+	if len(lines) != 2 {
+		t.Fatalf("got %d matches, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+}
+
+// TestRoutingPruneReachBackAnomaly pins the one divergence the τ-prune
+// can cause on a disordered stream, and its direction. A pruned event
+// can never be needed by any instance (every live instance lies more
+// than WITHIN behind it, and it matches no start key), so pruning
+// never drops a match — but it also skips the lazy expiry the event
+// would have triggered. When a straggler then reaches back *past* the
+// prune decision into a still-lingering instance's window, the pruned
+// server completes a match the prune-free server expired unaccepted:
+// the divergence is always an extra or extended match, never a missing
+// one. Deliveries after the prune re-arms must not change this.
+func TestRoutingPruneReachBackAnomaly(t *testing.T) {
+	schema := event.MustSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+	)
+	ev := func(time int64, id int64, label string) event.Event {
+		return event.Event{Time: event.Time(time), Attrs: []event.Value{event.Int(id), event.String(label)}}
+	}
+	stream := []event.Event{
+		ev(0, 1, "C"),   // start: instance c@0 opens, d unbound
+		ev(201, 1, "D"), // beyond 0+WITHIN: pruned / expires c@0 unaccepted
+		ev(90, 1, "D"),  // straggler reaching back into c@0's window
+	}
+	run := func(noPrune bool) []string {
+		s, err := server.New(server.Config{Schema: schema})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if noPrune {
+			s.DisableTauPruneForTest()
+		}
+		spec := server.QuerySpec{ID: "cd", Query: `
+PATTERN PERMUTE(c) THEN (d)
+WHERE c.L = 'C' AND d.L = 'D' AND c.ID = d.ID
+WITHIN 100`}
+		if _, err := s.AddQuery(spec); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range stream {
+			if _, err := s.Ingest([]event.Event{e}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return infoLines(t, s, "cd", 0)
+	}
+	pruned, free := run(false), run(true)
+	// Prune-free: d@201 is delivered and expires c@0 before d binds.
+	if len(free) != 0 {
+		t.Fatalf("prune-free server matched %d times, want 0:\n%s", len(free), strings.Join(free, "\n"))
+	}
+	// Pruned: d@201 is skipped, c@0 lingers, the straggler completes it
+	// at Flush — the extra match, never a dropped one.
+	if len(pruned) != 1 {
+		t.Fatalf("pruned server matched %d times, want the one reach-back match:\n%s",
+			len(pruned), strings.Join(pruned, "\n"))
+	}
+}

@@ -101,6 +101,13 @@ type Config struct {
 	// NewAutomatonCache). Servers sharing one cache must share a schema.
 	// When nil the server creates a private cache.
 	Automata *AutomatonCache
+	// NoCompile runs every query's transition conditions through the
+	// generic event.Compare interpreter instead of the kind-specialized
+	// compiled predicates. Match streams are byte-identical either way
+	// (the equivalence property tests pin this); the knob exists for A/B
+	// verification and as an escape hatch if a compiled fast path is
+	// ever suspected.
+	NoCompile bool
 }
 
 // Server fans one ingested event stream out to a registry of
@@ -115,6 +122,10 @@ type Server struct {
 	// one global order, so each query's Seq numbering matches the
 	// stream positions a standalone evaluation would see.
 	ingestMu sync.Mutex
+
+	// decPool recycles NDJSON block decoders across ingest requests
+	// (handleIngest); decoders are reset before being returned.
+	decPool sync.Pool
 
 	mu       sync.RWMutex
 	queries  map[string]*queryState
@@ -148,8 +159,18 @@ type Server struct {
 	scratch routeScratch
 	// routeMaxTime and tauPrune track global stream monotonicity, the
 	// precondition of the WITHIN prune; guarded by ingestMu.
-	routeMaxTime int64
-	tauPrune     bool
+	// routeDisorderMax is the stream high-water (routeMaxTime) at the
+	// moment disorder was last observed: once the stream advances more
+	// than the largest routed WITHIN past it, every instance an
+	// out-of-order event could have started has expired and the prune
+	// re-arms (see routeBatch).
+	routeMaxTime     int64
+	tauPrune         bool
+	routeDisorderMax int64
+	// noTauPrune keeps the WITHIN prune permanently off; it is the A/B
+	// reference the prune-identity tests compare against (set through
+	// export_test.go only).
+	noTauPrune bool
 	// ingestSeq numbers the stream positions stamped into dispatched
 	// events when no WAL assigns offsets; guarded by ingestMu.
 	ingestSeq int64
@@ -623,6 +644,17 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 
 	pol, _ := parsePolicy(spec.Policy) // validated in spec.validate
 	opts := []engine.Option{engine.WithFilter(spec.Filter)}
+	if s.cfg.NoCompile {
+		opts = append(opts, engine.WithCompiledChecks(false))
+	}
+	if s.cfg.Registry != nil {
+		// Both pipeline modes export the runner-level series (notably
+		// ses_cond_type_mismatch_total); registration is idempotent, so
+		// supervisor restarts rebind the same counters.
+		opts = append(opts,
+			engine.WithMetricsRegistry(s.cfg.Registry),
+			engine.WithMetricLabels("query", spec.ID))
+	}
 	if spec.MaxInstances > 0 {
 		opts = append(opts,
 			engine.WithMaxInstances(spec.MaxInstances),
@@ -634,11 +666,6 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 
 	if spec.Key != "" {
 		q.mode = "sharded"
-		if s.cfg.Registry != nil {
-			opts = append(opts,
-				engine.WithMetricsRegistry(s.cfg.Registry),
-				engine.WithMetricLabels("query", spec.ID))
-		}
 		// Sharded evaluators are built eagerly: their construction can
 		// fail, and registration is where that error belongs.
 		shr, err := engine.NewSharded(auto, spec.Key, spec.Shards, opts...)

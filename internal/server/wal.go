@@ -32,18 +32,21 @@ func (s *Server) catchUp(q *queryState, from int64) {
 	defer s.feeders.Done()
 	r := s.wal.NewReader(from)
 	defer r.Close()
-	batch := make([]event.Event, 0, replayBatch)
+	// Replayed rows are decoded straight into a shared block arena:
+	// one value allocation per chunk of rows instead of one per event
+	// (NextInto + BlockBuilder), with each delivered block cut loose
+	// by Take so the pipeline owns it exclusively.
+	bb := event.NewBlockBuilder(s.cfg.Schema.NumFields(), replayBatch)
 	for {
-		off, e, err := r.Next()
+		row := bb.Row()
+		off, t, err := r.NextInto(row)
 		switch {
 		case err == nil:
-			e.Seq = int(off)
-			batch = append(batch, e)
-			if len(batch) >= replayBatch {
-				if !s.feedReplay(q, batch) {
+			bb.Commit(event.Event{Seq: int(off), Time: t, Attrs: row})
+			if bb.Len() >= replayBatch {
+				if !s.feedReplay(q, bb.Take()) {
 					return
 				}
-				batch = make([]event.Event, 0, replayBatch)
 			}
 		case errors.Is(err, io.EOF):
 			// Caught up to the committed tail. Flush the partial block
@@ -53,15 +56,15 @@ func (s *Server) catchUp(q *queryState, from int64) {
 			// query live: every offset below the frozen tail came through
 			// this feeder, every offset from it on comes through live
 			// fan-out.
-			if len(batch) > 0 {
-				if !s.feedReplay(q, batch) {
+			if bb.Len() > 0 {
+				if !s.feedReplay(q, bb.Take()) {
 					return
 				}
-				batch = make([]event.Event, 0, replayBatch)
 			}
 			s.ingestMu.Lock()
 			for {
-				off, e, err := r.Next()
+				row := bb.Row()
+				off, t, err := r.NextInto(row)
 				if errors.Is(err, io.EOF) {
 					break
 				}
@@ -71,10 +74,9 @@ func (s *Server) catchUp(q *queryState, from int64) {
 					s.ingestMu.Unlock()
 					return
 				}
-				e.Seq = int(off)
-				batch = append(batch, e)
+				bb.Commit(event.Event{Seq: int(off), Time: t, Attrs: row})
 			}
-			if len(batch) > 0 && !s.feedReplay(q, batch) {
+			if bb.Len() > 0 && !s.feedReplay(q, bb.Take()) {
 				s.ingestMu.Unlock()
 				return
 			}
@@ -87,11 +89,10 @@ func (s *Server) catchUp(q *queryState, from int64) {
 			// at the oldest offset still on disk. The gap is reported,
 			// not silently skipped. The pending block precedes the gap,
 			// so it is flushed first.
-			if len(batch) > 0 {
-				if !s.feedReplay(q, batch) {
+			if bb.Len() > 0 {
+				if !s.feedReplay(q, bb.Take()) {
 					return
 				}
-				batch = make([]event.Event, 0, replayBatch)
 			}
 			first := s.wal.FirstOffset()
 			q.setErr(fmt.Errorf("server: catch-up for query %q: offsets %d-%d reclaimed by retention; resuming at %d",

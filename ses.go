@@ -233,6 +233,11 @@ var (
 	// WithWatermarkEvery sets how many events the ShardedRunner
 	// dispatcher admits between watermark broadcasts.
 	WithWatermarkEvery = engine.WithWatermarkEvery
+	// WithCompiledChecks toggles the kind-specialized compiled
+	// transition predicates (on by default). WithCompiledChecks(false)
+	// falls back to the generic event.Compare interpreter; match
+	// streams are identical either way.
+	WithCompiledChecks = engine.WithCompiledChecks
 )
 
 // Event selection strategies.
