@@ -51,6 +51,8 @@
 //	GET    /queries/{id}         one query's state
 //	DELETE /queries/{id}         remove a query
 //	GET    /queries/{id}/matches stream matches (NDJSON or SSE, ?follow=1)
+//	GET    /queries/{id}/stats   aggregate results of an AGGREGATE query
+//	                             (JSON snapshot, or SSE deltas with ?follow=1)
 //	POST   /promote              promote a follower to leader
 //	GET    /healthz              liveness (role + fencing epoch)
 //	GET    /metrics              Prometheus metrics

@@ -35,6 +35,12 @@
 // Matches are printed one per line in the paper's substitution
 // notation, followed by the bound events when -verbose is given.
 //
+// A query with an AGGREGATE clause runs on the enumeration-free
+// aggregation path: no matches are materialized, and the output is the
+// aggregate stats document (one JSON object: per-partition groups with
+// their counts and sums, HAVING applied) instead of match lines.
+// -partition, -checkpoint and -maximal do not apply to aggregate runs.
+//
 // With -checkpoint, evaluation runs incrementally and persists its
 // state (atomically, via rename) every -checkpoint-every events; a run
 // that crashed or was killed can be repeated with -resume added and
@@ -148,6 +154,16 @@ func run(o options) error {
 	if o.analyze {
 		fmt.Fprint(os.Stderr, q.Explain())
 	}
+	if q.HasAggregate() {
+		switch {
+		case o.partition != "":
+			return fmt.Errorf("-partition is not supported for AGGREGATE queries; use PER PARTITION in the query")
+		case o.checkpoint != "" || o.resume:
+			return fmt.Errorf("-checkpoint is not supported for AGGREGATE queries")
+		case o.maximal:
+			return fmt.Errorf("-maximal does not apply to AGGREGATE queries: matches are folded, not enumerated")
+		}
+	}
 	if o.dotFile != "" {
 		f, err := os.Create(o.dotFile)
 		if err != nil {
@@ -193,8 +209,11 @@ func run(o options) error {
 	}
 
 	var matches []ses.Match
+	var aggData []byte
 	var m ses.Metrics
 	switch {
+	case q.HasAggregate():
+		aggData, m, err = q.Aggregate(rel, opts...)
 	case o.checkpoint != "":
 		matches, m, err = runCheckpointed(q, rel, o, opts)
 	case o.partition != "":
@@ -212,6 +231,13 @@ func run(o options) error {
 	}
 	if err != nil {
 		return err
+	}
+	if aggData != nil {
+		fmt.Println(string(aggData))
+		if o.metrics {
+			fmt.Fprintf(os.Stderr, "%d events, %d matches folded, %s\n", rel.Len(), m.Matches, m)
+		}
+		return nil
 	}
 	if o.maximal {
 		matches = ses.FilterMaximal(matches)

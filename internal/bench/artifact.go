@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/paperdata"
+	"repro/internal/pattern"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -152,9 +153,33 @@ func artifactCases(ds []Dataset) ([]artifactCase, func(), error) {
 		}
 	}
 
+	// AggThroughput is ThroughputQ1 evaluated aggregate-only: the same
+	// Kleene-plus query under the same filter, but every accepted
+	// instance folds into a per-patient (count, sum(p.V)) group instead
+	// of being enumerated — no buildMatch, no match materialization.
+	// The fold count is reported as the Matches fingerprint and must
+	// equal ThroughputQ1's match count; the ns/op and bytes/op gap
+	// between the two entries is the measured cost of enumeration.
+	aggPlan, err := engine.CompileAggregate(aq1, &pattern.AggSpec{
+		Items: []pattern.AggItem{
+			{Func: pattern.AggCount},
+			{Func: pattern.AggSum, Var: "p", Attr: "V"},
+		},
+		Partition: "ID",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	aggRunner := engine.New(aq1, engine.WithFilter(true),
+		engine.WithAggregation(engine.NewAggregator(aggPlan)), engine.WithAggregateOnly(true))
+
 	cases := []artifactCase{
 		{"Exp1_SES_P1/4/" + d1.Name, runOn(a1, d1, engine.WithFilter(true))},
 		{"ThroughputQ1/" + d1.Name, runOn(aq1, d1, engine.WithFilter(true))},
+		{"AggThroughput/q1/" + d1.Name, func() (int64, int, error) {
+			_, m, err := engine.RunOn(aggRunner, d1.Rel)
+			return m.MaxSimultaneousInstances, int(m.Matches), err
+		}},
 		{"CompiledThroughput/q1/" + d1.Name, runBlocks(aq1, d1, engine.WithFilter(true))},
 		{"InterpretedThroughput/q1/" + d1.Name,
 			runBlocks(aq1, d1, engine.WithFilter(true), engine.WithCompiledChecks(false))},

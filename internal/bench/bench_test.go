@@ -267,6 +267,92 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 }
 
+// TestAggThroughputFingerprint pins the correctness fingerprint the
+// AggThroughput baseline entry relies on: the aggregate-only
+// evaluation of Q1 folds exactly the matches the enumerating
+// evaluation returns — while materializing none of them.
+func TestAggThroughputFingerprint(t *testing.T) {
+	d := tinyDatasets(t, 1)[0]
+	a, err := compileText(paperdata.QueryQ1Text, d.Rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, _, err := engine.RunOn(engine.New(a, engine.WithFilter(true)), d.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enum) == 0 {
+		t.Fatal("no matches found; the benchmark would measure nothing")
+	}
+	plan, err := engine.CompileAggregate(a, &pattern.AggSpec{
+		Items: []pattern.AggItem{
+			{Func: pattern.AggCount},
+			{Func: pattern.AggSum, Var: "p", Attr: "V"},
+		},
+		Partition: "ID",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := engine.NewAggregator(plan)
+	folded, m, err := engine.RunOn(engine.New(a, engine.WithFilter(true),
+		engine.WithAggregation(ag), engine.WithAggregateOnly(true)), d.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded) != 0 {
+		t.Errorf("aggregate-only run materialized %d matches", len(folded))
+	}
+	if int(m.Matches) != len(enum) || ag.Folds() != uint64(len(enum)) {
+		t.Errorf("folded %d matches (metrics %d), enumeration found %d", ag.Folds(), m.Matches, len(enum))
+	}
+}
+
+// BenchmarkAggThroughput puts the enumeration-free fold path side by
+// side with the enumerating baseline on the same Kleene-plus query.
+// The duplicated datasets (D2, D3 — Theorem 3's polynomial regime)
+// are where aggregation pays off: enumeration cost grows with
+// #matches × match size while the fold's accumulator extensions are
+// shared across instances branching from a common prefix.
+func BenchmarkAggThroughput(b *testing.B) {
+	ds, err := MakeDatasets(chemo.Tiny(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range ds {
+		a, err := compileText(paperdata.QueryQ1Text, d.Rel.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := engine.CompileAggregate(a, &pattern.AggSpec{
+			Items:     []pattern.AggItem{{Func: pattern.AggCount}, {Func: pattern.AggSum, Var: "p", Attr: "V"}},
+			Partition: "ID",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("enumerate/"+d.Name, func(b *testing.B) {
+			r := engine.New(a, engine.WithFilter(true))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunOn(r, d.Rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("aggregate-only/"+d.Name, func(b *testing.B) {
+			r := engine.New(a, engine.WithFilter(true),
+				engine.WithAggregation(engine.NewAggregator(plan)), engine.WithAggregateOnly(true))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunOn(r, d.Rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func TestFmtDur(t *testing.T) {
 	for _, c := range []struct {
 		ns   int64

@@ -169,6 +169,8 @@ type config struct {
 	registry        *obs.Registry
 	metricLabels    []string
 	noCompile       bool
+	agg             *Aggregator
+	aggOnly         bool
 }
 
 // Option configures a Runner.
@@ -338,6 +340,7 @@ type instance struct {
 	state       int32
 	curSet      int32      // highest event set pattern with a binding
 	buf         *node      // match buffer β; nil in the start state
+	agg         *aggNode   // aggregation accumulator; nil without a plan
 	minT        event.Time // earliest bound event time (minT(β))
 	maxT        event.Time // latest bound event time
 	prevSetsMax event.Time // max event time over sets < curSet
@@ -350,11 +353,12 @@ const noTime = event.Time(math.MinInt64)
 type Runner struct {
 	a       *automaton.Automaton
 	cfg     config
-	insts   []instance
-	scratch []instance
-	arena   nodeArena
-	metrics Metrics
-	done    bool
+	insts    []instance
+	scratch  []instance
+	arena    nodeArena
+	aggArena aggArena
+	metrics  Metrics
+	done     bool
 
 	// buildScratch is per-variable scratch reused across buildMatch
 	// calls (event counts during the first pass, fill cursors during
@@ -402,6 +406,17 @@ func New(a *automaton.Automaton, opts ...Option) *Runner {
 			obs.SeriesName("ses_cond_type_mismatch_total", r.cfg.metricLabels...),
 			"transition conditions evaluated over operands of incomparable kinds (schema drift)")
 	}
+	if r.cfg.agg == nil {
+		r.cfg.aggOnly = false
+	} else {
+		// A fresh runner starts from clean aggregate state: a supervised
+		// restart replaying a stream (or restoring a checkpoint, which
+		// loads its own state afterwards) must not double-fold.
+		r.cfg.agg.reset()
+		if r.cfg.registry != nil {
+			r.cfg.agg.attachMetrics(r.cfg.registry, r.cfg.metricLabels)
+		}
+	}
 	return r
 }
 
@@ -423,6 +438,10 @@ func (r *Runner) Reset() {
 	r.insts = r.insts[:0]
 	r.stepMatches = r.stepMatches[:0]
 	r.arena.reset()
+	r.aggArena.reset()
+	if r.cfg.agg != nil {
+		r.cfg.agg.reset()
+	}
 	r.metrics = Metrics{}
 	r.done = false
 	r.shedding = false
@@ -556,7 +575,7 @@ func (r *Runner) stepInto(e *event.Event, matches []Match) ([]Match, error) {
 					Buffer: r.bufferString(inst.buf)})
 			}
 			if int(inst.state) == r.a.Accept {
-				matches = append(matches, r.buildMatch(inst))
+				matches = r.emitAccepted(inst, matches)
 			}
 			return
 		}
@@ -592,6 +611,22 @@ func (r *Runner) stepInto(e *event.Event, matches []Match) ([]Match, error) {
 	r.metrics.Matches += int64(len(matches) - base)
 	r.traceMatches(e, matches, base)
 	return matches, nil
+}
+
+// emitAccepted handles an instance that completed in the accepting
+// state: when an aggregation plan is attached the instance is folded
+// into its partition group, and unless running aggregate-only the
+// materialized match is appended. In aggregate-only mode the Matches
+// metric is bumped here, since callers count appended matches.
+func (r *Runner) emitAccepted(inst *instance, matches []Match) []Match {
+	if r.cfg.agg != nil {
+		r.cfg.agg.fold(inst.agg)
+	}
+	if r.cfg.aggOnly {
+		r.metrics.Matches++
+		return matches
+	}
+	return append(matches, r.buildMatch(inst))
 }
 
 // traceMatches reports matches[from:] to the trace hook, if any.
@@ -665,7 +700,7 @@ func (r *Runner) expire(now event.Time, matches []Match) []Match {
 					Buffer: r.bufferString(inst.buf)})
 			}
 			if int(inst.state) == r.a.Accept {
-				matches = append(matches, r.buildMatch(inst))
+				matches = r.emitAccepted(inst, matches)
 			}
 			continue
 		}
@@ -728,6 +763,9 @@ func (r *Runner) consume(inst *instance, e *event.Event, out []instance) []insta
 			minT:  inst.minT,
 			maxT:  e.Time,
 		}
+		if r.cfg.agg != nil && r.cfg.agg.plan.perInstance {
+			child.agg = r.aggArena.extend(r.cfg.agg.plan, inst.agg, int32(t.Var), e)
+		}
 		if child.minT == noTime {
 			child.minT = e.Time
 		}
@@ -756,7 +794,14 @@ func (r *Runner) consume(inst *instance, e *event.Event, out []instance) []insta
 		if r.cfg.emitOnAccept && t.Target == r.a.Accept {
 			// First-match alerting: emit immediately and terminate the
 			// lineage instead of waiting for expiry.
-			r.stepMatches = append(r.stepMatches, r.buildMatch(&child))
+			if r.cfg.agg != nil {
+				r.cfg.agg.fold(child.agg)
+			}
+			if r.cfg.aggOnly {
+				r.metrics.Matches++
+			} else {
+				r.stepMatches = append(r.stepMatches, r.buildMatch(&child))
+			}
 			continue
 		}
 		out = append(out, child)
@@ -908,7 +953,7 @@ func (r *Runner) Flush() []Match {
 	matches := r.matchBuf[:0]
 	for i := range r.insts {
 		if int(r.insts[i].state) == r.a.Accept {
-			matches = append(matches, r.buildMatch(&r.insts[i]))
+			matches = r.emitAccepted(&r.insts[i], matches)
 		}
 	}
 	r.metrics.Matches += int64(len(matches))

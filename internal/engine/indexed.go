@@ -74,6 +74,9 @@ func NewIndexed(a *automaton.Automaton, opts ...Option) (*IndexedRunner, error) 
 	if r.cfg.policy != Fail {
 		return nil, fmt.Errorf("engine: IndexedRunner supports only the Fail overload policy (got %s); use the plain Runner for graceful degradation", r.cfg.policy)
 	}
+	if r.cfg.agg != nil {
+		return nil, fmt.Errorf("engine: aggregation is not supported on an IndexedRunner; use the plain Runner")
+	}
 	r.buckets = make([][]instance, a.NumStates())
 	r.statesByVar = make([][]int, a.NumVars())
 	for id, ts := range a.Out {

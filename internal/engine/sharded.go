@@ -196,6 +196,9 @@ func NewSharded(a *automaton.Automaton, keyAttr string, shards int, opts ...Opti
 	if s.cfg.checkpointEvery > 0 || s.cfg.checkpointSink != nil {
 		return nil, fmt.Errorf("engine: checkpointing is not supported on a sharded stream")
 	}
+	if s.cfg.agg != nil {
+		return nil, fmt.Errorf("engine: aggregation is not supported on a sharded stream (per-key runners would race on one aggregator)")
+	}
 	if s.shards <= 0 {
 		if s.cfg.workers > 0 {
 			s.shards = s.cfg.workers

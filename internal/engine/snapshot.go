@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/automaton"
 	"repro/internal/event"
@@ -12,8 +13,11 @@ import (
 
 // SnapshotVersion is the current version of the serialized runner
 // state format. Restore rejects snapshots with an unknown version so
-// that format evolution stays explicit.
-const SnapshotVersion = 1
+// that format evolution stays explicit. Version 2 adds the aggregation
+// section; snapshots of runners without an aggregator still encode as
+// version 1, byte-identical to the previous format, and version-1
+// snapshots restore onto aggregation-free runners unchanged.
+const SnapshotVersion = 2
 
 // The snapshot format is versioned JSON. Events referenced by match
 // buffers are written once and referenced by index; buffer nodes are
@@ -43,6 +47,34 @@ type snapInstance struct {
 	PrevSetsMax event.Time `json:"prevSetsMax"`
 }
 
+// snapAggVal is one serialized accumulator slot. The float accumulator
+// travels as its shortest round-trip decimal rendering, which — unlike
+// a JSON number — also carries NaN and ±Inf.
+type snapAggVal struct {
+	N int64  `json:"n"`
+	I int64  `json:"i"`
+	F string `json:"f"`
+}
+
+// snapAggGroup is one serialized partition group.
+type snapAggGroup struct {
+	Key   *string      `json:"key"` // encoded partition key; nil = the global group
+	Count int64        `json:"count"`
+	Ver   uint64       `json:"ver"`
+	Vals  []snapAggVal `json:"vals"`
+}
+
+// snapAgg is the serialized Aggregator state. Only group state is
+// written: the per-instance accumulator nodes are derived data and are
+// rebuilt from the instances' match buffers on restore, by replaying
+// each buffer's bindings in chronological order — the same fold
+// sequence the incremental path performed, so restored accumulators
+// are bit-identical.
+type snapAgg struct {
+	Ver    uint64         `json:"ver"`
+	Groups []snapAggGroup `json:"groups"`
+}
+
 type snapshotFile struct {
 	Version     int            `json:"version"`
 	Fingerprint string         `json:"fingerprint"`
@@ -53,6 +85,7 @@ type snapshotFile struct {
 	Events      []snapEvent    `json:"events"`
 	Nodes       []snapNode     `json:"nodes"`
 	Instances   []snapInstance `json:"instances"`
+	Agg         *snapAgg       `json:"agg,omitempty"`
 }
 
 // WriteSnapshot serializes the runner's full execution state — live
@@ -75,6 +108,11 @@ func (r *Runner) WriteSnapshot(w io.Writer) error {
 		Done:        r.done,
 		Shedding:    r.shedding,
 		Metrics:     r.metrics,
+	}
+	if r.cfg.agg != nil {
+		snap.Agg = r.cfg.agg.snapshotState()
+	} else {
+		snap.Version = 1 // no aggregation section: stay on the v1 format
 	}
 	eventIDs := make(map[*event.Event]int)
 	eventID := func(e *event.Event) int {
@@ -142,7 +180,7 @@ func RestoreRunner(a *automaton.Automaton, rd io.Reader, opts ...Option) (*Runne
 	if err := dec.Decode(&snap); err != nil {
 		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
 	}
-	if snap.Version != SnapshotVersion {
+	if snap.Version != 1 && snap.Version != SnapshotVersion {
 		return nil, fmt.Errorf("engine: snapshot version %d not supported (want %d)", snap.Version, SnapshotVersion)
 	}
 	if fp := a.Fingerprint(); snap.Fingerprint != fp {
@@ -203,7 +241,102 @@ func RestoreRunner(a *automaton.Automaton, rd io.Reader, opts ...Option) (*Runne
 		}
 		r.insts[i] = inst
 	}
+	switch {
+	case snap.Agg != nil && r.cfg.agg == nil:
+		return nil, fmt.Errorf("engine: snapshot carries aggregation state but the restore configured no aggregator")
+	case snap.Agg == nil && r.cfg.agg != nil:
+		return nil, fmt.Errorf("engine: restore configured an aggregator but the snapshot has no aggregation state")
+	case snap.Agg != nil:
+		if err := r.cfg.agg.restoreState(snap.Agg); err != nil {
+			return nil, err
+		}
+		r.rebuildAggNodes()
+	}
 	return r, nil
+}
+
+// snapshotState captures the aggregator's group state for
+// WriteSnapshot. Per-instance accumulator nodes are not captured; they
+// are derived from the match buffers on restore.
+func (ag *Aggregator) snapshotState() *snapAgg {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	sa := &snapAgg{Ver: ag.ver, Groups: make([]snapAggGroup, 0, len(ag.order))}
+	for _, g := range ag.order {
+		sg := snapAggGroup{Count: g.count, Ver: g.ver, Vals: make([]snapAggVal, len(g.vals))}
+		if ag.plan.partAttr >= 0 {
+			enc := g.keyEnc
+			sg.Key = &enc
+		}
+		for i, v := range g.vals {
+			sg.Vals[i] = snapAggVal{N: v.n, I: v.i, F: strconv.FormatFloat(v.f, 'g', -1, 64)}
+		}
+		sa.Groups = append(sa.Groups, sg)
+	}
+	return sa
+}
+
+// restoreState replaces the aggregator's (freshly reset) group state
+// with a snapshot's, validating it against the compiled plan.
+func (ag *Aggregator) restoreState(sa *snapAgg) error {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	groups := make(map[string]*aggGroup, len(sa.Groups))
+	order := make([]*aggGroup, 0, len(sa.Groups))
+	for i, sg := range sa.Groups {
+		if (sg.Key == nil) != (ag.plan.partAttr < 0) || len(sg.Vals) != len(ag.plan.slots) || sg.Ver > sa.Ver {
+			return fmt.Errorf("engine: snapshot aggregate group %d does not match the aggregation plan", i)
+		}
+		g := &aggGroup{count: sg.Count, ver: sg.Ver, vals: make([]aggVal, len(sg.Vals))}
+		if sg.Key != nil {
+			k, err := event.ParseValue(ag.plan.partType, *sg.Key)
+			if err != nil {
+				return fmt.Errorf("engine: snapshot aggregate group %d key: %w", i, err)
+			}
+			g.key = k
+			g.keyEnc = *sg.Key
+		}
+		for j, sv := range sg.Vals {
+			f, err := strconv.ParseFloat(sv.F, 64)
+			if err != nil {
+				return fmt.Errorf("engine: snapshot aggregate group %d slot %d: %w", i, j, err)
+			}
+			g.vals[j] = aggVal{n: sv.N, i: sv.I, f: f}
+		}
+		if _, dup := groups[g.keyEnc]; dup {
+			return fmt.Errorf("engine: snapshot aggregate group %d duplicates key %q", i, g.keyEnc)
+		}
+		groups[g.keyEnc] = g
+		order = append(order, g)
+	}
+	ag.groups = groups
+	ag.order = order
+	ag.ver = sa.Ver
+	ag.wakeLocked()
+	return nil
+}
+
+// rebuildAggNodes reconstructs the per-instance accumulator nodes from
+// the restored match buffers, replaying each buffer's bindings oldest
+// to newest — the same fold sequence the incremental path performed,
+// so the rebuilt accumulators are bit-identical to the originals.
+func (r *Runner) rebuildAggNodes() {
+	plan := r.cfg.agg.plan
+	if !plan.perInstance {
+		return
+	}
+	var chain []*node
+	for i := range r.insts {
+		chain = chain[:0]
+		for n := r.insts[i].buf; n != nil; n = n.prev {
+			chain = append(chain, n)
+		}
+		var an *aggNode
+		for j := len(chain) - 1; j >= 0; j-- {
+			an = r.aggArena.extend(plan, an, chain[j].varIdx, chain[j].ev)
+		}
+		r.insts[i].agg = an
+	}
 }
 
 // RestoreRunnerBytes is RestoreRunner over an in-memory snapshot.

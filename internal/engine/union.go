@@ -20,10 +20,20 @@ type Union struct {
 	runners []*Runner
 }
 
-// NewUnion creates a union evaluator over the automata.
+// NewUnion creates a union evaluator over the automata. Aggregation is
+// rejected: folding at acceptance would count matches the union's
+// MAXIMAL filter later discards, and each variant runner's New would
+// reset the shared aggregator.
 func NewUnion(autos []*automaton.Automaton, opts ...Option) (*Union, error) {
 	if len(autos) == 0 {
 		return nil, fmt.Errorf("engine: union of zero automata")
+	}
+	var probe config
+	for _, o := range opts {
+		o(&probe)
+	}
+	if probe.agg != nil {
+		return nil, fmt.Errorf("engine: aggregation is not supported on a union (matches are filtered for maximality after acceptance)")
 	}
 	u := &Union{runners: make([]*Runner, len(autos))}
 	for i, a := range autos {

@@ -124,6 +124,11 @@ func ExpandOptionals(p *Pattern) ([]*Pattern, error) {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("pattern: expansion produced an invalid variant: %w", err)
 		}
+		// The aggregation clause is attached after validation: a variant
+		// may exclude an optional variable that an aggregate restricts
+		// to (sum(v.A) with v excluded), which simply means zero
+		// contributions from that variant's matches.
+		v.Agg = p.Agg.Clone()
 		variants = append(variants, v)
 	}
 	return variants, nil

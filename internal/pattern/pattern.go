@@ -159,11 +159,13 @@ func (c Condition) Mentions(name string) bool {
 	return c.Left.Var == name || (!c.HasConst && c.Right.Var == name)
 }
 
-// Pattern is a SES pattern P = (⟨V1..Vm⟩, Θ, τ).
+// Pattern is a SES pattern P = (⟨V1..Vm⟩, Θ, τ), optionally extended
+// with an online aggregation clause (see aggregate.go).
 type Pattern struct {
 	Sets   [][]Variable
 	Conds  []Condition
 	Window event.Duration // τ
+	Agg    *AggSpec       // nil: enumerate matches, no aggregation
 }
 
 // MaxVariables bounds the total number of event variables in a pattern
@@ -212,6 +214,9 @@ func (p *Pattern) Validate() error {
 			return fmt.Errorf("pattern: condition %q references an empty attribute", c)
 		}
 	}
+	if err := p.validateAgg(seen); err != nil {
+		return err
+	}
 	return p.validateOptionals()
 }
 
@@ -248,7 +253,7 @@ func (p *Pattern) ValidateSchema(s *event.Schema) error {
 			return fmt.Errorf("pattern: condition %q compares %s attribute with %s attribute", c, lt, rt)
 		}
 	}
-	return nil
+	return p.validateAggSchema(s)
 }
 
 // Variables returns all event variables of the pattern in set order
@@ -336,6 +341,10 @@ func (p *Pattern) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "\nWITHIN %s", p.Window)
+	if p.Agg != nil {
+		b.WriteByte('\n')
+		b.WriteString(p.Agg.String())
+	}
 	return b.String()
 }
 
@@ -347,5 +356,6 @@ func (p *Pattern) Clone() *Pattern {
 		out.Sets[i] = append([]Variable(nil), set...)
 	}
 	out.Conds = append([]Condition(nil), p.Conds...)
+	out.Agg = p.Agg.Clone()
 	return out
 }

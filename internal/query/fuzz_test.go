@@ -23,6 +23,15 @@ func FuzzParse(f *testing.F) {
 		"PATTERN (a) WHERE a.L = \"dq\"\"x\" WITHIN 1",
 		"PATTERN (where) WITHIN 1",
 		"PATTERN (aé) WITHIN 1",
+		"PATTERN (c, p+) WITHIN 264h AGGREGATE count, sum(p.Dose) PER PARTITION ID HAVING count >= 2",
+		"PATTERN (a) WITHIN 10 AGGREGATE min(V), max(V) HAVING max(V) < -2.5",
+		"PATTERN (a) WITHIN 1 AGGREGATE count()",
+		"PATTERN (a) WITHIN 1 AGGREGATE sum()",
+		"PATTERN (a) WITHIN 1 AGGREGATE avg(V)",
+		"PATTERN (a) WITHIN 1 HAVING count > 1",
+		"PATTERN (a) WITHIN 1 AGGREGATE sum(b.V)",
+		"PATTERN (a) WITHIN 1 AGGREGATE count PER PARTITION",
+		"PATTERN (a) WITHIN 1 AGGREGATE count HAVING count >= 'x'",
 		"",
 	}
 	for _, s := range seeds {

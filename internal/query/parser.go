@@ -73,7 +73,7 @@ func (p *parser) expect(k tokenKind) (token, error) {
 	return p.next(), nil
 }
 
-// parseQuery := PATTERN sets [WHERE conds] WITHIN duration EOF
+// parseQuery := PATTERN sets [WHERE conds] WITHIN duration [agg] EOF
 func (p *parser) parseQuery() (*pattern.Pattern, error) {
 	if err := p.expectKeyword("PATTERN"); err != nil {
 		return nil, err
@@ -96,10 +96,158 @@ func (p *parser) parseQuery() (*pattern.Pattern, error) {
 		return nil, err
 	}
 	pat.Window = d
+	if keyword(p.cur(), "AGGREGATE") {
+		p.next()
+		spec, err := p.parseAggregate()
+		if err != nil {
+			return nil, err
+		}
+		pat.Agg = spec
+	}
+	if keyword(p.cur(), "HAVING") {
+		return nil, p.errf(p.cur(), "HAVING requires an AGGREGATE clause")
+	}
 	if p.cur().kind != tokEOF {
 		return nil, p.errf(p.cur(), "unexpected %s after WITHIN clause", p.cur().describe())
 	}
 	return pat, nil
+}
+
+// parseAggregate := item (',' item)* [PER PARTITION IDENT]
+// [HAVING having (AND having)*], with the AGGREGATE keyword already
+// consumed. PER, PARTITION and the function names are contextual
+// keywords; only AGGREGATE and HAVING are reserved.
+func (p *parser) parseAggregate() (*pattern.AggSpec, error) {
+	spec := &pattern.AggSpec{}
+	for {
+		it, err := p.parseAggItem()
+		if err != nil {
+			return nil, err
+		}
+		spec.Items = append(spec.Items, it)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if keyword(p.cur(), "PER") {
+		p.next()
+		if err := p.expectKeyword("PARTITION"); err != nil {
+			return nil, err
+		}
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if isReservedWord(attr.text) {
+			return nil, p.errf(attr, "%q is a reserved word and cannot name a partition attribute", attr.text)
+		}
+		spec.Partition = attr.text
+	}
+	if keyword(p.cur(), "HAVING") {
+		p.next()
+		for {
+			h, err := p.parseHaving()
+			if err != nil {
+				return nil, err
+			}
+			spec.Having = append(spec.Having, h)
+			if keyword(p.cur(), "AND") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	return spec, nil
+}
+
+// parseAggItem := COUNT ['(' ')'] | (SUM|MIN|MAX) '(' [IDENT '.'] IDENT ')'
+func (p *parser) parseAggItem() (pattern.AggItem, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return pattern.AggItem{}, p.errf(p.cur(), "expected an aggregate (count, sum, min or max), got %s", p.cur().describe())
+	}
+	var fn pattern.AggFunc
+	switch strings.ToLower(name.text) {
+	case "count":
+		if p.cur().kind == tokLParen {
+			p.next()
+			if _, err := p.expect(tokRParen); err != nil {
+				return pattern.AggItem{}, p.errf(p.cur(), "count takes no argument: expected ')', got %s", p.cur().describe())
+			}
+		}
+		return pattern.AggItem{Func: pattern.AggCount}, nil
+	case "sum":
+		fn = pattern.AggSum
+	case "min":
+		fn = pattern.AggMin
+	case "max":
+		fn = pattern.AggMax
+	default:
+		return pattern.AggItem{}, p.errf(name, "unknown aggregate %q (use count, sum, min or max)", name.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return pattern.AggItem{}, err
+	}
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return pattern.AggItem{}, err
+	}
+	it := pattern.AggItem{Func: fn, Attr: first.text}
+	if p.cur().kind == tokDot {
+		p.next()
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return pattern.AggItem{}, err
+		}
+		it.Var, it.Attr = first.text, attr.text
+	}
+	if isReservedWord(it.Attr) || isReservedWord(it.Var) {
+		return pattern.AggItem{}, p.errf(first, "aggregate argument cannot use the reserved word %q", first.text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return pattern.AggItem{}, err
+	}
+	return it, nil
+}
+
+// parseHaving := item op ['-'] NUMBER
+func (p *parser) parseHaving() (pattern.HavingCond, error) {
+	it, err := p.parseAggItem()
+	if err != nil {
+		return pattern.HavingCond{}, err
+	}
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return pattern.HavingCond{}, err
+	}
+	op, err := parseOp(opTok)
+	if err != nil {
+		return pattern.HavingCond{}, err
+	}
+	neg := false
+	if p.cur().kind == tokMinus {
+		neg = true
+		p.next()
+	}
+	numTok, err := p.expect(tokNumber)
+	if err != nil {
+		return pattern.HavingCond{}, p.errf(p.cur(), "HAVING compares an aggregate against a number, got %s", p.cur().describe())
+	}
+	v, err := parseNumber(numTok)
+	if err != nil {
+		return pattern.HavingCond{}, err
+	}
+	if neg {
+		if v.Kind() == event.KindFloat {
+			v = event.Float(-v.Float64())
+		} else {
+			v = event.Int(-v.Int64())
+		}
+	}
+	return pattern.HavingCond{Item: it, Op: op, Const: v}, nil
 }
 
 // parseSets := set (THEN set)*
@@ -326,7 +474,9 @@ func (p *parser) parseDuration() (event.Duration, error) {
 		return 0, p.errf(numTok, "duration must be a positive integer, got %q", numTok.text)
 	}
 	unit := event.Second
-	if p.cur().kind == tokIdent {
+	// A reserved word after the number is the next clause (AGGREGATE),
+	// not a mistyped unit.
+	if p.cur().kind == tokIdent && !isReservedWord(p.cur().text) {
 		u := p.next()
 		switch strings.ToLower(u.text) {
 		case "s", "sec", "second", "seconds":
@@ -352,7 +502,7 @@ func (p *parser) parseDuration() (event.Duration, error) {
 // isReservedWord guards variable names against the language keywords.
 func isReservedWord(s string) bool {
 	switch strings.ToUpper(s) {
-	case "PATTERN", "SET", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN":
+	case "PATTERN", "SET", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN", "AGGREGATE", "HAVING":
 		return true
 	}
 	return false

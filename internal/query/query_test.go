@@ -278,11 +278,89 @@ func TestParseAllOptionalRejected(t *testing.T) {
 	}
 }
 
+func TestParseAggregate(t *testing.T) {
+	p := MustParse(`PATTERN (c, p+) WHERE p.L = 'P'
+		WITHIN 264h
+		AGGREGATE count, sum(p.Dose), max(Dose)
+		PER PARTITION ID
+		HAVING count >= 2 AND sum(p.Dose) < 100.5`)
+	if p.Agg == nil {
+		t.Fatal("Agg = nil")
+	}
+	want := "AGGREGATE count, sum(p.Dose), max(Dose) PER PARTITION ID HAVING count >= 2 AND sum(p.Dose) < 100.5"
+	if got := p.Agg.String(); got != want {
+		t.Errorf("Agg = %q\nwant  %q", got, want)
+	}
+	if len(p.Agg.Items) != 3 || p.Agg.Items[0].Func != pattern.AggCount ||
+		p.Agg.Items[1] != (pattern.AggItem{Func: pattern.AggSum, Var: "p", Attr: "Dose"}) ||
+		p.Agg.Items[2] != (pattern.AggItem{Func: pattern.AggMax, Attr: "Dose"}) {
+		t.Errorf("Items = %v", p.Agg.Items)
+	}
+	if p.Agg.Partition != "ID" {
+		t.Errorf("Partition = %q", p.Agg.Partition)
+	}
+	if len(p.Agg.Having) != 2 || p.Agg.Having[1].Const.Float64() != 100.5 {
+		t.Errorf("Having = %v", p.Agg.Having)
+	}
+	// Round trip through Pattern.String.
+	p2, err := Parse(p.String())
+	if err != nil || p2.String() != p.String() {
+		t.Errorf("round trip failed: %v\n%s\n%s", err, p, p2)
+	}
+}
+
+func TestParseAggregateCaseAndCount(t *testing.T) {
+	// Keywords and function names are case-insensitive; count accepts
+	// an optional empty argument list; negative HAVING constants parse.
+	p := MustParse("pattern (a) within 10 aggregate COUNT(), Min(V) per partition ID having Min(V) > -3")
+	if p.Agg == nil || p.Agg.Items[0].Func != pattern.AggCount || p.Agg.Items[1].Func != pattern.AggMin {
+		t.Fatalf("Agg = %v", p.Agg)
+	}
+	if got := p.Agg.Having[0].Const.Int64(); got != -3 {
+		t.Errorf("HAVING const = %d, want -3", got)
+	}
+	// The WITHIN unit carve-out: AGGREGATE after a unitless duration.
+	if p.Window != 10*event.Second {
+		t.Errorf("Window = %d", p.Window)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"PATTERN (a) WITHIN 1 HAVING count > 1", "HAVING requires an AGGREGATE clause"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE", "expected an aggregate"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE count(x)", "count takes no argument"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE avg(V)", "unknown aggregate"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE sum()", "expected identifier"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE sum(b.V)", "undeclared variable"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE count PER PARTITION", "expected identifier"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE count PER PARTITION where", "reserved word"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE count HAVING count >= 'x'", "against a number"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE sum(where)", "reserved word"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE count HAVING count", "comparison operator"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE sum(V1), sum(V2), sum(V3), sum(V4), sum(V5), sum(V6), sum(V7), sum(V8), sum(V9)", "exceed the supported maximum"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err.Error(), c.frag)
+		}
+	}
+}
+
 // TestParseNeverPanics feeds the parser random token soup; it must
 // return errors, never panic (property / fuzz-style robustness test).
 func TestParseNeverPanics(t *testing.T) {
 	pieces := []string{
 		"PATTERN", "SET", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN",
+		"AGGREGATE", "HAVING", "PER", "PARTITION", "count", "sum", "min", "max",
 		"(", ")", ",", ".", "+", "?", "*", "=", "!=", "<", "<=", ">", ">=",
 		"a", "b", "L", "'x'", `"y"`, "42", "2.5", "264h", "--c\n", " ", "\n", "'", "!",
 	}

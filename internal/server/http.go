@@ -25,6 +25,7 @@ import (
 //	GET    /queries/{id}         one query's state
 //	DELETE /queries/{id}         unregister a query
 //	GET    /queries/{id}/matches stream matches as NDJSON or SSE
+//	GET    /queries/{id}/stats   aggregate results of an AGGREGATE query
 //	POST   /promote              promote a follower to leader
 //	GET    /healthz              liveness probe (role + fencing epoch)
 //
@@ -38,6 +39,13 @@ import (
 // terminates or the client disconnects. With an Accept header of
 // text/event-stream matches are sent as SSE events whose id field is
 // the match-log offset; otherwise one JSON object per line (NDJSON).
+//
+// The stats endpoint serves an AGGREGATE query's aggregate groups as
+// one JSON document (engine.Aggregator.Stats). Plain GET returns the
+// current snapshot; ?follow=1 switches to SSE and pushes a delta
+// document after every change (each event's id field is the document
+// version) until the query's pipeline terminates or the client
+// disconnects. Queries without an AGGREGATE clause answer 400.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /events", s.handleIngest)
@@ -46,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/{id}", s.handleGetQuery)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleRemoveQuery)
 	mux.HandleFunc("GET /queries/{id}/matches", s.handleMatches)
+	mux.HandleFunc("GET /queries/{id}/stats", s.handleStats)
 	mux.HandleFunc("POST /promote", s.handlePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -349,6 +358,71 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if !follow {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	if q.agg == nil {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("query %q has no AGGREGATE clause", q.spec.ID)})
+		return
+	}
+	follow := false
+	switch v := r.URL.Query().Get("follow"); v {
+	case "", "0", "false":
+	case "1", "true":
+		follow = true
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid follow value %q", v)})
+		return
+	}
+	s.statsRequests.Inc()
+	if !follow {
+		data, _, _ := q.agg.Stats(0)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		w.Write([]byte{'\n'})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	var since uint64
+	for {
+		// The first round (since = 0) pushes the full snapshot; every
+		// later round pushes a delta of the groups folded into since the
+		// version the client last saw.
+		data, ver, wait := q.agg.Stats(since)
+		if data != nil {
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ver, data)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		since = ver
+		if wait == nil {
+			// The pipeline has terminated; the aggregate state is final.
+			fmt.Fprintf(w, "event: end\ndata: {}\n\n")
+			if flusher != nil {
+				flusher.Flush()
+			}
 			return
 		}
 		select {

@@ -53,6 +53,14 @@ type QuerySpec struct {
 	// CheckpointEvery overrides the server's checkpoint cadence for
 	// this query (supervised mode, events between snapshots).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Materialize opts an AGGREGATE query back into match-log
+	// materialization: matches are enumerated into the log (streamable
+	// via /matches) in addition to being folded into the aggregate
+	// groups. By default an AGGREGATE query is aggregate-only — no
+	// Match values are built, encoded or retained, only
+	// /queries/{id}/stats. Rejected for queries without an AGGREGATE
+	// clause.
+	Materialize bool `json:"materialize,omitempty"`
 }
 
 // parsePolicy maps a QuerySpec.Policy name to the engine policy.
@@ -135,6 +143,13 @@ type QueryInfo struct {
 	// ReplayLag is the number of WAL records between the catch-up
 	// feeder's position and the log tail; 0 once live.
 	ReplayLag int64 `json:"replay_lag,omitempty"`
+	// Aggregate reports that the query carries an AGGREGATE clause and
+	// serves GET /queries/{id}/stats. AggVersion is the aggregate fold
+	// counter (the stats document's ver) and AggGroups the number of
+	// live partition groups.
+	Aggregate  bool   `json:"aggregate,omitempty"`
+	AggVersion uint64 `json:"agg_version,omitempty"`
+	AggGroups  int    `json:"agg_groups,omitempty"`
 }
 
 // matchLog is a bounded, offset-addressed ring of pre-encoded match

@@ -183,6 +183,7 @@ type Server struct {
 	backfills      *obs.Counter
 	routedEvents   *obs.Counter
 	skippedEvents  *obs.Counter
+	statsRequests  *obs.Counter
 }
 
 // queryState is one registered query and its running pipeline.
@@ -204,6 +205,9 @@ type queryState struct {
 	log *matchLog
 	sup *resilience.Supervisor // nil in sharded mode
 	shr *engine.ShardedRunner  // nil in supervised mode
+	// agg holds the query's aggregate groups when its text carries an
+	// AGGREGATE clause (nil otherwise); served by /queries/{id}/stats.
+	agg *engine.Aggregator
 
 	// lifecycle arbitrates the pipeline's one-shot fate: the first
 	// block headed for the mailbox starts the evaluator goroutines
@@ -259,6 +263,9 @@ func (q *queryState) start() { q.lifecycle.Do(q.startPipe) }
 func (q *queryState) retire() {
 	q.lifecycle.Do(func() {
 		q.log.close()
+		if q.agg != nil {
+			q.agg.Close()
+		}
 		close(q.finished)
 	})
 }
@@ -306,6 +313,11 @@ func (q *queryState) info() QueryInfo {
 		Backfill:    q.backfill,
 		CatchingUp:  q.catchingUp.Load(),
 		ReplayLag:   q.replayLag.Load(),
+	}
+	if q.agg != nil {
+		info.Aggregate = true
+		info.AggVersion = q.agg.Folds()
+		info.AggGroups = q.agg.NumGroups()
 	}
 	if err := q.terminalErr(); err != nil {
 		info.Err = err.Error()
@@ -361,6 +373,8 @@ func New(cfg Config) (*Server, error) {
 			"Query-event deliveries made through the routing index.")
 		s.skippedEvents = cfg.Registry.Counter("ses_route_events_skipped_total",
 			"Query-event deliveries avoided by the routing index (key miss or WITHIN prune).")
+		s.statsRequests = cfg.Registry.Counter("ses_agg_stats_requests_total",
+			"GET /queries/{id}/stats requests served.")
 		cfg.Registry.GaugeFunc("ses_server_queries_active",
 			"Currently registered queries.",
 			func() int64 {
@@ -381,6 +395,7 @@ func New(cfg Config) (*Server, error) {
 		s.backfills = &obs.Counter{}
 		s.routedEvents = &obs.Counter{}
 		s.skippedEvents = &obs.Counter{}
+		s.statsRequests = &obs.Counter{}
 	}
 	if cfg.WALDir != "" {
 		policy, err := wal.ParseFsyncPolicy(orDefault(cfg.WALFsync, "interval"))
@@ -551,6 +566,24 @@ func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 	}
 	fp := auto.Fingerprint()
 
+	// The aggregation plan compiles against the query's own automaton
+	// before any fingerprint sharing below: the fingerprint excludes the
+	// AGGREGATE clause, so a fingerprint-sharing partner may carry a
+	// different clause (or none) on its pattern. Sharing stays safe —
+	// equal fingerprints imply identical variables and schema, which is
+	// all the plan's resolved indices refer to.
+	var plan *engine.AggPlan
+	if aggSpec := auto.Pattern.Agg; aggSpec != nil {
+		if spec.Key != "" {
+			return QueryInfo{}, fmt.Errorf("server: query %q: AGGREGATE is not supported on sharded queries (remove key %q)", spec.ID, spec.Key)
+		}
+		if plan, err = engine.CompileAggregate(auto, aggSpec); err != nil {
+			return QueryInfo{}, err
+		}
+	} else if spec.Materialize {
+		return QueryInfo{}, fmt.Errorf("server: query %q sets materialize but has no AGGREGATE clause", spec.ID)
+	}
+
 	// The ingest lock fences the registration against in-flight
 	// batches: while held, the WAL tail cannot move, so registeredAt
 	// is exactly the first offset the query sees live (or, for a
@@ -581,7 +614,7 @@ func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 			reg.registeredAt = s.wal.NextOffset()
 		}
 	}
-	q, err := s.startPipeline(spec, auto, fp)
+	q, err := s.startPipeline(spec, auto, fp, plan)
 	if err != nil {
 		return QueryInfo{}, err
 	}
@@ -607,7 +640,7 @@ func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 
 // startPipeline builds the query's mailbox, evaluator and match
 // collector. Called with s.mu held.
-func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp string) (*queryState, error) {
+func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp string, plan *engine.AggPlan) (*queryState, error) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	q := &queryState{
 		spec:     spec,
@@ -662,6 +695,13 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 		if spec.ShedLowWater > 0 {
 			opts = append(opts, engine.WithShedLowWater(spec.ShedLowWater))
 		}
+	}
+	if plan != nil {
+		// Supervisor restarts re-apply these options: each restarted
+		// runner resets the aggregator and a checkpoint restore reloads
+		// the folded groups, so replay converges on the same state.
+		q.agg = engine.NewAggregator(plan)
+		opts = append(opts, engine.WithAggregation(q.agg), engine.WithAggregateOnly(!spec.Materialize))
 	}
 
 	if spec.Key != "" {
@@ -720,6 +760,10 @@ func (s *Server) startPipeline(spec QuerySpec, auto *automaton.Automaton, fp str
 func (s *Server) collect(q *queryState, matches <-chan engine.Match) {
 	defer close(q.finished)
 	defer q.log.close()
+	if q.agg != nil {
+		// End the /stats follow streams when the pipeline terminates.
+		defer q.agg.Close()
+	}
 	for m := range matches {
 		b, err := engine.MatchJSON(m, s.cfg.Schema)
 		if err != nil {
@@ -831,6 +875,24 @@ func (s *Server) Matches(id string, from int64) ([][]byte, error) {
 	}
 	lines, _, _ := q.log.read(from)
 	return lines, nil
+}
+
+// Stats returns an AGGREGATE query's aggregate state as its stats JSON
+// document (engine.Aggregator.Stats): since = 0 requests the full
+// snapshot, a previous call's ver requests a delta (nil data when
+// nothing changed). wait is closed at the next fold and nil once the
+// pipeline has terminated. Queries without an AGGREGATE clause error;
+// the HTTP endpoint GET /queries/{id}/stats serves the same data.
+func (s *Server) Stats(id string, since uint64) (data []byte, ver uint64, wait <-chan struct{}, err error) {
+	q, ok := s.lookup(id)
+	if !ok {
+		return nil, 0, nil, ErrNotFound
+	}
+	if q.agg == nil {
+		return nil, 0, nil, fmt.Errorf("server: query %q has no AGGREGATE clause", id)
+	}
+	data, ver, wait = q.agg.Stats(since)
+	return data, ver, wait, nil
 }
 
 // lookup returns the live state of a query, for the HTTP layer.

@@ -246,6 +246,27 @@ const (
 	SkipTillAny  = engine.SkipTillAny
 )
 
+// Aggregation re-exports: online match aggregation (AGGREGATE/HAVING).
+type (
+	// Aggregator accumulates the aggregate results of one query: every
+	// accepted match folds into a per-partition group of counts and
+	// sums instead of being enumerated. Create one with
+	// Query.NewAggregator and attach it via WithAggregation.
+	Aggregator = engine.Aggregator
+	// AggPlan is an AGGREGATE clause compiled against an automaton.
+	AggPlan = engine.AggPlan
+)
+
+var (
+	// WithAggregation attaches an Aggregator: every completed match is
+	// folded into its partition group at the moment it is emitted.
+	WithAggregation = engine.WithAggregation
+	// WithAggregateOnly suppresses match materialization: accepted
+	// matches are folded and counted but never built, encoded or
+	// returned — the enumeration-free path for aggregate-only queries.
+	WithAggregateOnly = engine.WithAggregateOnly
+)
+
 // OverloadPolicy decides what happens when the instance cap is hit.
 type OverloadPolicy = engine.OverloadPolicy
 
@@ -613,6 +634,47 @@ type UnionRunner = engine.Union
 // stream consumers may apply FilterMaximal per collected window.
 func (q *Query) UnionRunner(opts ...Option) (*UnionRunner, error) {
 	return engine.NewUnion(q.autos, opts...)
+}
+
+// HasAggregate reports whether the query carries an AGGREGATE clause.
+func (q *Query) HasAggregate() bool { return q.p.Agg != nil }
+
+// NewAggregator compiles the query's AGGREGATE clause against its
+// automaton and returns an empty Aggregator to attach via
+// WithAggregation. Errors when the query has no AGGREGATE clause or
+// uses optional variables (aggregation would count matches the
+// cross-variant MAXIMAL filter discards).
+func (q *Query) NewAggregator() (*Aggregator, error) {
+	if q.p.Agg == nil {
+		return nil, fmt.Errorf("ses: query has no AGGREGATE clause")
+	}
+	if len(q.autos) != 1 {
+		return nil, fmt.Errorf("ses: aggregation does not support optional variables (%d variants)", len(q.autos))
+	}
+	plan, err := engine.CompileAggregate(q.autos[0], q.p.Agg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewAggregator(plan), nil
+}
+
+// Aggregate evaluates an AGGREGATE query over a complete, time-sorted
+// relation on the enumeration-free path (no Match values are built)
+// and returns the aggregate results as the stats JSON document
+// (Aggregator.Stats) plus execution metrics.
+func (q *Query) Aggregate(rel *Relation, opts ...Option) ([]byte, Metrics, error) {
+	ag, err := q.NewAggregator()
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	opts = append(append([]Option{}, opts...), WithAggregation(ag), WithAggregateOnly(true))
+	r := engine.New(q.autos[0], opts...)
+	_, m, err := engine.RunOn(r, rel)
+	if err != nil {
+		return nil, m, err
+	}
+	data, _, _ := ag.Stats(0)
+	return data, m, nil
 }
 
 // MatchPartitioned splits the relation by the named attribute and
