@@ -42,6 +42,16 @@
 //	-peer URL              check the peer's fencing epoch at startup
 //	                       and refuse writes if it is higher (set it
 //	                       on a restarted ex-leader to its standby)
+//	-cluster FILE          membership file of the partitioned cluster
+//	                       this node serves in (see docs/OPERATIONS.md
+//	                       §8); requires -partition
+//	-partition N           with -cluster: the partition id this node
+//	                       serves. The node adopts the partition's
+//	                       keyspace slice: ingest switches to
+//	                       router-assigned explicit sequence numbers,
+//	                       events hashing outside the slice are
+//	                       refused with 421, and duplicate deliveries
+//	                       are dropped idempotently.
 //
 // The HTTP API (see docs/OPERATIONS.md for the full reference):
 //
@@ -97,6 +107,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/replica"
 )
 
@@ -121,6 +132,8 @@ type options struct {
 	follow          string
 	promoteAfter    time.Duration
 	peer            string
+	clusterFile     string
+	partition       int
 }
 
 func main() {
@@ -144,6 +157,8 @@ func main() {
 	flag.StringVar(&o.follow, "follow", "", "run as a read-only follower replicating the leader at this URL (requires -wal-dir)")
 	flag.DurationVar(&o.promoteAfter, "promote-after", 0, "with -follow: promote to leader after this long without leader contact (default: manual only)")
 	flag.StringVar(&o.peer, "peer", "", "check this peer's fencing epoch at startup and refuse writes if it is higher")
+	flag.StringVar(&o.clusterFile, "cluster", "", "membership file of the partitioned cluster this node serves in (requires -partition)")
+	flag.IntVar(&o.partition, "partition", -1, "with -cluster: the partition id this node serves")
 	flag.Parse()
 	if err := run(o, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sesd:", err)
@@ -192,9 +207,30 @@ func run(o options, logw *os.File, ready chan<- string) error {
 	if o.promoteAfter > 0 && o.follow == "" {
 		return fmt.Errorf("-promote-after only makes sense with -follow")
 	}
+	var own *cluster.Ownership
+	if o.clusterFile != "" {
+		if o.partition < 0 {
+			return fmt.Errorf("-cluster requires -partition (which slice this node serves)")
+		}
+		m, err := cluster.LoadMembership(o.clusterFile)
+		if err != nil {
+			return err
+		}
+		p := m.Partition(o.partition)
+		if p == nil {
+			return fmt.Errorf("partition %d is not declared in %s", o.partition, o.clusterFile)
+		}
+		if _, ok := schema.Index(m.Key); !ok {
+			return fmt.Errorf("partition key %q is not a schema attribute (schema: %s)", m.Key, schema)
+		}
+		own = p.Ownership(m.Key, m.Slots)
+	} else if o.partition >= 0 {
+		return fmt.Errorf("-partition only makes sense with -cluster")
+	}
 	reg := ses.NewMetricsRegistry()
 	srv, err := ses.NewServer(ses.ServerConfig{
 		Schema:               schema,
+		Ownership:            own,
 		Registry:             reg,
 		Mailbox:              o.mailbox,
 		MatchLog:             o.matchLog,

@@ -30,6 +30,7 @@ func TestParseSchema(t *testing.T) {
 // same smoke sequence the CI workflow runs against the built binary.
 func TestRunSmoke(t *testing.T) {
 	o := options{
+		partition:    -1,
 		addr:         "127.0.0.1:0",
 		schemaSpec:   "ID:int,L:string,V:float,U:string",
 		drainTimeout: 10 * time.Second,
@@ -97,6 +98,7 @@ func TestRunSmoke(t *testing.T) {
 // checks it catches up on the retained log before going live.
 func TestRunSmokeWAL(t *testing.T) {
 	o := options{
+		partition:     -1,
 		addr:          "127.0.0.1:0",
 		schemaSpec:    "ID:int,L:string,V:float,U:string",
 		drainTimeout:  10 * time.Second,

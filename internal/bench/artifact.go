@@ -299,6 +299,23 @@ func artifactCases(ds []Dataset) ([]artifactCase, func(), error) {
 			return 0, n, err
 		}},
 	)
+	// The partition-routed cluster: each iteration stands up two
+	// ownership-split nodes behind a router, sequences and routes the
+	// whole stream, drains and reads the deterministic merged match
+	// stream back. The merged count is the fingerprint — it must equal
+	// the single-node Q1 count, which is what pins the split/merge as
+	// evaluation-neutral in the baseline.
+	routerB, err := NewRouterBench(d1)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	cases = append(cases,
+		artifactCase{"RouterThroughput/2p/q1/" + d1.Name, func() (int64, int, error) {
+			n, err := routerB.Run()
+			return 0, n, err
+		}},
+	)
 	return cases, cleanup, nil
 }
 

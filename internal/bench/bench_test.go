@@ -549,3 +549,24 @@ func BenchmarkBackfillReplay(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRouterThroughput measures the partition-routed cluster end
+// to end: two ownership-split nodes behind a router, global
+// sequencing, keyspace fan-out, drain and the deterministic merged
+// read-back of Q1's matches.
+func BenchmarkRouterThroughput(b *testing.B) {
+	ds, err := MakeDatasets(chemo.Tiny(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rb, err := NewRouterBench(ds[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rb.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/paperdata"
+	"repro/internal/server"
+)
+
+// RouterBench is the partition-routed serving benchmark: the dataset
+// pre-rendered as one NDJSON ingest body (built outside the timed
+// region — the measurement is routing, not JSON rendering). Each
+// timed iteration stands up a two-partition cluster with a router in
+// front, routes the whole stream through it, drains the nodes and
+// reads back the deterministic merged match stream.
+type RouterBench struct {
+	schema *event.Schema
+	body   []byte
+	events int
+}
+
+// NewRouterBench renders the dataset's ingest body once.
+func NewRouterBench(d Dataset) (*RouterBench, error) {
+	lines, err := ingestNDJSON(d)
+	if err != nil {
+		return nil, err
+	}
+	body := bytes.Join(lines, []byte{'\n'})
+	body = append(body, '\n')
+	return &RouterBench{schema: d.Rel.Schema(), body: body, events: len(lines)}, nil
+}
+
+// routerSlots sizes the benchmark cluster's hash ring.
+const routerSlots = 16
+
+// Run routes the dataset through a fresh two-partition cluster —
+// global sequencing, keyspace split, bounded fan-out, per-node
+// evaluation of the paper's Q1, drain, deterministic merge — and
+// returns the merged match count as the fingerprint.
+func (rb *RouterBench) Run() (int, error) {
+	m := &cluster.Membership{Key: "ID", Slots: routerSlots}
+	var srvs []*server.Server
+	var nodes []*httptest.Server
+	defer func() {
+		for _, ts := range nodes {
+			ts.Close()
+		}
+		for _, s := range srvs {
+			s.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		lo, hi := i*routerSlots/2, (i+1)*routerSlots/2
+		s, err := server.New(server.Config{
+			Schema:    rb.schema,
+			Ownership: &cluster.Ownership{Key: "ID", Slots: routerSlots, Lo: lo, Hi: hi},
+		})
+		if err != nil {
+			return 0, err
+		}
+		srvs = append(srvs, s)
+		if _, err := s.AddQuery(server.QuerySpec{ID: "q1", Query: paperdata.QueryQ1Text, Filter: true}); err != nil {
+			return 0, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		nodes = append(nodes, ts)
+		m.Partitions = append(m.Partitions, cluster.Partition{
+			ID: i, Lo: lo, Hi: hi, Leader: cluster.Node{URL: ts.URL},
+		})
+	}
+	r, err := cluster.NewRouter(cluster.RouterOptions{Membership: m, Schema: rb.schema})
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	ctx := context.Background()
+	if err := r.Start(ctx); err != nil {
+		return 0, err
+	}
+	res, err := r.IngestNDJSON(rb.body)
+	if err != nil {
+		return 0, err
+	}
+	if res.Ingested != rb.events {
+		return 0, fmt.Errorf("router ingested %d events, want %d", res.Ingested, rb.events)
+	}
+	for _, s := range srvs {
+		if err := s.Drain(ctx); err != nil {
+			return 0, err
+		}
+	}
+	count := 0
+	err = r.StreamMatches(ctx, "q1", 0, false, func(int64, []byte) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}

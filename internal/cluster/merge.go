@@ -1,0 +1,563 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/resilience"
+)
+
+// This file merges per-partition read streams back into one. The core
+// invariant: a match binds only events of one partition (patterns are
+// evaluated per routed substream), and every event carries a
+// router-assigned, globally unique sequence number. Ordering matches
+// by (window start, minimum bound sequence) is therefore a total
+// order across partitions — two matches can only tie on both
+// components by binding the same first event, which puts them on the
+// same partition, where the node's own emission order breaks the tie
+// deterministically (the merge is stable per partition).
+
+// matchKey is the merge sort key of one match line.
+type matchKey struct {
+	first  int64
+	minSeq int64
+}
+
+func (k matchKey) less(o matchKey) bool {
+	if k.first != o.first {
+		return k.first < o.first
+	}
+	return k.minSeq < o.minSeq
+}
+
+// parseMatchKey extracts the sort key from a rendered match line.
+func parseMatchKey(line []byte) (matchKey, error) {
+	var m struct {
+		First    int64 `json:"first"`
+		Bindings []struct {
+			Events []struct {
+				Seq int64 `json:"seq"`
+			} `json:"events"`
+		} `json:"bindings"`
+	}
+	if err := json.Unmarshal(line, &m); err != nil {
+		return matchKey{}, fmt.Errorf("cluster: match line does not parse: %w", err)
+	}
+	k := matchKey{first: m.First, minSeq: -1}
+	for _, b := range m.Bindings {
+		for _, e := range b.Events {
+			if k.minSeq < 0 || e.Seq < k.minSeq {
+				k.minSeq = e.Seq
+			}
+		}
+	}
+	if k.minSeq < 0 {
+		return matchKey{}, fmt.Errorf("cluster: match line binds no events")
+	}
+	return k, nil
+}
+
+// doPartition performs one fanned-out request against a partition,
+// failing over between its nodes like the ingest path. The caller owns
+// the response body.
+func (r *Router) doPartition(ctx context.Context, rp *routePartition, method, path string, body []byte) (*http.Response, error) {
+	var resp *http.Response
+	first := true
+	err := resilience.Retry(ctx, r.retry, func() error {
+		if !first && r.retries != nil {
+			r.retries.Inc()
+		}
+		act := rp.active.Load()
+		first = false
+		var rd io.Reader
+		if body != nil {
+			rd = strings.NewReader(string(body))
+		}
+		req, err := http.NewRequestWithContext(ctx, method, rp.nodes[act].url+path, rd)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rsp, err := r.client.Do(req)
+		if err != nil {
+			if len(rp.nodes) == 2 {
+				rp.active.CompareAndSwap(act, 1-act)
+			}
+			return err
+		}
+		if rsp.StatusCode == http.StatusServiceUnavailable {
+			raw, _ := io.ReadAll(io.LimitReader(rsp.Body, 1<<16))
+			rsp.Body.Close()
+			var e struct {
+				Error string `json:"error"`
+				State string `json:"state"`
+			}
+			_ = json.Unmarshal(raw, &e)
+			if len(rp.nodes) == 2 {
+				rp.active.CompareAndSwap(act, 1-act)
+			}
+			return &routedError{status: rsp.StatusCode, state: e.State, msg: e.Error}
+		}
+		resp = rsp
+		return nil
+	})
+	return resp, err
+}
+
+// PartitionResponse is one partition's reply to a fanned-out request.
+type PartitionResponse struct {
+	ID     int
+	Status int
+	Body   []byte
+}
+
+// fanOut performs the request against every partition and collects
+// the replies in partition order.
+func (r *Router) fanOut(ctx context.Context, method, path string, body []byte) ([]PartitionResponse, error) {
+	out := make([]PartitionResponse, len(r.parts))
+	for i, rp := range r.parts {
+		resp, err := r.doPartition(ctx, rp, method, path, body)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partition %d: %w", rp.ID, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partition %d: %w", rp.ID, err)
+		}
+		out[i] = PartitionResponse{ID: rp.ID, Status: resp.StatusCode, Body: raw}
+	}
+	return out, nil
+}
+
+// queryDoc is the slice of a node's query info the router consumes.
+type queryDoc struct {
+	ID               string `json:"id"`
+	Query            string `json:"query"`
+	Window           int64  `json:"window"`
+	Events           int64  `json:"events"`
+	Shed             int64  `json:"shed"`
+	Matches          int64  `json:"matches"`
+	QueueDepth       int    `json:"queue_depth"`
+	ProcessedThrough *int64 `json:"processed_through"`
+	Emitted          int64  `json:"emitted"`
+	Done             bool   `json:"done"`
+	CatchingUp       bool   `json:"catching_up"`
+}
+
+// MergedQueryInfo is the router's view of a fanned-out query.
+type MergedQueryInfo struct {
+	ID         string `json:"id"`
+	Query      string `json:"query"`
+	Window     int64  `json:"window"`
+	Events     int64  `json:"events"`
+	Shed       int64  `json:"shed"`
+	Matches    int64  `json:"matches"`
+	Done       bool   `json:"done"`
+	Partitions int    `json:"partitions"`
+}
+
+// mergeQueryDocs folds per-partition query infos into the router view:
+// counters sum, Done holds only when every partition is done.
+func mergeQueryDocs(resps []PartitionResponse) (MergedQueryInfo, error) {
+	var out MergedQueryInfo
+	out.Done = true
+	for i, pr := range resps {
+		var d queryDoc
+		if err := json.Unmarshal(pr.Body, &d); err != nil {
+			return out, fmt.Errorf("cluster: partition %d query info: %w", pr.ID, err)
+		}
+		if i == 0 {
+			out.ID, out.Query, out.Window = d.ID, d.Query, d.Window
+		}
+		out.Events += d.Events
+		out.Shed += d.Shed
+		out.Matches += d.Matches
+		out.Done = out.Done && d.Done
+	}
+	out.Partitions = len(resps)
+	return out, nil
+}
+
+// MergeStats fans the fold-form stats request to every partition and
+// merges the documents (engine.MergeFoldStats): accumulators re-fold,
+// HAVING applies to the merged groups.
+func (r *Router) MergeStats(ctx context.Context, id string) ([]byte, int, error) {
+	path := "/queries/" + url.PathEscape(id) + "/stats?fold=1"
+	resps, err := r.fanOut(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	docs := make([][]byte, 0, len(resps))
+	for _, pr := range resps {
+		if pr.Status != http.StatusOK {
+			// Bubble the node's own error (404, 400 no AGGREGATE, ...).
+			return pr.Body, pr.Status, nil
+		}
+		docs = append(docs, pr.Body)
+	}
+	merged, err := engine.MergeFoldStats(docs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, http.StatusOK, nil
+}
+
+// matchLine is one match stream line with its node-log offset.
+type matchLine struct {
+	off  int64
+	data []byte
+}
+
+// partFeed is one partition's live match stream state inside a merge.
+type partFeed struct {
+	rp    *routePartition
+	lines chan matchLine // log-order match lines from the reader
+	err   chan error     // reader terminal state (nil = clean end)
+
+	head    [][]byte   // buffered lines not yet released
+	keys    []matchKey // sort keys, index-aligned with head
+	ended   bool
+	readErr error
+	// consumed is the node-log offset the merge has taken lines up to
+	// (exclusive): the node's matches below this offset are all either
+	// buffered in head or already released. Compared against the
+	// node's emitted-match count in the quiet check — a match the node
+	// has emitted but the merge has not yet taken keeps the partition
+	// non-quiet.
+	consumed int64
+}
+
+// take pops one line from the feed's reader channel into head.
+func (f *partFeed) take(ml matchLine) error {
+	k, err := parseMatchKey(ml.data)
+	if err != nil {
+		return err
+	}
+	f.head = append(f.head, ml.data)
+	f.keys = append(f.keys, k)
+	f.consumed = ml.off + 1
+	return nil
+}
+
+// streamPartitionMatches reads one partition's match stream as SSE,
+// reconnecting (with node failover) at the last consumed offset until
+// the stream ends cleanly or ctx is cancelled. Every line is sent to
+// out in log order.
+func (r *Router) streamPartitionMatches(ctx context.Context, rp *routePartition, id string, follow bool, out chan<- matchLine, done chan<- error) {
+	next := int64(0)
+	b := resilience.NewBackoff(r.retry)
+	attempts := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			done <- err
+			return
+		}
+		act := rp.active.Load()
+		u := fmt.Sprintf("%s/queries/%s/matches?from=%d&follow=%s",
+			rp.nodes[act].url, url.PathEscape(id), next, boolParam(follow))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			done <- err
+			return
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err := r.client.Do(req)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				done <- fmt.Errorf("cluster: partition %d: query %q not registered: %s", rp.ID, id, raw)
+				return
+			}
+			err = fmt.Errorf("cluster: partition %d matches: %s: %s", rp.ID, resp.Status, raw)
+		}
+		if err != nil {
+			if len(rp.nodes) == 2 {
+				rp.active.CompareAndSwap(act, 1-act)
+			}
+			attempts++
+			if r.retry.MaxAttempts > 0 && attempts >= r.retry.MaxAttempts {
+				done <- err
+				return
+			}
+			if r.retries != nil {
+				r.retries.Inc()
+			}
+			select {
+			case <-time.After(b.Next()):
+			case <-ctx.Done():
+				done <- ctx.Err()
+				return
+			}
+			continue
+		}
+		attempts = 0
+		b.Reset()
+		clean, n, serr := consumeSSE(ctx, resp.Body, next, out)
+		resp.Body.Close()
+		next = n
+		if clean {
+			done <- nil
+			return
+		}
+		if ctx.Err() != nil {
+			done <- ctx.Err()
+			return
+		}
+		_ = serr // dropped connection: reconnect at the next offset
+	}
+}
+
+// consumeSSE parses a match SSE stream: data events are forwarded to
+// out with their log offsets, an explicit "end" event reports a clean
+// termination. Returns whether the stream ended cleanly and the next
+// offset to resume at.
+func consumeSSE(ctx context.Context, body io.Reader, next int64, out chan<- matchLine) (clean bool, resume int64, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 4<<20)
+	evType := ""
+	pendingID := next
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			evType = ""
+		case strings.HasPrefix(line, "event: "):
+			evType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			if v, perr := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64); perr == nil {
+				pendingID = v
+			}
+		case strings.HasPrefix(line, "data: "):
+			if evType == "end" {
+				return true, next, nil
+			}
+			payload := []byte(strings.TrimPrefix(line, "data: "))
+			select {
+			case out <- matchLine{off: pendingID, data: payload}:
+			case <-ctx.Done():
+				return false, next, ctx.Err()
+			}
+			next = pendingID + 1
+		}
+	}
+	return false, next, sc.Err()
+}
+
+func boolParam(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// partitionQuiet reports whether the partition provably cannot emit
+// another match sorting at or before the release horizon (a window
+// start; a competitor would need its last bound event at or below
+// horizon, since first >= last - window). That holds once
+//
+//   - the node's stream clock is strictly past the horizon
+//     (processed_through > horizon): the runner emits a match when the
+//     first stepped event closes its window, so every match with
+//     first + WITHIN < clock is already out, and no surviving instance
+//     or admissible late arrival can close a window below the clock —
+//     a future match has first + WITHIN >= clock > horizon and sorts
+//     after the head; and
+//   - the merge has taken every match the pipeline ever emitted
+//     (emitted == consumed): nothing competing is in flight between
+//     the node's runner and the merge buffer.
+//
+// processed_through is read by the node before emitted, so a match
+// emitted between the two reads is counted — the check errs toward
+// "not quiet". WAL catch-up replays are excluded wholesale: their
+// emitted counter restarts with the pipeline, so it is only comparable
+// to consumed once catch-up hands off to live delivery.
+func (r *Router) partitionQuiet(ctx context.Context, rp *routePartition, id string, horizon, consumed int64) bool {
+	resp, err := r.doPartition(ctx, rp, http.MethodGet, "/queries/"+url.PathEscape(id), nil)
+	if err != nil {
+		return false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var d queryDoc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return false
+	}
+	return d.ProcessedThrough != nil && *d.ProcessedThrough > horizon &&
+		!d.CatchingUp && d.Emitted == consumed
+}
+
+// StreamMatches serves the merged match stream of a fanned-out query:
+// one reader per partition, merged by (window start, minimum bound
+// sequence). emit receives each released line with its merged offset;
+// from skips the first offsets (the merge is deterministic, so a
+// reconnecting client sees the same prefix and can resume by offset).
+// In follow mode the merge holds a head back until every other
+// partition either buffered a later match, ended its stream, or went
+// provably quiet past the match's release horizon (window start + the
+// query's WITHIN duration).
+func (r *Router) StreamMatches(ctx context.Context, id string, from int64, follow bool, emit func(off int64, line []byte) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The release horizon needs the query's WITHIN duration.
+	resp, err := r.doPartition(ctx, r.parts[0], http.MethodGet, "/queries/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &routedError{status: resp.StatusCode, msg: string(raw)}
+	}
+	var qd queryDoc
+	if err := json.Unmarshal(raw, &qd); err != nil {
+		return err
+	}
+	window := qd.Window
+
+	feeds := make([]*partFeed, len(r.parts))
+	for i, rp := range r.parts {
+		f := &partFeed{rp: rp, lines: make(chan matchLine, 64), err: make(chan error, 1)}
+		feeds[i] = f
+		go r.streamPartitionMatches(ctx, rp, id, follow, f.lines, f.err)
+	}
+
+	var off int64
+	quietProbe := time.NewTicker(100 * time.Millisecond)
+	defer quietProbe.Stop()
+	for {
+		// Drain whatever the readers have buffered without blocking.
+		for _, f := range feeds {
+			for !f.ended {
+				select {
+				case ml := <-f.lines:
+					if err := f.take(ml); err != nil {
+						return err
+					}
+					continue
+				case err := <-f.err:
+					// Drain lines the reader buffered before its end.
+					for {
+						select {
+						case ml := <-f.lines:
+							if err := f.take(ml); err != nil {
+								return err
+							}
+							continue
+						default:
+						}
+						break
+					}
+					f.ended, f.readErr = true, err
+					if err != nil && ctx.Err() == nil {
+						return err
+					}
+				default:
+				}
+				break
+			}
+		}
+
+		// Release every head that is provably next in the total order.
+		released := false
+		for {
+			min := -1
+			for i, f := range feeds {
+				if len(f.head) == 0 {
+					continue
+				}
+				if min < 0 || f.keys[0].less(feeds[min].keys[0]) {
+					min = i
+				}
+			}
+			if min < 0 {
+				break
+			}
+			k := feeds[min].keys[0]
+			ok := true
+			for i, f := range feeds {
+				if i == min || f.ended || len(f.head) > 0 {
+					continue
+				}
+				if !follow {
+					ok = false // drain mode: wait for the stream end
+					break
+				}
+				if !r.partitionQuiet(ctx, f.rp, id, k.first+window, f.consumed) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			line := feeds[min].head[0]
+			feeds[min].head = feeds[min].head[1:]
+			feeds[min].keys = feeds[min].keys[1:]
+			if off >= from {
+				if err := emit(off, line); err != nil {
+					return err
+				}
+				if r.mergedOut != nil {
+					r.mergedOut.Inc()
+				}
+			}
+			off++
+			released = true
+		}
+
+		allEnded := true
+		for _, f := range feeds {
+			if !f.ended || len(f.head) > 0 {
+				allEnded = false
+				break
+			}
+		}
+		if allEnded {
+			return nil
+		}
+		if released {
+			continue
+		}
+
+		// Nothing releasable: wait for input on any feed, a quiet-probe
+		// tick (a stalled partition may have advanced), or cancellation.
+		if err := r.waitForInput(ctx, feeds, quietProbe.C); err != nil {
+			return err
+		}
+	}
+}
+
+// waitForInput blocks until any live feed has input, a probe tick
+// fires, or ctx is cancelled. Feed channels are drained by the caller.
+func (r *Router) waitForInput(ctx context.Context, feeds []*partFeed, tick <-chan time.Time) error {
+	// A small poll loop instead of reflect.Select: feed count is tiny
+	// and the 10ms granularity is far below the health-probe cadence
+	// that gates releases anyway.
+	timer := time.NewTimer(10 * time.Millisecond)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tick:
+		return nil
+	case <-timer.C:
+		return nil
+	}
+}

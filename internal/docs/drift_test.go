@@ -22,12 +22,15 @@ var driftPins = map[string][]string{
 		"/stats",
 		"sesgen",
 		"-ndjson",
+		"sesrouter",
+		"-cluster",
+		"-partition",
 	},
 	"docs/QUERY_LANGUAGE.md": {
 		// Every shipped language construct, as the parser spells it.
 		"PATTERN", "PERMUTE", "SET", "THEN", "WHERE", "WITHIN",
 		"AGGREGATE", "HAVING", "PER", "PARTITION",
-		"count", "sum", "min", "max",
+		"count", "sum", "avg", "min", "max",
 		// Quantifiers and operators.
 		"`v+`", "`v?`", "`v*`",
 		"\"=\" | \"!=\" | \"<\" | \"<=\" | \">\" | \">=\"",
@@ -66,6 +69,25 @@ var driftPins = map[string][]string{
 		"ses_server_query_shed_total",
 		"ses_wal_appends_total",
 		"ses_replica_lag",
+		// Clustering (§8): node-side flags, router flags, the routable
+		// refusal state, the progress pair the merge reads, and every
+		// router metric series.
+		"-cluster",
+		"-partition",
+		"-inflight",
+		"-health-every",
+		"-retry-attempts",
+		"\"state\":\"not-owned\"",
+		"`processed_through`",
+		"`emitted`",
+		"?fold=1",
+		"ses_router_batches_total",
+		"ses_router_events_total",
+		"ses_router_partition_retries_total",
+		"ses_router_matches_merged_total",
+		"ses_router_next_seq",
+		"ses_router_node_up",
+		"ses_router_node_lag",
 	},
 	"EXPERIMENTS.md": {
 		"ses_cond_type_mismatch_total",

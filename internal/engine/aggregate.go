@@ -288,7 +288,7 @@ func foldFloat(gv *aggVal, fn pattern.AggFunc, f float64, n int64) {
 	switch {
 	case gv.n == 0:
 		gv.f = f
-	case fn == pattern.AggSum:
+	case fn == pattern.AggSum || fn == pattern.AggAvg:
 		gv.f += f
 	case f != f || gv.f != gv.f:
 		gv.f = math.NaN()
@@ -309,7 +309,7 @@ func foldInt(gv *aggVal, fn pattern.AggFunc, i int64, n int64) {
 	switch {
 	case gv.n == 0:
 		gv.i = i
-	case fn == pattern.AggSum:
+	case fn == pattern.AggSum || fn == pattern.AggAvg:
 		gv.i += i
 	case fn == pattern.AggMin:
 		if i < gv.i {
@@ -461,19 +461,24 @@ func (ag *Aggregator) havingPass(g *aggGroup) bool {
 	for i := range ag.plan.having {
 		h := &ag.plan.having[i]
 		var v event.Value
-		switch {
-		case h.slot < 0:
+		if h.slot < 0 {
 			v = event.Int(g.count)
-		case ag.plan.slots[h.slot].isFloat:
-			if g.vals[h.slot].n == 0 && ag.plan.slots[h.slot].fn != pattern.AggSum {
-				return false
+		} else {
+			slot := &ag.plan.slots[h.slot]
+			gv := g.vals[h.slot]
+			if gv.n == 0 && slot.fn != pattern.AggSum {
+				return false // empty min/max/avg has no value to compare
 			}
-			v = event.Float(g.vals[h.slot].f)
-		default:
-			if g.vals[h.slot].n == 0 && ag.plan.slots[h.slot].fn != pattern.AggSum {
-				return false
+			switch {
+			case slot.fn == pattern.AggAvg && slot.isFloat:
+				v = event.Float(gv.f / float64(gv.n))
+			case slot.fn == pattern.AggAvg:
+				v = event.Float(float64(gv.i) / float64(gv.n))
+			case slot.isFloat:
+				v = event.Float(gv.f)
+			default:
+				v = event.Int(gv.i)
 			}
-			v = event.Int(g.vals[h.slot].i)
 		}
 		cmp, err := event.Compare(v, h.c)
 		if err != nil || !h.op.Eval(cmp) {
@@ -583,7 +588,11 @@ func (ag *Aggregator) appendGroup(b []byte, g *aggGroup) []byte {
 			slot := &ag.plan.slots[c.slot]
 			switch {
 			case v.n == 0 && slot.fn != pattern.AggSum:
-				b = append(b, `null`...) // empty min/max
+				b = append(b, `null`...) // empty min/max/avg
+			case slot.fn == pattern.AggAvg && slot.isFloat:
+				b = appendStatFloat(b, v.f/float64(v.n))
+			case slot.fn == pattern.AggAvg:
+				b = appendStatFloat(b, float64(v.i)/float64(v.n))
 			case slot.isFloat:
 				b = appendStatFloat(b, v.f)
 			default:

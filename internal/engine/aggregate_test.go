@@ -173,7 +173,7 @@ func refFoldFloat(rv *refVal, fn pattern.AggFunc, f float64, n int64) {
 	switch {
 	case rv.n == 0:
 		rv.f = f
-	case fn == pattern.AggSum:
+	case fn == pattern.AggSum || fn == pattern.AggAvg:
 		rv.f += f
 	case math.IsNaN(f) || math.IsNaN(rv.f):
 		rv.f = math.NaN()
@@ -189,7 +189,7 @@ func refFoldInt(rv *refVal, fn pattern.AggFunc, i int64, n int64) {
 	switch {
 	case rv.n == 0:
 		rv.i = i
-	case fn == pattern.AggSum:
+	case fn == pattern.AggSum || fn == pattern.AggAvg:
 		rv.i += i
 	case fn == pattern.AggMin && i < rv.i:
 		rv.i = i
@@ -313,6 +313,16 @@ func compareStats(t *testing.T, plan *AggPlan, doc statsDoc, want []*refGroup, c
 				}
 				continue
 			}
+			if slot.fn == pattern.AggAvg {
+				// The reference divides the accumulated (sum, count) pair
+				// the same way the renderer does: always a float.
+				want := float64(rv.i) / float64(rv.n)
+				if slot.isFloat {
+					want = rv.f / float64(rv.n)
+				}
+				wantStatFloat(t, g.Values[ci], want, vctx)
+				continue
+			}
 			if slot.isFloat {
 				wantStatFloat(t, g.Values[ci], rv.f, vctx)
 			} else {
@@ -362,6 +372,8 @@ func TestAggregatePropertyRandom(t *testing.T) {
 		{Func: pattern.AggMax, Attr: "V"},
 		{Func: pattern.AggSum, Attr: "ID"},
 		{Func: pattern.AggMin, Attr: "ID"},
+		{Func: pattern.AggAvg, Attr: "V"},
+		{Func: pattern.AggAvg, Attr: "ID"},
 	}
 	for iter := 0; iter < 60; iter++ {
 		shape := rng.Intn(len(shapes))

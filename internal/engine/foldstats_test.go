@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// foldPlan compiles the aggregation plan the fold-stats tests share:
+// every function over both attribute types, partitioned, with a HAVING
+// filter that only some groups pass.
+func foldPlan(t *testing.T, having []pattern.HavingCond) *AggPlan {
+	t.Helper()
+	p := pattern.New().
+		Set(pattern.Var("x")).Set(pattern.Var("y")).
+		WhereConst("x", "L", pattern.Eq, event.String("A")).
+		WhereConst("y", "L", pattern.Eq, event.String("B")).
+		Within(5).MustBuild()
+	a := compile(t, p, simpleSchema())
+	spec := &pattern.AggSpec{
+		Items: []pattern.AggItem{
+			{Func: pattern.AggCount},
+			{Func: pattern.AggSum, Attr: "V"},
+			{Func: pattern.AggAvg, Attr: "V"},
+			{Func: pattern.AggMin, Attr: "V"},
+			{Func: pattern.AggMax, Attr: "ID"},
+			{Func: pattern.AggAvg, Attr: "ID"},
+		},
+		Partition: "ID",
+		Having:    having,
+	}
+	return mustAggPlan(t, a, spec)
+}
+
+// groupValues indexes a parsed stats document's groups by rendered key.
+func groupValues(t *testing.T, doc statsDoc) map[string][]any {
+	t.Helper()
+	out := make(map[string][]any, len(doc.Groups))
+	for _, g := range doc.Groups {
+		k := fmt.Sprint(g.Key)
+		if _, dup := out[k]; dup {
+			t.Fatalf("duplicate group key %s in document", k)
+		}
+		out[k] = g.Values
+	}
+	return out
+}
+
+// TestMergeFoldStatsProperty is the distributed-aggregation
+// equivalence property: folding match partials into one aggregator
+// must render the same groups and values as splitting the partials
+// across aggregators and merging their fold documents. The
+// contribution values are exact in binary floating point (multiples of
+// 0.25, plus NaN and ±Inf), so float sums are order-independent and
+// the comparison can be bit-exact.
+func TestMergeFoldStatsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	having := []pattern.HavingCond{
+		{Item: pattern.AggItem{Func: pattern.AggCount}, Op: pattern.Ge, Const: event.Int(2)},
+	}
+	floats := []float64{1.5, -2.25, 3, 0.5, 100.75, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for iter := 0; iter < 20; iter++ {
+		plan := foldPlan(t, having)
+		full := NewAggregator(plan)
+		parts := []*Aggregator{NewAggregator(plan), NewAggregator(plan), NewAggregator(plan)}
+		ar := &aggArena{}
+		nodes := 5 + rng.Intn(40)
+		for i := 0; i < nodes; i++ {
+			n := ar.new(len(plan.slots))
+			n.part = event.Int(int64(1 + rng.Intn(5)))
+			for s := range plan.slots {
+				if rng.Intn(4) == 0 {
+					continue // this match contributed nothing to the slot
+				}
+				cnt := int64(1 + rng.Intn(3))
+				if plan.slots[s].isFloat {
+					n.vals[s] = aggVal{n: cnt, f: floats[rng.Intn(len(floats))]}
+				} else {
+					n.vals[s] = aggVal{n: cnt, i: int64(rng.Intn(10) - 3)}
+				}
+			}
+			full.fold(n)
+			// parts[2] stays empty some iterations, covering the merge of
+			// a partition that saw no matches.
+			parts[rng.Intn(2+iter%2)].fold(n)
+		}
+		docs := make([][]byte, len(parts))
+		var verSum uint64
+		for i, p := range parts {
+			docs[i] = p.FoldStats()
+			verSum += p.Folds()
+		}
+		mergedRaw, err := MergeFoldStats(docs)
+		if err != nil {
+			t.Fatalf("iter %d: merge: %v", iter, err)
+		}
+		merged := parseStats(t, mergedRaw)
+		wantRaw, _, _ := full.Stats(0)
+		want := parseStats(t, wantRaw)
+		if merged.Ver != verSum || merged.Ver != want.Ver {
+			t.Fatalf("iter %d: merged ver = %d, partial sum %d, single-node %d", iter, merged.Ver, verSum, want.Ver)
+		}
+		if !reflect.DeepEqual(merged.Aggregates, want.Aggregates) ||
+			merged.Partition != want.Partition || merged.Having != want.Having {
+			t.Fatalf("iter %d: merged header diverges:\n got %s\nwant %s", iter, mergedRaw, wantRaw)
+		}
+		got := groupValues(t, merged)
+		ref := groupValues(t, want)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("iter %d: merged groups diverge:\n got %s\nwant %s", iter, mergedRaw, wantRaw)
+		}
+	}
+}
+
+// TestMergeFoldStatsCrossPartitionHaving pins the reason fold
+// documents carry HAVING-failing groups: a group with one match on
+// each of two partitions fails count >= 2 locally but must pass after
+// the merge.
+func TestMergeFoldStatsCrossPartitionHaving(t *testing.T) {
+	having := []pattern.HavingCond{
+		{Item: pattern.AggItem{Func: pattern.AggCount}, Op: pattern.Ge, Const: event.Int(2)},
+	}
+	plan := foldPlan(t, having)
+	a1, a2 := NewAggregator(plan), NewAggregator(plan)
+	ar := &aggArena{}
+	for _, ag := range []*Aggregator{a1, a2} {
+		n := ar.new(len(plan.slots))
+		n.part = event.Int(7)
+		n.vals[0] = aggVal{n: 1, f: 2.5} // sum(V)
+		n.vals[1] = aggVal{n: 1, f: 2.5} // avg(V)
+		ag.fold(n)
+	}
+	for i, ag := range []*Aggregator{a1, a2} {
+		local, _, _ := ag.Stats(0)
+		if doc := parseStats(t, local); len(doc.Groups) != 0 {
+			t.Fatalf("partition %d renders %d groups locally, want 0 (HAVING count >= 2)", i, len(doc.Groups))
+		}
+	}
+	mergedRaw, err := MergeFoldStats([][]byte{a1.FoldStats(), a2.FoldStats()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := parseStats(t, mergedRaw)
+	if len(merged.Groups) != 1 {
+		t.Fatalf("merged document has %d groups, want the cross-partition group:\n%s", len(merged.Groups), mergedRaw)
+	}
+	wantStatInt(t, merged.Groups[0].Key, 7, "key")
+	wantStatInt(t, merged.Groups[0].Values[0], 2, "count")
+	wantStatFloat(t, merged.Groups[0].Values[1], 5.0, "sum(V)")
+	wantStatFloat(t, merged.Groups[0].Values[2], 2.5, "avg(V)")
+}
+
+// TestMergeFoldStatsErrors: merging nothing, junk, or documents from
+// different plans fails loudly instead of rendering a wrong answer.
+func TestMergeFoldStatsErrors(t *testing.T) {
+	if _, err := MergeFoldStats(nil); err == nil {
+		t.Error("merging zero documents succeeded")
+	}
+	if _, err := MergeFoldStats([][]byte{[]byte("{")}); err == nil {
+		t.Error("merging a truncated document succeeded")
+	}
+	plan := foldPlan(t, nil)
+	other := foldPlan(t, []pattern.HavingCond{
+		{Item: pattern.AggItem{Func: pattern.AggCount}, Op: pattern.Ge, Const: event.Int(1)},
+	})
+	if _, err := MergeFoldStats([][]byte{NewAggregator(plan).FoldStats(), NewAggregator(other).FoldStats()}); err == nil {
+		t.Error("merging documents from different plans succeeded")
+	}
+}

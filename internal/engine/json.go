@@ -241,7 +241,8 @@ type BlockDecoder struct {
 	raw   []byte     // all scanned lines, back to back
 	cells []cellSpan // nf spans per committed row
 	times []event.Time
-	rows  []int // source line number per committed row
+	seqs  []int64 // per-row explicit "seq", -1 when the line carried none
+	rows  []int   // source line number per committed row
 
 	scratch []cellSpan // current line's cells, copied into cells on commit
 	strBuf  []byte     // escape-decoding scratch
@@ -251,6 +252,8 @@ type BlockDecoder struct {
 
 	curTime event.Time // current line's "time", valid when timeSet
 	timeSet bool
+	curSeq  int64 // current line's "seq", valid when seqSet
+	seqSet  bool
 }
 
 // NewBlockDecoder creates a decoder for ingest lines over the schema.
@@ -275,6 +278,7 @@ func (d *BlockDecoder) Reset() {
 	d.raw = d.raw[:0]
 	d.cells = d.cells[:0]
 	d.times = d.times[:0]
+	d.seqs = d.seqs[:0]
 	d.rows = d.rows[:0]
 	d.stopLine, d.stopErr = 0, nil
 }
@@ -289,6 +293,7 @@ func (d *BlockDecoder) Add(lineNo int, line []byte) bool {
 	base := len(d.raw)
 	d.raw = append(d.raw, line...)
 	d.timeSet = false
+	d.seqSet = false
 	for i := range d.scratch {
 		d.scratch[i] = cellSpan{}
 	}
@@ -309,6 +314,11 @@ func (d *BlockDecoder) Add(lineNo int, line []byte) bool {
 	}
 	d.cells = append(d.cells, d.scratch...)
 	d.times = append(d.times, d.curTime)
+	sq := int64(-1)
+	if d.seqSet {
+		sq = d.curSeq
+	}
+	d.seqs = append(d.seqs, sq)
 	d.rows = append(d.rows, lineNo)
 	return true
 }
@@ -343,7 +353,7 @@ func (d *BlockDecoder) Finish() ([]event.Event, error) {
 	}
 	evs := make([]event.Event, nrows)
 	for r := range evs {
-		evs[r] = event.Event{Time: d.times[r], Attrs: vals[r*d.nf : (r+1)*d.nf : (r+1)*d.nf]}
+		evs[r] = event.Event{Seq: int(d.seqs[r]), Time: d.times[r], Attrs: vals[r*d.nf : (r+1)*d.nf : (r+1)*d.nf]}
 	}
 	return evs, nil
 }
@@ -621,6 +631,8 @@ func (s *lineScan) topObject() error {
 		switch {
 		case s.foldKey(key, "time"):
 			err = s.timeValue()
+		case s.foldKey(key, "seq"):
+			err = s.seqValue()
 		case s.foldKey(key, "attrs"):
 			err = s.attrsValue()
 		default:
@@ -710,6 +722,38 @@ func (s *lineScan) timeValue() error {
 		return nil
 	default:
 		return fmt.Errorf("json: cannot unmarshal %s into Go struct field .time of type int64", tokenKind(c))
+	}
+}
+
+// seqValue parses the optional "seq" value — a router-assigned global
+// stream position under cluster ingest — with the same semantics as
+// timeValue: an integer JSON number sets it, null resets it to unset.
+func (s *lineScan) seqValue() error {
+	if s.i >= s.end {
+		return errUnexpectedEnd
+	}
+	switch c := s.b[s.i]; {
+	case c == 'n':
+		if err := s.literal("null"); err != nil {
+			return err
+		}
+		s.d.seqSet = false
+		return nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		off := s.i
+		if err := s.scanNumber(); err != nil {
+			return err
+		}
+		lit := s.b[off:s.i]
+		n, ok := parseJSONInt64(lit)
+		if !ok {
+			return fmt.Errorf("json: cannot unmarshal number %s into Go struct field .seq of type int64", lit)
+		}
+		s.d.curSeq = n
+		s.d.seqSet = true
+		return nil
+	default:
+		return fmt.Errorf("json: cannot unmarshal %s into Go struct field .seq of type int64", tokenKind(c))
 	}
 }
 

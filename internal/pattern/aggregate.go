@@ -43,6 +43,12 @@ const (
 	// AggMax tracks the maximum of an attribute over the bound events
 	// of every match. A NaN contribution makes the result NaN.
 	AggMax
+	// AggAvg averages an attribute over the bound events of every
+	// match. It folds as a (sum, count) pair — the accumulator of
+	// AggSum plus the contribution counter every slot already carries —
+	// and divides at read time, so the result is always a float and an
+	// empty group reads as null. NaN propagates like AggSum.
+	AggAvg
 )
 
 // String renders the function in the query language's (lower-case)
@@ -57,6 +63,8 @@ func (f AggFunc) String() string {
 		return "min"
 	case AggMax:
 		return "max"
+	case AggAvg:
+		return "avg"
 	default:
 		return fmt.Sprintf("AggFunc(%d)", uint8(f))
 	}
@@ -195,7 +203,7 @@ func (p *Pattern) validateAgg(declared map[string]bool) error {
 			if it.Var != "" || it.Attr != "" {
 				return fmt.Errorf("pattern: count takes no argument")
 			}
-		case AggSum, AggMin, AggMax:
+		case AggSum, AggMin, AggMax, AggAvg:
 			if it.Attr == "" {
 				return fmt.Errorf("pattern: %s requires an attribute argument", it.Func)
 			}

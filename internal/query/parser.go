@@ -163,11 +163,11 @@ func (p *parser) parseAggregate() (*pattern.AggSpec, error) {
 	return spec, nil
 }
 
-// parseAggItem := COUNT ['(' ')'] | (SUM|MIN|MAX) '(' [IDENT '.'] IDENT ')'
+// parseAggItem := COUNT ['(' ')'] | (SUM|AVG|MIN|MAX) '(' [IDENT '.'] IDENT ')'
 func (p *parser) parseAggItem() (pattern.AggItem, error) {
 	name, err := p.expect(tokIdent)
 	if err != nil {
-		return pattern.AggItem{}, p.errf(p.cur(), "expected an aggregate (count, sum, min or max), got %s", p.cur().describe())
+		return pattern.AggItem{}, p.errf(p.cur(), "expected an aggregate (count, sum, avg, min or max), got %s", p.cur().describe())
 	}
 	var fn pattern.AggFunc
 	switch strings.ToLower(name.text) {
@@ -181,12 +181,14 @@ func (p *parser) parseAggItem() (pattern.AggItem, error) {
 		return pattern.AggItem{Func: pattern.AggCount}, nil
 	case "sum":
 		fn = pattern.AggSum
+	case "avg":
+		fn = pattern.AggAvg
 	case "min":
 		fn = pattern.AggMin
 	case "max":
 		fn = pattern.AggMax
 	default:
-		return pattern.AggItem{}, p.errf(name, "unknown aggregate %q (use count, sum, min or max)", name.text)
+		return pattern.AggItem{}, p.errf(name, "unknown aggregate %q (use count, sum, avg, min or max)", name.text)
 	}
 	if _, err := p.expect(tokLParen); err != nil {
 		return pattern.AggItem{}, err

@@ -333,7 +333,7 @@ func TestParseAggregateErrors(t *testing.T) {
 		{"PATTERN (a) WITHIN 1 HAVING count > 1", "HAVING requires an AGGREGATE clause"},
 		{"PATTERN (a) WITHIN 1 AGGREGATE", "expected an aggregate"},
 		{"PATTERN (a) WITHIN 1 AGGREGATE count(x)", "count takes no argument"},
-		{"PATTERN (a) WITHIN 1 AGGREGATE avg(V)", "unknown aggregate"},
+		{"PATTERN (a) WITHIN 1 AGGREGATE median(V)", "unknown aggregate"},
 		{"PATTERN (a) WITHIN 1 AGGREGATE sum()", "expected identifier"},
 		{"PATTERN (a) WITHIN 1 AGGREGATE sum(b.V)", "undeclared variable"},
 		{"PATTERN (a) WITHIN 1 AGGREGATE count PER PARTITION", "expected identifier"},

@@ -193,6 +193,7 @@ func (sh *Shipper) handleWAL(w http.ResponseWriter, r *http.Request) {
 	rd := sh.log.NewReader(from)
 	defer rd.Close()
 	schema := sh.srv.Schema()
+	explicit := sh.log.ExplicitSeq()
 	var payload, frame []byte
 	shipped := 0
 	for {
@@ -204,7 +205,15 @@ func (sh *Shipper) handleWAL(w http.ResponseWriter, r *http.Request) {
 			// follower's next request gets the proper status code.
 			break
 		}
-		payload = wal.EncodeEvent(payload[:0], schema, &e)
+		// An explicit-seq log (cluster ownership) ships the persisted
+		// sequence number with each record; the follower's own log runs
+		// in the same mode, so the cluster-global numbering survives
+		// failover.
+		if explicit {
+			payload = wal.EncodeEventSeq(payload[:0], schema, &e)
+		} else {
+			payload = wal.EncodeEvent(payload[:0], schema, &e)
+		}
 		frame = wal.EncodeFrame(frame[:0], payload)
 		if _, err := w.Write(frame); err != nil {
 			return // follower went away

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -105,7 +106,40 @@ type Supervisor struct {
 	duplicates  int64
 	metrics     engine.Metrics
 
+	// emitted counts matches delivered downstream (replay-suppressed
+	// re-emissions excluded); completed is the completed-through stream
+	// time (math.MinInt64 until the first event is fully processed).
+	emitted   atomic.Int64
+	completed atomic.Int64
+
 	o *supObs // nil unless Config.Registry was set
+}
+
+// Emitted returns the number of matches the pipeline has delivered
+// downstream. Matches suppressed during crash-recovery replay (they
+// were already delivered before the crash) are not re-counted.
+func (s *Supervisor) Emitted() int64 { return s.emitted.Load() }
+
+// CompletedThrough reports the runner's stream clock: the highest
+// event time actually stepped through the automaton (events the
+// reorderer still buffers do not count). Two guarantees follow from
+// the runner's expiry discipline — an accepted instance is emitted by
+// the first stepped event past its window: (1) every match whose
+// window closed strictly before the clock (first + WITHIN < clock)
+// has already been handed downstream, and (2) no future match can
+// close a window below the clock — surviving instances have
+// first + WITHIN >= clock, and any later arrival the reorderer admits
+// starts at or above it. After end of input it reports math.MaxInt64.
+// ok is false before the first event is stepped.
+//
+// Readers that pair this with Emitted to decide "no further match can
+// sort below time T" must read CompletedThrough first: a match emitted
+// between the two reads is then included in Emitted, and any match
+// emitted after both reads closes its window at or above the observed
+// clock.
+func (s *Supervisor) CompletedThrough() (int64, bool) {
+	v := s.completed.Load()
+	return v, v != math.MinInt64
 }
 
 // supObs bundles the supervisor's registry-exported metrics. All
@@ -224,6 +258,7 @@ func (p panicError) Error() string { return fmt.Sprintf("resilience: pipeline pa
 func Supervise(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
 	in <-chan event.Event, cfg Config) (<-chan engine.Match, *Supervisor) {
 	s := &Supervisor{}
+	s.completed.Store(math.MinInt64)
 	if cfg.Registry != nil {
 		s.o = newSupObs(cfg.Registry, cfg.MetricLabels)
 	}
@@ -249,6 +284,7 @@ func Supervise(ctx context.Context, a *automaton.Automaton, opts []engine.Option
 func SuperviseBlocks(ctx context.Context, a *automaton.Automaton, opts []engine.Option,
 	in <-chan event.Block, cfg Config) (<-chan engine.Match, *Supervisor) {
 	s := &Supervisor{}
+	s.completed.Store(math.MinInt64)
 	if cfg.Registry != nil {
 		s.o = newSupObs(cfg.Registry, cfg.MetricLabels)
 	}
@@ -351,6 +387,13 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		arrival, srcLast = int(resumed.arrival), resumed.srcLast
 	}
 
+	// maxStepped is the highest event time fed through the runner — the
+	// stream clock published by CompletedThrough. It advances in
+	// feedOne, after the event's matches are delivered, so the clock
+	// never gets ahead of the emissions it vouches for. A resumed run
+	// starts over: the clock climbs again as live events arrive.
+	maxStepped := int64(math.MinInt64)
+
 	// Recovery is possible from the very first event without an eager
 	// initial snapshot: nil ckpt means "the runner's initial state",
 	// which a restart rebuilds with engine.New — identical to restoring
@@ -369,6 +412,7 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 	send := func(m engine.Match) bool {
 		select {
 		case out <- m:
+			s.emitted.Add(1)
 			return true
 		case <-ctx.Done():
 			s.fail(ctx.Err())
@@ -517,6 +561,9 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 			if s.o != nil {
 				s.o.events.Inc()
 			}
+			if int64(e.Time) > maxStepped {
+				maxStepped = int64(e.Time)
+			}
 			// Checkpoints are deliberately NOT taken here: feedOne runs
 			// inside a reorderer release batch, whose remaining events
 			// are in neither the runner state nor the reorderer buffer —
@@ -591,6 +638,11 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 		if len(replay) >= ckptEvery && !saveCheckpoint() {
 			return false
 		}
+		// The released batch is fully stepped and its matches sent:
+		// publish the advanced stream clock (see CompletedThrough).
+		if maxStepped != math.MinInt64 {
+			s.completed.Store(maxStepped)
+		}
 		s.o.syncDuplicates(ro.DuplicatesDropped)
 		return true
 	}
@@ -610,6 +662,8 @@ func (s *Supervisor) run(ctx context.Context, a *automaton.Automaton, opts []eng
 			return
 		}
 		finish()
+		// End of input: nothing below any horizon can arrive anymore.
+		s.completed.Store(math.MaxInt64)
 	}
 
 	for {

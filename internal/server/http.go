@@ -57,11 +57,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/{id}/stats", s.handleStats)
 	mux.HandleFunc("POST /promote", s.handlePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]interface{}{
+		body := map[string]interface{}{
 			"status": "ok",
 			"role":   s.Role(),
 			"epoch":  s.Epoch(),
-		})
+		}
+		if own := s.cfg.Ownership; own != nil {
+			// The cluster router's health tracker reads these: last_seq
+			// resumes the global numbering after a router restart,
+			// last_time is the deterministic merge watermark, and the
+			// partition block lets it cross-check its membership file.
+			body["partition"] = map[string]interface{}{
+				"key": own.Key, "slots": own.Slots, "lo": own.Lo, "hi": own.Hi,
+			}
+			body["last_seq"] = s.LastSeq()
+			if t, ok := s.LastTime(); ok {
+				body["last_time"] = t
+			}
+			body["deduped"] = s.Deduped()
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	if s.cfg.Registry != nil {
 		dm := obs.DebugMux(s.cfg.Registry)
@@ -97,6 +112,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrDuplicate):
 		status = http.StatusConflict
+	case errors.Is(err, ErrNotOwned):
+		// The event was routed to the wrong node; 421 tells the router
+		// to re-resolve the topology rather than retry here.
+		status, state = http.StatusMisdirectedRequest, "not-owned"
 	case errors.Is(err, ErrDraining):
 		status, state = http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrReadOnly):
@@ -151,12 +170,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"ingested": n})
+	resp := map[string]int{"ingested": n}
+	if s.cfg.Ownership != nil {
+		// Under explicit-seq ingest the batch may shrink: events at or
+		// below the node's sequence high-water are duplicate deliveries
+		// from a router retry, dropped idempotently.
+		resp["deduped"] = len(events) - n
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// parseEvent decodes one ingest line: {"time": T, "attrs": {name: value}}.
-// Every schema attribute must be present with a JSON value of its
-// type; unknown attribute names are rejected.
+// parseEvent decodes one ingest line: {"time": T, "attrs": {name:
+// value}}, optionally carrying a router-assigned global sequence as
+// {"seq": N, ...} (Seq is -1 when the line has none). Every schema
+// attribute must be present with a JSON value of its type; unknown
+// attribute names are rejected.
 //
 // This is the reference decoder the batch path (engine.BlockDecoder)
 // is pinned against: handleIngest no longer calls it per line, but the
@@ -166,6 +194,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) parseEvent(line string) (event.Event, error) {
 	var raw struct {
 		Time  *int64                     `json:"time"`
+		Seq   *int64                     `json:"seq"`
 		Attrs map[string]json.RawMessage `json:"attrs"`
 	}
 	dec := json.NewDecoder(strings.NewReader(line))
@@ -195,7 +224,11 @@ func (s *Server) parseEvent(line string) (event.Event, error) {
 		}
 		attrs[i] = v
 	}
-	return event.Event{Time: event.Time(*raw.Time), Attrs: attrs}, nil
+	e := event.Event{Seq: -1, Time: event.Time(*raw.Time), Attrs: attrs}
+	if raw.Seq != nil {
+		e.Seq = int(*raw.Seq)
+	}
+	return e, nil
 }
 
 // parseJSONValue decodes one attribute value of the field's type.
@@ -388,7 +421,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid follow value %q", v)})
 		return
 	}
+	fold := false
+	switch v := r.URL.Query().Get("fold"); v {
+	case "", "0", "false":
+	case "1", "true":
+		fold = true
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid fold value %q", v)})
+		return
+	}
 	s.statsRequests.Inc()
+	if fold {
+		// The machine-readable merge form for cluster routers: raw
+		// accumulators, all groups (HAVING is re-applied after the
+		// cross-partition merge). Snapshot only.
+		data := q.agg.FoldStats()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		w.Write([]byte{'\n'})
+		return
+	}
 	if !follow {
 		data, _, _ := q.agg.Stats(0)
 		w.Header().Set("Content-Type", "application/json")

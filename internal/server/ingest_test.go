@@ -84,7 +84,7 @@ func sameEvents(a, b []event.Event) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].Time != b[i].Time || len(a[i].Attrs) != len(b[i].Attrs) {
+		if a[i].Seq != b[i].Seq || a[i].Time != b[i].Time || len(a[i].Attrs) != len(b[i].Attrs) {
 			return false
 		}
 		for j := range a[i].Attrs {
@@ -123,6 +123,17 @@ func TestBlockDecoderMatchesReference(t *testing.T) {
 	ok := `"ID": 1, "L": "x", "V": 1.5`
 	lines := []string{
 		// plain accepts
+		// explicit "seq" (cluster ingest): optional, folded, null resets,
+		// non-integers reject
+		`{"time": 3, "seq": 7, "attrs": {` + ok + `}}`,
+		`{"seq": 0, "attrs": {` + ok + `}, "time": 3}`,
+		`{"SEQ": 2, "time": 3, "attrs": {` + ok + `}}`,
+		`{"seq": 1, "seq": null, "time": 3, "attrs": {` + ok + `}}`,
+		`{"seq": null, "seq": 4, "time": 3, "attrs": {` + ok + `}}`,
+		`{"seq": -3, "time": 3, "attrs": {` + ok + `}}`,
+		`{"seq": 1.5, "time": 3, "attrs": {` + ok + `}}`,
+		`{"seq": "1", "time": 3, "attrs": {` + ok + `}}`,
+		`{"seq": 9223372036854775808, "time": 3, "attrs": {` + ok + `}}`,
 		`{"time": 3, "attrs": {` + ok + `}}`,
 		`{"attrs": {` + ok + `}, "time": -7}`,
 		` { "time" : 3 , "attrs" : { "ID" : 1 , "L" : "x" , "V" : 2 } } `,
@@ -321,6 +332,8 @@ func FuzzBlockDecoder(f *testing.F) {
 	f.Add([]byte(`{"attrs": {"ID": 1}, "attrs": null, "time": 3}`))
 	f.Add([]byte(`{"time": 1.0, "attrs": {"ID": 01, "L": 2, "V": [{}]}}`))
 	f.Add([]byte("null\n{\"time\": 3, \"attrs\": {\"ID\": null, \"L\": null, \"V\": null}}x"))
+	f.Add([]byte(`{"seq": 12, "time": 3, "attrs": {"ID": 1, "L": "x", "V": 1.5}}`))
+	f.Add([]byte(`{"seq": null, "SEQ": 1.0, "time": 3, "attrs": {"ID": 1, "L": "x", "V": 0}}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		refEvs, refLine, refErr := referenceDecode(srv, body)
 		gotEvs, gotLine, gotErr := blockDecode(schema, body)

@@ -1,0 +1,153 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/server"
+)
+
+func ownershipSchema(t *testing.T) *event.Schema {
+	t.Helper()
+	return event.MustSchema(
+		event.Field{Name: "ID", Type: event.TypeInt},
+		event.Field{Name: "L", Type: event.TypeString},
+	)
+}
+
+// splitKeys returns one ID hashing inside own's slice and one outside.
+func splitKeys(t *testing.T, own *cluster.Ownership) (owned, foreign int64) {
+	t.Helper()
+	owned, foreign = -1, -1
+	for k := int64(0); k < 1000 && (owned < 0 || foreign < 0); k++ {
+		if own.Owns(cluster.SlotOf(event.Int(k), own.Slots)) {
+			if owned < 0 {
+				owned = k
+			}
+		} else if foreign < 0 {
+			foreign = k
+		}
+	}
+	if owned < 0 || foreign < 0 {
+		t.Fatalf("no key split found for slice [%d,%d) of %d", own.Lo, own.Hi, own.Slots)
+	}
+	return owned, foreign
+}
+
+// An ownership-configured server is the receiving half of the cluster
+// contract: it must reject events outside its keyspace slice with a
+// routable error, require router-assigned sequence numbers, drop
+// redelivered prefixes idempotently, and reject sequence regressions
+// within a batch.
+func TestOwnershipIngest(t *testing.T) {
+	own := &cluster.Ownership{Key: "ID", Slots: 16, Lo: 0, Hi: 8}
+	s, err := server.New(server.Config{Schema: ownershipSchema(t), Ownership: own})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ownedKey, foreignKey := splitKeys(t, own)
+
+	mk := func(key int64, seq int, tm int) event.Event {
+		return event.Event{
+			Seq:   seq,
+			Time:  event.Time(tm),
+			Attrs: []event.Value{event.Int(key), event.String("x")},
+		}
+	}
+
+	if _, err := s.Ingest([]event.Event{mk(foreignKey, 0, 0)}); !errors.Is(err, server.ErrNotOwned) {
+		t.Fatalf("foreign-key ingest error = %v, want ErrNotOwned", err)
+	}
+	if _, err := s.Ingest([]event.Event{mk(ownedKey, -1, 0)}); err == nil ||
+		!strings.Contains(err.Error(), "non-negative seq") {
+		t.Fatalf("seq-less ingest error = %v, want non-negative seq requirement", err)
+	}
+	// A mixed batch is rejected whole: nothing before the foreign event
+	// may have been dispatched.
+	if _, err := s.Ingest([]event.Event{mk(ownedKey, 0, 0), mk(foreignKey, 1, 1)}); !errors.Is(err, server.ErrNotOwned) {
+		t.Fatalf("mixed-batch ingest error = %v, want ErrNotOwned", err)
+	}
+	if got := s.LastSeq(); got != -1 {
+		t.Fatalf("LastSeq after rejected batches = %d, want -1", got)
+	}
+
+	// Fresh batch with gapped router seqs (a partition sees only its
+	// slice of the global sequence).
+	if n, err := s.Ingest([]event.Event{mk(ownedKey, 3, 0), mk(ownedKey, 7, 1)}); err != nil || n != 2 {
+		t.Fatalf("first batch: n=%d err=%v, want 2, nil", n, err)
+	}
+	if got := s.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq = %d, want 7", got)
+	}
+
+	// Router retry after failover: the acknowledged prefix is dropped,
+	// the fresh suffix ingested.
+	if n, err := s.Ingest([]event.Event{mk(ownedKey, 3, 0), mk(ownedKey, 7, 1), mk(ownedKey, 9, 2)}); err != nil || n != 1 {
+		t.Fatalf("redelivered batch: n=%d err=%v, want 1, nil", n, err)
+	}
+	if got := s.Deduped(); got != 2 {
+		t.Fatalf("Deduped = %d, want 2", got)
+	}
+	if got := s.LastSeq(); got != 9 {
+		t.Fatalf("LastSeq after redelivery = %d, want 9", got)
+	}
+
+	// A fully duplicate batch is a silent no-op.
+	if n, err := s.Ingest([]event.Event{mk(ownedKey, 9, 2)}); err != nil || n != 0 {
+		t.Fatalf("duplicate batch: n=%d err=%v, want 0, nil", n, err)
+	}
+	if got := s.Deduped(); got != 3 {
+		t.Fatalf("Deduped after duplicate batch = %d, want 3", got)
+	}
+
+	// Fresh seqs must be strictly increasing within the batch.
+	if _, err := s.Ingest([]event.Event{mk(ownedKey, 12, 3), mk(ownedKey, 11, 4)}); err == nil ||
+		!strings.Contains(err.Error(), "not strictly increasing") {
+		t.Fatalf("regressing batch error = %v, want strictly-increasing violation", err)
+	}
+	if got := s.LastSeq(); got != 9 {
+		t.Fatalf("LastSeq after rejected regression = %d, want 9", got)
+	}
+}
+
+// A misdirected event over HTTP maps to 421 Misdirected Request with
+// state "not-owned" — the signal sesrouter treats as permanent
+// (re-routing is the fix, not retrying the same node).
+func TestOwnershipHTTPMisdirected(t *testing.T) {
+	own := &cluster.Ownership{Key: "ID", Slots: 16, Lo: 0, Hi: 8}
+	s, err := server.New(server.Config{Schema: ownershipSchema(t), Ownership: own})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ownedKey, foreignKey := splitKeys(t, own)
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/events", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	line := func(key int64, seq, tm int) string {
+		return fmt.Sprintf(`{"seq":%d,"time":%d,"attrs":{"ID":%d,"L":"x"}}`, seq, tm, key)
+	}
+	if resp := post(line(foreignKey, 0, 0)); resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign-key POST status = %d, want 421", resp.StatusCode)
+	}
+	if resp := post(line(ownedKey, 0, 0)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owned-key POST status = %d, want 200", resp.StatusCode)
+	}
+}

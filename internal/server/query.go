@@ -129,6 +129,18 @@ type QueryInfo struct {
 	// buffered, LogEnd is the offset the next match will get.
 	LogStart int64 `json:"log_start"`
 	LogEnd   int64 `json:"log_end"`
+	// ProcessedThrough, when present, is the pipeline's stream clock:
+	// the highest event time stepped through the automaton. Every
+	// match whose window closed strictly before it has been handed to
+	// the match log's collector, and no later match can close a window
+	// below it (resilience.Supervisor.CompletedThrough). Emitted
+	// counts matches handed to the collector — it leads Matches
+	// (appended to the log) by at most the handoff in flight. Together
+	// they let a cluster router prove a partition can no longer
+	// produce a match sorting at or before a release horizon. Only
+	// supervised pipelines report ProcessedThrough.
+	ProcessedThrough *int64 `json:"processed_through,omitempty"`
+	Emitted          int64  `json:"emitted"`
 	// Done reports that the pipeline has terminated (drained, removed
 	// or failed); Err carries its terminal error, if any.
 	Done bool   `json:"done"`
@@ -143,6 +155,11 @@ type QueryInfo struct {
 	// ReplayLag is the number of WAL records between the catch-up
 	// feeder's position and the log tail; 0 once live.
 	ReplayLag int64 `json:"replay_lag,omitempty"`
+	// Window is the query's WITHIN duration in time ticks (the paper's
+	// τ). A cluster router uses it as the merge horizon: a match with
+	// window start f cannot be preceded by a later-arriving match from
+	// another partition once every partition's stream time passed f+τ.
+	Window int64 `json:"window"`
 	// Aggregate reports that the query carries an AGGREGATE clause and
 	// serves GET /queries/{id}/stats. AggVersion is the aggregate fold
 	// counter (the stats document's ver) and AggGroups the number of

@@ -150,6 +150,9 @@ type ReplicatedQuery struct {
 	Spec QuerySpec `json:"spec"`
 	// RegisteredAt is the leader's WAL offset fence for the query.
 	RegisteredAt int64 `json:"registered_at"`
+	// RegisteredSeq is the same fence in sequence coordinates; it
+	// diverges from RegisteredAt only on explicit-seq (cluster) logs.
+	RegisteredSeq int64 `json:"registered_seq,omitempty"`
 	// Backfill echoes whether the query was registered against
 	// retained history.
 	Backfill bool `json:"backfill,omitempty"`
@@ -163,7 +166,7 @@ func (s *Server) ReplicatedQueries() []ReplicatedQuery {
 	out := make([]ReplicatedQuery, 0, len(s.order))
 	for _, id := range s.order {
 		q := s.queries[id]
-		out = append(out, ReplicatedQuery{Spec: q.spec, RegisteredAt: q.registeredAt, Backfill: q.backfill})
+		out = append(out, ReplicatedQuery{Spec: q.spec, RegisteredAt: q.registeredAt, RegisteredSeq: q.fenceSeq, Backfill: q.backfill})
 	}
 	return out
 }
@@ -205,9 +208,15 @@ func (s *Server) SyncReplicatedQueries(queries []ReplicatedQuery) error {
 		}
 		reg := registration{
 			registeredAt: rq.RegisteredAt,
+			fenceSeq:     rq.RegisteredSeq,
 			catchUp:      true,
 			replayFrom:   rq.RegisteredAt,
 			backfill:     rq.Backfill,
+		}
+		if reg.fenceSeq == 0 && s.cfg.Ownership == nil {
+			// Manifests from pre-cluster leaders carry no sequence fence;
+			// offsets are the sequence numbers there.
+			reg.fenceSeq = reg.registeredAt
 		}
 		if _, err := s.addQuery(rq.Spec, reg); err != nil && !errors.Is(err, ErrDuplicate) {
 			errs = append(errs, fmt.Errorf("server: replicating query %q: %w", rq.Spec.ID, err))

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/automaton"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/obs"
@@ -33,6 +34,11 @@ var (
 	ErrDuplicate = errors.New("server: duplicate query")
 	// ErrNotFound reports an unknown query id.
 	ErrNotFound = errors.New("server: no such query")
+	// ErrNotOwned rejects an event whose partition key hashes outside
+	// the server's owned keyspace slice (Config.Ownership): the event
+	// was routed to the wrong node. The HTTP layer maps it to 421
+	// Misdirected Request so a router can re-resolve the topology.
+	ErrNotOwned = errors.New("server: event key outside owned keyspace slice")
 )
 
 // Config parameterizes a Server. Schema is required; every other
@@ -101,6 +107,15 @@ type Config struct {
 	// NewAutomatonCache). Servers sharing one cache must share a schema.
 	// When nil the server creates a private cache.
 	Automata *AutomatonCache
+	// Ownership, when non-nil, declares the slice of the cluster
+	// keyspace this server owns and switches ingest into explicit
+	// sequence mode: every ingested event must carry a router-assigned
+	// global sequence number (strictly increasing; duplicates from
+	// router retries are dropped idempotently), its partition key must
+	// hash into the owned slot range (ErrNotOwned otherwise), and the
+	// WAL — when enabled — persists the sequence with each record so
+	// replay and replication keep the cluster-global numbering.
+	Ownership *cluster.Ownership
 	// NoCompile runs every query's transition conditions through the
 	// generic event.Compare interpreter instead of the kind-specialized
 	// compiled predicates. Match streams are byte-identical either way
@@ -174,6 +189,21 @@ type Server struct {
 	// ingestSeq numbers the stream positions stamped into dispatched
 	// events when no WAL assigns offsets; guarded by ingestMu.
 	ingestSeq int64
+	// ownKeyIdx is the schema index of the ownership partition key
+	// (-1 without Ownership).
+	ownKeyIdx int
+	// lastSeq is the highest explicit sequence number dispatched or
+	// recovered (-1 before the first); written under ingestMu, read
+	// lock-free by /healthz and the dedupe gate. Meaningful only with
+	// Ownership.
+	lastSeq atomic.Int64
+	// lastTime is the highest event time dispatched (MinInt64 before
+	// the first); the router's merge watermark. Written under ingestMu.
+	lastTime atomic.Int64
+	// deduped counts events dropped as duplicate deliveries (seq at or
+	// below lastSeq), the idempotence of router retries; guarded by
+	// ingestMu for writes.
+	deduped atomic.Int64
 	// autos shares compiled automata across registrations.
 	autos *AutomatonCache
 
@@ -224,6 +254,13 @@ type queryState struct {
 	// started live, and a restarted server rebuilds the query's state
 	// from this offset when no checkpoint narrows the replay.
 	registeredAt int64
+	// fenceSeq is the same fence in sequence-number coordinates: live
+	// blocks whose events carry Seq below it are narrowed away
+	// (deliverBlock). It equals registeredAt on a non-explicit log,
+	// where offsets are the sequence numbers; under Config.Ownership
+	// the two coordinate systems diverge and the fence is stamped from
+	// the explicit-seq high-water instead.
+	fenceSeq int64
 	// backfill records that the query was registered against retained
 	// history (AddQueryBackfill).
 	backfill bool
@@ -313,6 +350,16 @@ func (q *queryState) info() QueryInfo {
 		Backfill:    q.backfill,
 		CatchingUp:  q.catchingUp.Load(),
 		ReplayLag:   q.replayLag.Load(),
+		Window:      int64(q.auto.Within),
+	}
+	if q.sup != nil {
+		// Watermark before emitted count: a reader pairing the two to
+		// prove quiescence needs every match at or below the watermark
+		// included in the count (resilience.Supervisor.CompletedThrough).
+		if w, ok := q.sup.CompletedThrough(); ok {
+			info.ProcessedThrough = &w
+		}
+		info.Emitted = q.sup.Emitted()
 	}
 	if q.agg != nil {
 		info.Aggregate = true
@@ -360,6 +407,21 @@ func New(cfg Config) (*Server, error) {
 		s.autos = NewAutomatonCache(0)
 	}
 	s.route.Store(&routeSnapshot{})
+	s.ownKeyIdx = -1
+	s.lastSeq.Store(-1)
+	s.lastTime.Store(noLastStart)
+	if own := cfg.Ownership; own != nil {
+		if err := own.Validate(); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		idx, ok := cfg.Schema.Index(own.Key)
+		if !ok {
+			cancel()
+			return nil, fmt.Errorf("server: ownership partition key %q is not in the schema (%s)", own.Key, cfg.Schema)
+		}
+		s.ownKeyIdx = idx
+	}
 	if cfg.Registry != nil {
 		s.eventsIngested = cfg.Registry.Counter("ses_server_events_ingested_total",
 			"Events accepted by the shared ingest path.")
@@ -412,11 +474,15 @@ func New(cfg Config) (*Server, error) {
 			RetainBytes:       cfg.WALRetainBytes,
 			RetainAge:         cfg.WALRetainAge,
 			UnshippedCapBytes: cfg.WALUnshippedCapBytes,
+			ExplicitSeq:       cfg.Ownership != nil,
 			Registry:          cfg.Registry,
 		})
 		if err != nil {
 			cancel()
 			return nil, err
+		}
+		if cfg.Ownership != nil {
+			s.lastSeq.Store(s.wal.LastSeq())
 		}
 	}
 	if cfg.CheckpointDir != "" {
@@ -430,7 +496,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		for _, spec := range m.Queries {
-			reg := registration{registeredAt: m.offsetOf(spec.ID), backfill: m.backfillOf(spec.ID)}
+			reg := registration{
+				registeredAt: m.offsetOf(spec.ID),
+				fenceSeq:     m.seqOf(spec.ID),
+				backfill:     m.backfillOf(spec.ID),
+			}
+			if reg.fenceSeq == 0 && cfg.Ownership == nil {
+				// Pre-cluster manifests carry no sequence fence; offsets
+				// are the sequence numbers there.
+				reg.fenceSeq = reg.registeredAt
+			}
 			if s.wal != nil {
 				// Replay the query's un-checkpointed suffix from the
 				// server's own log: a supervised query resumes at the
@@ -443,6 +518,11 @@ func New(cfg Config) (*Server, error) {
 					if w, ok, err := resilience.CheckpointOffset(ckpt); err != nil {
 						s.Close()
 						return nil, fmt.Errorf("server: restoring query %q: %w", spec.ID, err)
+					} else if ok && s.wal.ExplicitSeq() {
+						// The checkpoint watermark is an explicit sequence
+						// number, not a replay offset: replay the full
+						// registration suffix and filter by sequence.
+						reg.skipBelowSeq = w + 1
 					} else if ok {
 						reg.replayFrom = w + 1
 					}
@@ -492,10 +572,19 @@ type registration struct {
 	// (ignored without a WAL). For a live registration the caller
 	// leaves it to be stamped under the ingest lock.
 	registeredAt int64
+	// fenceSeq is the registration fence in sequence coordinates; like
+	// registeredAt it is stamped under the ingest lock when stampFence
+	// is set.
+	fenceSeq int64
 	// catchUp starts a feeder that streams the WAL from replayFrom into
 	// the mailbox before handing off to live fan-out.
 	catchUp    bool
 	replayFrom int64
+	// skipBelowSeq filters the catch-up replay: records with a sequence
+	// number below it are read past without delivery (0 delivers
+	// everything). Explicit-seq checkpoint resumption sets it, because
+	// a checkpoint watermark is a sequence, not a replay offset.
+	skipBelowSeq int64
 	// backfill marks an AddQueryBackfill registration (cosmetic: it is
 	// reported in QueryInfo and persisted in the manifest).
 	backfill bool
@@ -613,18 +702,29 @@ func (s *Server) addQuery(spec QuerySpec, reg registration) (QueryInfo, error) {
 		} else {
 			reg.registeredAt = s.wal.NextOffset()
 		}
+		if s.cfg.Ownership != nil {
+			// In sequence coordinates the live fence is the next global
+			// sequence: everything at or below lastSeq is history (the
+			// backfill feeder's domain), everything above arrives live.
+			reg.fenceSeq = s.lastSeq.Load() + 1
+		} else {
+			reg.fenceSeq = reg.registeredAt
+		}
+	} else if reg.stampFence {
+		reg.fenceSeq = reg.registeredAt
 	}
 	q, err := s.startPipeline(spec, auto, fp, plan)
 	if err != nil {
 		return QueryInfo{}, err
 	}
 	q.registeredAt = reg.registeredAt
+	q.fenceSeq = reg.fenceSeq
 	q.backfill = reg.backfill
 	q.lastFed.Store(reg.replayFrom - 1)
 	if reg.catchUp && s.wal != nil {
 		q.catchingUp.Store(true)
 		s.feeders.Add(1)
-		go s.catchUp(q, reg.replayFrom)
+		go s.catchUp(q, reg.replayFrom, reg.skipBelowSeq-1)
 	}
 	s.queries[spec.ID] = q
 	s.order = append(s.order, spec.ID)
@@ -921,12 +1021,22 @@ func (s *Server) Ingest(events []event.Event) (int, error) {
 // of Ingest (leader write path) and ApplyReplicated (follower apply
 // path).
 func (s *Server) dispatch(events []event.Event) (int, error) {
+	own := s.cfg.Ownership
 	for i := range events {
 		if err := s.cfg.Schema.Check(events[i].Attrs); err != nil {
 			return 0, fmt.Errorf("server: event %d: %w", i, err)
 		}
 		if event.SentinelTime(events[i].Time) {
 			return 0, fmt.Errorf("server: event %d: timestamp %d is a reserved sentinel", i, events[i].Time)
+		}
+		if own != nil {
+			if slot := own.Slot(events[i].Attrs[s.ownKeyIdx]); !own.Owns(slot) {
+				return 0, fmt.Errorf("%w: event %d hashes to slot %d, this node owns [%d,%d)",
+					ErrNotOwned, i, slot, own.Lo, own.Hi)
+			}
+			if events[i].Seq < 0 {
+				return 0, fmt.Errorf("server: event %d: explicit-seq ingest requires a non-negative seq, got %d", i, events[i].Seq)
+			}
 		}
 	}
 
@@ -944,6 +1054,31 @@ func (s *Server) dispatch(events []event.Event) (int, error) {
 	// at or before this batch.
 	snap := s.routeSnap()
 
+	// Under Ownership the batch carries router-assigned sequence
+	// numbers: duplicate deliveries (a router retrying a sub-batch the
+	// node already acknowledged before its peer failed over) are
+	// dropped idempotently, and the fresh suffix must be strictly
+	// increasing.
+	if own != nil {
+		last := s.lastSeq.Load()
+		kept := make([]event.Event, 0, len(events))
+		for i := range events {
+			sq := int64(events[i].Seq)
+			if sq <= last {
+				continue
+			}
+			if len(kept) > 0 && sq <= int64(kept[len(kept)-1].Seq) {
+				return 0, fmt.Errorf("server: event %d: seq %d is not strictly increasing within the batch", i, sq)
+			}
+			kept = append(kept, events[i])
+		}
+		s.deduped.Add(int64(len(events) - len(kept)))
+		if len(kept) == 0 {
+			return 0, nil
+		}
+		events = kept
+	}
+
 	// Decode once, share everywhere: the batch is copied into one
 	// immutable block (callers may retain their slice), the offsets are
 	// stamped into the copy's Seq fields, and every query receives a
@@ -958,21 +1093,34 @@ func (s *Server) dispatch(events []event.Event) (int, error) {
 	// Without a WAL the positions come from a plain ingest counter:
 	// block-mode pipelines preserve incoming Seq, so every query's
 	// matches carry global stream positions regardless of how the
-	// stream was routed to it.
+	// stream was routed to it. Under Ownership the sequence numbers
+	// arrived with the events and are persisted verbatim.
 	if s.wal != nil {
-		off, err := s.wal.AppendBatch(events)
+		off, err := s.wal.AppendBatch(shared)
 		if err != nil {
 			return 0, err
 		}
-		for i := range shared {
-			shared[i].Seq = int(off + int64(i))
+		if own == nil {
+			for i := range shared {
+				shared[i].Seq = int(off + int64(i))
+			}
 		}
-	} else {
+	} else if own == nil {
 		for i := range shared {
 			shared[i].Seq = int(s.ingestSeq) + i
 		}
 		s.ingestSeq += int64(len(shared))
 	}
+	if own != nil {
+		s.lastSeq.Store(int64(shared[len(shared)-1].Seq))
+	}
+	hi := s.lastTime.Load()
+	for i := range shared {
+		if t := int64(shared[i].Time); t > hi {
+			hi = t
+		}
+	}
+	s.lastTime.Store(hi)
 	s.routeBatch(snap, shared)
 	s.eventsIngested.Add(int64(len(events)))
 	s.ingestBatches.Inc()
@@ -989,8 +1137,8 @@ func (s *Server) deliverBlock(q *queryState, blk event.Block) {
 		// delivers them in offset order and hands off at the tail.
 		return
 	}
-	if s.wal != nil && q.registeredAt > 0 && blk.Len() > 0 &&
-		int64(blk.At(0).Seq) < q.registeredAt {
+	if s.wal != nil && q.fenceSeq > 0 && blk.Len() > 0 &&
+		int64(blk.At(0).Seq) < q.fenceSeq {
 		// Part of the block lies below the query's offset fence. On a
 		// leader this cannot happen (the fence is stamped at the tail
 		// under the ingest lock); on a follower a replicated query may
@@ -999,7 +1147,7 @@ func (s *Server) deliverBlock(q *queryState, blk event.Block) {
 		// block to the fenced suffix.
 		ix := make([]int32, 0, blk.Len())
 		for i := 0; i < blk.Len(); i++ {
-			if int64(blk.At(i).Seq) >= q.registeredAt {
+			if int64(blk.At(i).Seq) >= q.fenceSeq {
 				if blk.Idx != nil {
 					ix = append(ix, blk.Idx[i])
 				} else {
@@ -1117,6 +1265,27 @@ func (s *Server) drain(ctx context.Context) error {
 	return err
 }
 
+// Ownership returns the server's keyspace slice, nil when the server
+// owns the whole keyspace (non-cluster deployment).
+func (s *Server) Ownership() *cluster.Ownership { return s.cfg.Ownership }
+
+// LastSeq returns the highest explicit sequence number dispatched or
+// recovered (-1 before the first); only meaningful with Ownership.
+// Routers probe it at startup to resume the global numbering.
+func (s *Server) LastSeq() int64 { return s.lastSeq.Load() }
+
+// LastTime returns the highest event time dispatched, or (false) when
+// nothing has been ingested. Routers use it as the merge watermark: a
+// node has emitted every match whose window closed before this time.
+func (s *Server) LastTime() (int64, bool) {
+	t := s.lastTime.Load()
+	return t, t != noLastStart
+}
+
+// Deduped returns the number of events dropped as duplicate deliveries
+// under explicit-seq ingest.
+func (s *Server) Deduped() int64 { return s.deduped.Load() }
+
 // Close stops the server immediately, cancelling every pipeline
 // without flushing or checkpointing. Use Drain for a graceful stop.
 func (s *Server) Close() {
@@ -1139,6 +1308,9 @@ type manifest struct {
 type manifestOffset struct {
 	// Registered is the WAL offset fence assigned at registration.
 	Registered int64 `json:"registered"`
+	// Seq is the registration fence in sequence coordinates (equal to
+	// Registered on non-explicit logs; absent in older manifests).
+	Seq int64 `json:"seq,omitempty"`
 	// Backfill echoes that the query was registered against history.
 	Backfill bool `json:"backfill,omitempty"`
 }
@@ -1146,6 +1318,9 @@ type manifestOffset struct {
 // offsetOf returns the recorded registration offset of a query (0 for
 // pre-WAL manifests).
 func (m manifest) offsetOf(id string) int64 { return m.Offsets[id].Registered }
+
+// seqOf returns the recorded sequence fence of a query.
+func (m manifest) seqOf(id string) int64 { return m.Offsets[id].Seq }
 
 // backfillOf returns the recorded backfill flag of a query.
 func (m manifest) backfillOf(id string) bool { return m.Offsets[id].Backfill }
@@ -1164,7 +1339,7 @@ func (s *Server) saveManifestLocked() error {
 		q := s.queries[id]
 		m.Queries = append(m.Queries, q.spec)
 		if m.Offsets != nil {
-			m.Offsets[id] = manifestOffset{Registered: q.registeredAt, Backfill: q.backfill}
+			m.Offsets[id] = manifestOffset{Registered: q.registeredAt, Seq: q.fenceSeq, Backfill: q.backfill}
 		}
 	}
 	data, err := json.MarshalIndent(m, "", "  ")

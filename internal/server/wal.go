@@ -27,8 +27,12 @@ const replayBatch = 256
 // exactly the offset where live delivery takes over. It runs as a
 // goroutine registered in s.feeders; live fan-out skips the query
 // while q.catchingUp is set. Records are delivered in blocks of up to
-// replayBatch events (see feedReplay).
-func (s *Server) catchUp(q *queryState, from int64) {
+// replayBatch events (see feedReplay). Records whose sequence number
+// is at or below skipSeq are read past without delivery: under an
+// explicit-seq log a checkpoint watermark is a sequence number, not a
+// replay offset, so resumption filters by sequence instead of
+// advancing the reader (pass -1 to deliver everything).
+func (s *Server) catchUp(q *queryState, from, skipSeq int64) {
 	defer s.feeders.Done()
 	r := s.wal.NewReader(from)
 	defer r.Close()
@@ -37,14 +41,19 @@ func (s *Server) catchUp(q *queryState, from int64) {
 	// (NextInto + BlockBuilder), with each delivered block cut loose
 	// by Take so the pipeline owns it exclusively.
 	bb := event.NewBlockBuilder(s.cfg.Schema.NumFields(), replayBatch)
+	lastOff := int64(-1)
 	for {
 		row := bb.Row()
-		off, t, err := r.NextInto(row)
+		off, seq, t, err := r.NextInto(row)
 		switch {
 		case err == nil:
-			bb.Commit(event.Event{Seq: int(off), Time: t, Attrs: row})
+			if seq <= skipSeq {
+				continue
+			}
+			bb.Commit(event.Event{Seq: int(seq), Time: t, Attrs: row})
+			lastOff = off
 			if bb.Len() >= replayBatch {
-				if !s.feedReplay(q, bb.Take()) {
+				if !s.feedReplay(q, bb.Take(), lastOff) {
 					return
 				}
 			}
@@ -57,14 +66,14 @@ func (s *Server) catchUp(q *queryState, from int64) {
 			// this feeder, every offset from it on comes through live
 			// fan-out.
 			if bb.Len() > 0 {
-				if !s.feedReplay(q, bb.Take()) {
+				if !s.feedReplay(q, bb.Take(), lastOff) {
 					return
 				}
 			}
 			s.ingestMu.Lock()
 			for {
 				row := bb.Row()
-				off, t, err := r.NextInto(row)
+				off, seq, t, err := r.NextInto(row)
 				if errors.Is(err, io.EOF) {
 					break
 				}
@@ -74,9 +83,13 @@ func (s *Server) catchUp(q *queryState, from int64) {
 					s.ingestMu.Unlock()
 					return
 				}
-				bb.Commit(event.Event{Seq: int(off), Time: t, Attrs: row})
+				if seq <= skipSeq {
+					continue
+				}
+				bb.Commit(event.Event{Seq: int(seq), Time: t, Attrs: row})
+				lastOff = off
 			}
-			if bb.Len() > 0 && !s.feedReplay(q, bb.Take()) {
+			if bb.Len() > 0 && !s.feedReplay(q, bb.Take(), lastOff) {
 				s.ingestMu.Unlock()
 				return
 			}
@@ -90,7 +103,7 @@ func (s *Server) catchUp(q *queryState, from int64) {
 			// not silently skipped. The pending block precedes the gap,
 			// so it is flushed first.
 			if bb.Len() > 0 {
-				if !s.feedReplay(q, bb.Take()) {
+				if !s.feedReplay(q, bb.Take(), lastOff) {
 					return
 				}
 			}
@@ -108,16 +121,16 @@ func (s *Server) catchUp(q *queryState, from int64) {
 }
 
 // feedReplay delivers one block of replayed WAL records (Seq already
-// stamped, offsets contiguous) into the query's mailbox, blocking
-// until the pipeline accepts it. The caller must not reuse the slice
-// after a successful send — the block is shared with the pipeline. It
-// returns false when the feeder must stop: the query was removed, its
-// pipeline terminated, the server began draining, or it was closed.
-// The query's admission policy is deliberately ignored — replay is
-// sequential and self-paced, so backpressure (not shedding) is always
-// correct here.
-func (s *Server) feedReplay(q *queryState, batch []event.Event) bool {
-	last := int64(batch[len(batch)-1].Seq)
+// stamped; lastOff is the WAL offset of the block's final record)
+// into the query's mailbox, blocking until the pipeline accepts it.
+// The caller must not reuse the slice after a successful send — the
+// block is shared with the pipeline. It returns false when the feeder
+// must stop: the query was removed, its pipeline terminated, the
+// server began draining, or it was closed. The query's admission
+// policy is deliberately ignored — replay is sequential and
+// self-paced, so backpressure (not shedding) is always correct here.
+func (s *Server) feedReplay(q *queryState, batch []event.Event, lastOff int64) bool {
+	last := lastOff
 	select {
 	case q.mailbox <- event.Block{Events: batch}:
 		q.lastFed.Store(last)

@@ -43,31 +43,36 @@ func (r *Reader) Offset() int64 { return r.off }
 // Next returns the next committed record and its offset. io.EOF means
 // the reader is caught up with the writer (retry later); ErrTruncated
 // means the offset was reclaimed by retention; any other error is
-// corruption or I/O failure.
+// corruption or I/O failure. Under an explicit-seq log the returned
+// event's Seq carries the persisted sequence number; otherwise it is
+// the record offset.
 func (r *Reader) Next() (int64, event.Event, error) {
 	attrs := make([]event.Value, r.l.opt.Schema.NumFields())
-	off, t, err := r.NextInto(attrs)
+	off, seq, t, err := r.NextInto(attrs)
 	if err != nil {
 		return 0, event.Event{}, err
 	}
-	return off, event.Event{Time: t, Attrs: attrs}, nil
+	return off, event.Event{Seq: int(seq), Time: t, Attrs: attrs}, nil
 }
 
 // NextInto is Next decoding the record's attribute values into the
-// caller-provided slice (len == schema fields), avoiding the
-// per-record allocation: batch replay cuts rows from a shared block
-// arena instead of re-boxing every event.
-func (r *Reader) NextInto(attrs []event.Value) (int64, event.Time, error) {
+// caller-provided slice (len == schema fields, or nil to skip
+// attribute materialization), avoiding the per-record allocation:
+// batch replay cuts rows from a shared block arena instead of
+// re-boxing every event. The returned seq is the record's persisted
+// sequence number under an explicit-seq log and the record offset
+// otherwise, so callers can stamp event.Seq uniformly.
+func (r *Reader) NextInto(attrs []event.Value) (int64, int64, event.Time, error) {
 	for {
 		if r.off >= r.l.NextOffset() {
-			return 0, 0, io.EOF
+			return 0, 0, 0, io.EOF
 		}
 		if r.off < r.l.FirstOffset() && r.file == nil {
-			return 0, 0, ErrTruncated
+			return 0, 0, 0, ErrTruncated
 		}
 		if r.file == nil {
 			if err := r.open(); err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 		}
 		payload, err := readFrame(r.file, r.buf)
@@ -80,16 +85,25 @@ func (r *Reader) NextInto(attrs []event.Value) (int64, event.Time, error) {
 			continue
 		}
 		if err != nil {
-			return 0, 0, fmt.Errorf("record %d: %w", r.off, err)
+			return 0, 0, 0, fmt.Errorf("record %d: %w", r.off, err)
 		}
 		r.buf = payload[:0]
+		seq := r.off
+		if r.l.opt.ExplicitSeq {
+			var rest []byte
+			seq, rest, err = splitSeq(payload)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("record %d: %w", r.off, err)
+			}
+			payload = rest
+		}
 		t, err := decodeEventBody(payload, r.l.opt.Schema, attrs)
 		if err != nil {
-			return 0, 0, fmt.Errorf("record %d: %w", r.off, err)
+			return 0, 0, 0, fmt.Errorf("record %d: %w", r.off, err)
 		}
 		off := r.off
 		r.off++
-		return off, t, nil
+		return off, seq, t, nil
 	}
 }
 
@@ -109,7 +123,7 @@ func (r *Reader) open() error {
 		}
 		return fmt.Errorf("wal: %w", err)
 	}
-	if _, _, err := readHeader(f, r.l.opt.Schema); err != nil {
+	if _, _, err := readHeader(f, r.l.opt.Schema, r.l.opt.ExplicitSeq); err != nil {
 		f.Close()
 		return err
 	}

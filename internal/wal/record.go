@@ -131,6 +131,59 @@ func decodeEventBody(data []byte, schema *event.Schema, attrs []event.Value) (ev
 	return event.Time(t), nil
 }
 
+// seqSchemaSuffix marks segment headers of logs written in explicit
+// sequence mode (Options.ExplicitSeq): every record payload is
+// prefixed with a varint sequence number assigned by the producer
+// (a cluster router) instead of deriving sequence from offset. The
+// marker makes the two encodings mutually unreadable, so a log can
+// never be silently reopened in the wrong mode.
+const seqSchemaSuffix = "#seq"
+
+// EncodeEventSeq is EncodeEvent for explicit-seq logs: the payload is
+// the event's global sequence number (varint) followed by the
+// canonical event encoding.
+func EncodeEventSeq(dst []byte, schema *event.Schema, e *event.Event) []byte {
+	dst = binary.AppendVarint(dst, int64(e.Seq))
+	return EncodeEvent(dst, schema, e)
+}
+
+// DecodeEventSeq reverses EncodeEventSeq; the returned event carries
+// the persisted sequence number.
+func DecodeEventSeq(data []byte, schema *event.Schema) (event.Event, error) {
+	seq, rest, err := splitSeq(data)
+	if err != nil {
+		return event.Event{}, err
+	}
+	e, err := DecodeEvent(rest, schema)
+	if err != nil {
+		return event.Event{}, err
+	}
+	e.Seq = int(seq)
+	return e, nil
+}
+
+// splitSeq peels the varint sequence prefix off an explicit-seq
+// payload.
+func splitSeq(data []byte) (int64, []byte, error) {
+	seq, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: truncated event sequence")
+	}
+	if seq < 0 {
+		return 0, nil, fmt.Errorf("wal: negative event sequence %d", seq)
+	}
+	return seq, data[n:], nil
+}
+
+// validateEventSeq is validateEvent for explicit-seq payloads.
+func validateEventSeq(data []byte, schema *event.Schema) error {
+	_, rest, err := splitSeq(data)
+	if err != nil {
+		return err
+	}
+	return validateEvent(rest, schema)
+}
+
 // EncodeFrame appends one framed record (length, CRC32C, payload) to
 // dst and returns the extended slice. The replication shipper uses it
 // to put records on the wire in exactly the on-disk format, so the
@@ -152,9 +205,13 @@ func appendFrame(dst, payload []byte) []byte {
 }
 
 // encodeHeader renders a segment header for the given schema and base
-// offset.
-func encodeHeader(schema *event.Schema, base int64) []byte {
+// offset. Explicit-seq logs tag the embedded schema string so the two
+// payload encodings cannot be confused.
+func encodeHeader(schema *event.Schema, base int64, explicitSeq bool) []byte {
 	s := schema.String()
+	if explicitSeq {
+		s += seqSchemaSuffix
+	}
 	buf := make([]byte, 0, len(segMagic)+2+len(s)+8+4)
 	buf = append(buf, segMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
@@ -165,7 +222,7 @@ func encodeHeader(schema *event.Schema, base int64) []byte {
 
 // readHeader reads and validates a segment header from r, returning
 // the declared base offset and the header's byte length.
-func readHeader(r io.Reader, schema *event.Schema) (base int64, size int64, err error) {
+func readHeader(r io.Reader, schema *event.Schema, explicitSeq bool) (base int64, size int64, err error) {
 	fixed := make([]byte, len(segMagic)+2)
 	if _, err := io.ReadFull(r, fixed); err != nil {
 		return 0, 0, fmt.Errorf("wal: segment header: %w", err)
@@ -183,8 +240,12 @@ func readHeader(r io.Reader, schema *event.Schema) (base int64, size int64, err 
 	if sum != binary.LittleEndian.Uint32(rest[schemaLen+8:]) {
 		return 0, 0, fmt.Errorf("wal: segment header CRC mismatch")
 	}
-	if got := string(rest[:schemaLen]); got != schema.String() {
-		return 0, 0, fmt.Errorf("%w: segment has (%s), log opened with (%s)", errSchemaMismatch, got, schema)
+	want := schema.String()
+	if explicitSeq {
+		want += seqSchemaSuffix
+	}
+	if got := string(rest[:schemaLen]); got != want {
+		return 0, 0, fmt.Errorf("%w: segment has (%s), log opened with (%s)", errSchemaMismatch, got, want)
 	}
 	base = int64(binary.LittleEndian.Uint64(rest[schemaLen : schemaLen+8]))
 	if base < 0 {

@@ -105,6 +105,15 @@ type Options struct {
 	// (e.g. unshipped segments reclaimed over the cap). Defaults to
 	// the standard library logger.
 	Logf func(format string, args ...interface{})
+	// ExplicitSeq switches the log into explicit-sequence mode: every
+	// appended event's Seq field (a cluster-global sequence number
+	// assigned by the router tier) is persisted as a varint prefix of
+	// the record payload and restored on replay, instead of sequence
+	// numbers being implied by record offsets. Offsets remain dense and
+	// node-local; the persisted sequence is what match streams render,
+	// so replay stays byte-identical across a cluster. Segment headers
+	// are tagged, so a log can never be reopened in the other mode.
+	ExplicitSeq bool
 	// FS overrides the filesystem the log talks to; tests inject
 	// faulty implementations here. Nil means the real one (DefaultFS).
 	FS FileSystem
@@ -155,6 +164,9 @@ type Log struct {
 	floor atomic.Int64
 	// epoch is the fencing epoch persisted in the log's manifest.
 	epoch atomic.Int64
+	// lastSeq is the highest explicit sequence number appended or
+	// recovered (-1 when none); meaningful only under ExplicitSeq.
+	lastSeq atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -201,12 +213,18 @@ func Open(opt Options) (*Log, error) {
 	}
 	l := &Log{opt: opt, fs: opt.FS, stop: make(chan struct{}), done: make(chan struct{})}
 	l.floor.Store(-1)
+	l.lastSeq.Store(-1)
 	l.registerMetrics()
 	if err := l.loadManifest(); err != nil {
 		return nil, err
 	}
 	if err := l.recover(); err != nil {
 		return nil, err
+	}
+	if opt.ExplicitSeq {
+		if err := l.recoverLastSeq(); err != nil {
+			return nil, err
+		}
 	}
 	if opt.Fsync == FsyncInterval {
 		go l.syncLoop()
@@ -320,7 +338,7 @@ func (l *Log) readBase(path string) (int64, error) {
 		return 0, err
 	}
 	defer f.Close()
-	base, _, err := readHeader(f, l.opt.Schema)
+	base, _, err := readHeader(f, l.opt.Schema, l.opt.ExplicitSeq)
 	return base, err
 }
 
@@ -333,7 +351,7 @@ func (l *Log) scanTail(path string, wantBase int64) (count int64, err error) {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
-	base, hdrSize, err := readHeader(f, l.opt.Schema)
+	base, hdrSize, err := readHeader(f, l.opt.Schema, l.opt.ExplicitSeq)
 	if err != nil {
 		return 0, err
 	}
@@ -355,7 +373,13 @@ func (l *Log) scanTail(path string, wantBase int64) (count int64, err error) {
 			}
 			return count, nil
 		}
-		if err := validateEvent(payload, l.opt.Schema); err != nil {
+		vErr := error(nil)
+		if l.opt.ExplicitSeq {
+			vErr = validateEventSeq(payload, l.opt.Schema)
+		} else {
+			vErr = validateEvent(payload, l.opt.Schema)
+		}
+		if vErr != nil {
 			l.mTruncated.Inc()
 			if terr := f.Truncate(good); terr != nil {
 				return 0, fmt.Errorf("wal: truncating torn tail: %w", terr)
@@ -382,7 +406,7 @@ func (l *Log) createSegment(base int64) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	hdr := encodeHeader(l.opt.Schema, base)
+	hdr := encodeHeader(l.opt.Schema, base, l.opt.ExplicitSeq)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
@@ -412,9 +436,11 @@ func (l *Log) Append(e event.Event) (int64, error) {
 
 // AppendBatch appends events as one write, returning the offset
 // assigned to the first. Offsets are contiguous, so events[i] has
-// offset first+i. The events' Seq fields are ignored; time and
-// attributes are persisted. Once AppendBatch returns, the records are
-// visible to readers (and, under FsyncAlways, on stable storage).
+// offset first+i. In the default mode the events' Seq fields are
+// ignored; under Options.ExplicitSeq each event's Seq is persisted
+// with the record and LastSeq advances to the batch's highest. Once
+// AppendBatch returns, the records are visible to readers (and, under
+// FsyncAlways, on stable storage).
 func (l *Log) AppendBatch(events []event.Event) (first int64, err error) {
 	if len(events) == 0 {
 		return l.next.Load(), nil
@@ -436,7 +462,11 @@ func (l *Log) AppendBatch(events []event.Event) (first int64, err error) {
 	}
 	buf := l.scratch[:0]
 	for i := range events {
-		l.pbuf = EncodeEvent(l.pbuf[:0], l.opt.Schema, &events[i])
+		if l.opt.ExplicitSeq {
+			l.pbuf = EncodeEventSeq(l.pbuf[:0], l.opt.Schema, &events[i])
+		} else {
+			l.pbuf = EncodeEvent(l.pbuf[:0], l.opt.Schema, &events[i])
+		}
 		buf = appendFrame(buf, l.pbuf)
 	}
 	l.scratch = buf[:0]
@@ -467,6 +497,11 @@ func (l *Log) AppendBatch(events []event.Event) (first int64, err error) {
 	l.actSize += int64(len(buf))
 	l.size.Add(int64(len(buf)))
 	l.next.Store(l.actBase + l.actN)
+	if l.opt.ExplicitSeq {
+		if s := int64(events[len(events)-1].Seq); s > l.lastSeq.Load() {
+			l.lastSeq.Store(s)
+		}
+	}
 	l.mAppends.Add(int64(len(events)))
 	l.mBytes.Add(int64(len(buf)))
 	l.mLatency.Observe(time.Since(start).Seconds())
@@ -607,6 +642,34 @@ func (l *Log) NextOffset() int64 { return l.next.Load() }
 // FirstOffset returns the oldest retained offset. A log that has never
 // reclaimed a segment returns the offset of its first-ever record.
 func (l *Log) FirstOffset() int64 { return l.first.Load() }
+
+// ExplicitSeq reports whether the log persists explicit sequence
+// numbers (Options.ExplicitSeq).
+func (l *Log) ExplicitSeq() bool { return l.opt.ExplicitSeq }
+
+// LastSeq returns the highest explicit sequence number appended or
+// recovered, -1 when the log holds none (or when the records that
+// carried the highest were reclaimed before any were reappended — an
+// empty retained log after reclamation also reports -1, so operators
+// of a cluster should size retention to outlive router restarts).
+// Only meaningful under ExplicitSeq.
+func (l *Log) LastSeq() int64 { return l.lastSeq.Load() }
+
+// recoverLastSeq restores lastSeq from the newest retained record.
+func (l *Log) recoverLastSeq() error {
+	next, first := l.next.Load(), l.first.Load()
+	if next <= first {
+		return nil
+	}
+	rd := l.NewReader(next - 1)
+	defer rd.Close()
+	_, seq, _, err := rd.NextInto(nil)
+	if err != nil {
+		return fmt.Errorf("wal: recovering last sequence: %w", err)
+	}
+	l.lastSeq.Store(seq)
+	return nil
+}
 
 // SizeBytes returns the total on-disk size across all segments.
 func (l *Log) SizeBytes() int64 { return l.size.Load() }
